@@ -1,0 +1,32 @@
+//! # lfi-apps — the simulated applications of the LFI evaluation
+//!
+//! The paper evaluates LFI against real programs: Pidgin (a previously
+//! unknown crash bug, §6.1), MySQL with its own regression test suite
+//! (coverage improvement, §6.1; SysBench OLTP overhead, §6.4) and Apache
+//! httpd under the AB load generator (§6.4).  This crate provides faithful
+//! miniatures of those programs, built on the `lfi-runtime` process model so
+//! the LFI controller can interpose on their library calls exactly as the
+//! real tool interposes on the real programs:
+//!
+//! * [`native`] — the "original" libc/APR the applications link against,
+//!   backed by a shared in-memory world;
+//! * [`pidgin`] — the IM client with the unchecked-pipe-write resolver bug;
+//! * [`mysql`] — the storage engine, its test suite with basic-block
+//!   coverage, and the SysBench-like OLTP workload;
+//! * [`apache`] — the request server with static-HTML and PHP workloads and
+//!   the AB-like load generator;
+//! * [`coverage`] — basic-block coverage bookkeeping.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod apache;
+pub mod coverage;
+pub mod mysql;
+pub mod native;
+pub mod pidgin;
+
+pub use apache::{ApacheServer, RequestKind};
+pub use coverage::CoverageMap;
+pub use mysql::{MysqlServer, SuiteReport};
+pub use native::{base_process, native_libc, new_world, service_work, SimWorld, World};
+pub use pidgin::PidginApp;

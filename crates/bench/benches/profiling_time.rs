@@ -1,0 +1,48 @@
+//! §6.2 efficiency bench: profiling time as a function of library size, from
+//! the libdmx-sized library to the libxml2-sized one and the full libc.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lfi_core::experiments::profiling_efficiency;
+use lfi_corpus::named::{build_table2_library, libdmx_entry, libxml2_linux_entry, TABLE2};
+use lfi_corpus::{build_kernel, build_libc_scaled};
+use lfi_isa::Platform;
+use lfi_profiler::Profiler;
+
+fn bench_profiling_time(c: &mut Criterion) {
+    let mut group = c.benchmark_group("profiling_time");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(4));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+
+    // Small, medium and large named libraries.
+    let libldap_entry = *TABLE2.iter().find(|e| e.name == "libldap").unwrap();
+    for entry in [libdmx_entry(), libldap_entry, libxml2_linux_entry()] {
+        let library = build_table2_library(&entry, 2009);
+        let label = format!("{}-{}kb", entry.name, entry.code_kb);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &library, |b, library| {
+            b.iter(|| {
+                let mut profiler = Profiler::new();
+                profiler.add_library(library.compiled.object.clone());
+                profiler.profile_library(library.name()).unwrap()
+            })
+        });
+    }
+
+    // Full-scale libc (1535 exports) with the kernel image attached.
+    let libc = build_libc_scaled(Platform::LinuxX86, lfi_corpus::libc::LIBC_EXPORTS);
+    let kernel = build_kernel(Platform::LinuxX86);
+    group.bench_function("libc-1535-exports", |b| {
+        b.iter(|| {
+            let mut profiler = Profiler::new();
+            profiler.add_library(libc.compiled.object.clone());
+            profiler.set_kernel(kernel.clone());
+            profiler.profile_library("libc.so.6").unwrap()
+        })
+    });
+    group.finish();
+
+    println!("{}", profiling_efficiency(2009).render());
+}
+
+criterion_group!(benches, bench_profiling_time);
+criterion_main!(benches);

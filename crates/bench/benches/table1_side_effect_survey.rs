@@ -1,0 +1,29 @@
+//! Table 1 bench: time the error-detail-channel survey (corpus generation +
+//! profiling + classification) and print the resulting table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lfi_core::experiments::table1_survey;
+use lfi_corpus::survey::SurveyConfig;
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_side_effect_survey");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(4));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for functions_per_library in [100usize, 400] {
+        let config = SurveyConfig { libraries: 2, functions_per_library, seed: 2009 };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(config.total_functions()),
+            &config,
+            |b, config| b.iter(|| table1_survey(*config)),
+        );
+    }
+    group.finish();
+
+    // Print the table once so bench logs double as experiment output.
+    let result = table1_survey(SurveyConfig { libraries: 4, functions_per_library: 500, seed: 2009 });
+    println!("{}", result.render());
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Table 2 bench: time profiling + accuracy scoring for representative
+//! libraries of the named corpus (small, medium, large) and print the
+//! measured accuracy table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lfi_core::experiments::table2_accuracy;
+use lfi_corpus::named::{build_table2_library, TABLE2};
+use lfi_profiler::{score_profile, Profiler, ProfilerOptions};
+
+fn bench_table2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_profiler_accuracy");
+    group.sample_size(10);
+    for name in ["libdmx", "libldap", "libvorbisfile"] {
+        let entry = TABLE2.iter().find(|e| e.name == name && e.name != "libxml2").unwrap();
+        let library = build_table2_library(entry, 2009);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &library, |b, library| {
+            b.iter(|| {
+                let mut profiler = Profiler::with_options(ProfilerOptions::with_heuristics());
+                profiler.add_library(library.compiled.object.clone());
+                let report = profiler.profile_library(library.name()).unwrap();
+                score_profile(&report.profile, &library.documentation)
+            })
+        });
+    }
+    group.finish();
+
+    println!("{}", table2_accuracy(2009).render());
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

@@ -1,0 +1,118 @@
+//! Reproduce the paper's tables and figures.
+//!
+//! ```text
+//! repro [--quick] [experiment ...]
+//!
+//! experiments:
+//!   table1          error-detail channel survey (Table 1)
+//!   table2          profiler accuracy vs documentation (Table 2)
+//!   combined-accuracy  static+documentation combined accuracy (§6.3 extension)
+//!   arg-constraints    argument-dependent error values (§3.1 extension)
+//!   heuristics-ablation  the §3.1 filtering heuristics on/off
+//!   table3          Apache + AB overhead (Table 3)
+//!   table4          MySQL + SysBench OLTP overhead (Table 4)
+//!   efficiency      profiling time vs library size (§6.2)
+//!   pidgin          the Pidgin bug hunt and replay (§6.1)
+//!   mysql-coverage  MySQL test-suite coverage improvement (§6.1)
+//!   libpcre         accuracy vs execution ground truth (§6.3)
+//!   indirect-stats  indirect branch/call statistics (§3.1)
+//!   doc-mismatch    documentation mismatches (§3.1, §3.3)
+//!   figure2         CFG of an exported function, in DOT (Figure 2)
+//!   all             everything above (default)
+//! ```
+
+use std::env;
+
+use lfi_core::experiments;
+use lfi_corpus::survey::SurveyConfig;
+
+fn main() {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let selected: Vec<&str> = args.iter().map(String::as_str).filter(|a| *a != "--quick").collect();
+    let run_all = selected.is_empty() || selected.contains(&"all");
+    let wants = |name: &str| run_all || selected.contains(&name);
+    let seed = 2009u64;
+
+    println!("LFI reproduction — experiment harness");
+    println!("=====================================\n");
+
+    if wants("table1") {
+        let config = if quick {
+            SurveyConfig { libraries: 4, functions_per_library: 300, seed }
+        } else {
+            SurveyConfig::full()
+        };
+        println!("{}", experiments::table1_survey(config).render());
+    }
+
+    if wants("table2") {
+        println!("{}", experiments::table2_accuracy(seed).render());
+    }
+
+    if wants("libpcre") {
+        let report = experiments::libpcre_accuracy(7);
+        println!("libpcre accuracy vs manual/execution ground truth (§6.3): {report}  [paper: 84% (52 TPs, 10 FNs, 0 FPs)]\n");
+    }
+
+    if wants("combined-accuracy") {
+        println!("{}", experiments::combined_accuracy(seed).render());
+    }
+
+    if wants("arg-constraints") {
+        let exports = if quick { 120 } else { 400 };
+        println!("{}", experiments::argument_dependence(exports).render());
+    }
+
+    if wants("heuristics-ablation") {
+        println!("{}", experiments::heuristics_ablation(seed).render());
+    }
+
+    if wants("table3") {
+        let requests = if quick { 200 } else { 1000 };
+        let result = experiments::table3_apache_overhead(requests, seed);
+        println!("{}", result.render());
+        println!("worst-case overhead: {:.1}%\n", result.max_overhead_percent());
+    }
+
+    if wants("table4") {
+        let transactions = if quick { 200 } else { 1000 };
+        let result = experiments::table4_mysql_overhead(transactions, seed);
+        println!("{}", result.render());
+        println!("worst-case overhead: {:.1}%\n", result.max_overhead_percent());
+    }
+
+    if wants("efficiency") {
+        println!("{}", experiments::profiling_efficiency(seed).render());
+    }
+
+    if wants("pidgin") {
+        println!("{}", experiments::pidgin_bug_hunt(200, seed).render());
+    }
+
+    if wants("mysql-coverage") {
+        let cases = if quick { 200 } else { 400 };
+        println!("{}", experiments::mysql_coverage(cases, seed).render());
+    }
+
+    if wants("indirect-stats") {
+        let config = if quick {
+            SurveyConfig { libraries: 4, functions_per_library: 300, seed }
+        } else {
+            SurveyConfig::full()
+        };
+        let stats = experiments::indirect_statistics(config);
+        println!("{}", experiments::render_indirect_statistics(&stats));
+    }
+
+    if wants("doc-mismatch") {
+        println!("{}", experiments::render_doc_mismatches(&experiments::doc_mismatches(seed)));
+    }
+
+    if wants("figure2") {
+        println!(
+            "Figure 2: control flow graph of an exported library function (DOT)\n{}",
+            experiments::figure2_cfg_dot()
+        );
+    }
+}

@@ -1,0 +1,43 @@
+//! # lfi-bench — benchmark harness and experiment reproduction binary
+//!
+//! This crate hosts:
+//!
+//! * the Criterion benchmarks (`benches/`), one per table or figure of the
+//!   paper's evaluation plus an ablation micro-benchmark of trigger
+//!   evaluation;
+//! * the `repro` binary (`src/bin/repro.rs`), which prints every table and
+//!   figure in the paper's layout; its output is recorded in EXPERIMENTS.md.
+//!
+//! The heavy lifting lives in [`lfi_core::experiments`]; this crate only adds
+//! timing harnesses and command-line plumbing.
+
+#![forbid(unsafe_code)]
+
+/// Shared helper: a compact one-line summary of an overhead table used by the
+/// benches' console output.
+pub fn summarize_overhead(result: &lfi_core::experiments::OverheadResult) -> String {
+    format!("{} — worst-case overhead {:.1}%", result.title, result.max_overhead_percent())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_mentions_the_title() {
+        let result = lfi_core::experiments::OverheadResult {
+            title: "Table X".into(),
+            metric: "seconds".into(),
+            series: vec![(
+                "w".into(),
+                vec![
+                    lfi_core::experiments::OverheadRow { triggers: 0, value: 1.0 },
+                    lfi_core::experiments::OverheadRow { triggers: 10, value: 1.1 },
+                ],
+            )],
+        };
+        let summary = summarize_overhead(&result);
+        assert!(summary.contains("Table X"));
+        assert!(summary.contains("10.0%"));
+    }
+}

@@ -1,0 +1,224 @@
+//! The campaign driver: run a workload under a set of fault scenarios and
+//! collect per-test-case outcomes, logs and replay scripts (§5, §5.2).
+
+use std::fmt;
+
+use lfi_runtime::{ExitStatus, Process};
+use lfi_scenario::Plan;
+
+use crate::{Injector, TestLog};
+
+/// One fault-injection test case: a name and the scenario to apply.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TestCase {
+    /// Human-readable test-case name (appears in the report).
+    pub name: String,
+    /// The fault scenario to drive.
+    pub plan: Plan,
+}
+
+impl TestCase {
+    /// Creates a test case.
+    pub fn new(name: impl Into<String>, plan: Plan) -> Self {
+        Self { name: name.into(), plan }
+    }
+}
+
+/// The outcome of one test case.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TestOutcome {
+    /// Test-case name.
+    pub name: String,
+    /// How the workload run ended.
+    pub status: ExitStatus,
+    /// The injection log.
+    pub log: TestLog,
+    /// The replay script distilled from the log.
+    pub replay: Plan,
+}
+
+impl TestOutcome {
+    /// Number of injections performed during the run.
+    pub fn injection_count(&self) -> usize {
+        self.log.injection_count()
+    }
+}
+
+/// The report produced by a campaign: one outcome per test case.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CampaignReport {
+    /// Outcomes, in test-case order.
+    pub outcomes: Vec<TestOutcome>,
+}
+
+impl CampaignReport {
+    /// Outcomes whose workload crashed with a signal — the report entries the
+    /// paper says "can pinpoint bugs or weak spots in the target software".
+    pub fn crashes(&self) -> impl Iterator<Item = &TestOutcome> {
+        self.outcomes.iter().filter(|o| o.status.is_crash())
+    }
+
+    /// Outcomes whose workload exited unsuccessfully but did not crash.
+    pub fn failures(&self) -> impl Iterator<Item = &TestOutcome> {
+        self.outcomes.iter().filter(|o| !o.status.is_crash() && !o.status.is_success())
+    }
+
+    /// Total number of injections across the campaign.
+    pub fn total_injections(&self) -> usize {
+        self.outcomes.iter().map(TestOutcome::injection_count).sum()
+    }
+
+    /// Renders the campaign report as text (the "test log" of Figure 1).
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("# LFI campaign report: {} test cases\n", self.outcomes.len()));
+        for outcome in &self.outcomes {
+            out.push_str(&format!(
+                "{}: {} ({} injections)\n",
+                outcome.name,
+                outcome.status,
+                outcome.injection_count()
+            ));
+        }
+        out.push_str(&format!(
+            "# crashes: {}, failures: {}, total injections: {}\n",
+            self.crashes().count(),
+            self.failures().count(),
+            self.total_injections()
+        ));
+        out
+    }
+}
+
+impl fmt::Display for CampaignReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} test cases, {} crashes, {} failures",
+            self.outcomes.len(),
+            self.crashes().count(),
+            self.failures().count()
+        )
+    }
+}
+
+/// Runs a set of fault-injection test cases against a workload.
+///
+/// For each test case the driver builds a fresh process via `setup`
+/// (equivalent to the developer-provided start script of §5), synthesizes and
+/// preloads the interceptor for the case's plan, runs `workload`, and records
+/// the exit status together with the injection log and replay script.
+pub fn run_campaign<S, W>(cases: &[TestCase], mut setup: S, mut workload: W) -> CampaignReport
+where
+    S: FnMut() -> Process,
+    W: FnMut(&mut Process) -> ExitStatus,
+{
+    let mut report = CampaignReport::default();
+    for case in cases {
+        let mut process = setup();
+        let injector = Injector::new(case.plan.clone());
+        process.preload(injector.synthesize_interceptor());
+        let status = workload(&mut process);
+        report.outcomes.push(TestOutcome {
+            name: case.name.clone(),
+            status,
+            log: injector.log(),
+            replay: injector.replay_plan(),
+        });
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lfi_runtime::{NativeLibrary, Signal};
+    use lfi_scenario::{FaultAction, PlanEntry, Trigger};
+
+    fn libc() -> NativeLibrary {
+        NativeLibrary::builder("libc.so.6")
+            .function("malloc", |ctx| if ctx.arg(0) > 1 << 30 { 0 } else { 0x1000 })
+            .function("read", |ctx| ctx.arg(2))
+            .build()
+    }
+
+    /// A toy workload: read a header, allocate that many bytes, crash with
+    /// SIGABRT if the allocation fails.
+    fn workload(process: &mut Process) -> ExitStatus {
+        let header = process.call("read", &[3, 0, 8]).unwrap_or(-1);
+        if header < 0 {
+            return ExitStatus::Exited(1);
+        }
+        let size = if header == 8 { 64 } else { 1 << 40 };
+        let pointer = process.call("malloc", &[size]).unwrap_or(0);
+        if pointer == 0 {
+            return ExitStatus::Crashed(Signal::Abort);
+        }
+        ExitStatus::Exited(0)
+    }
+
+    #[test]
+    fn campaign_separates_clean_runs_failures_and_crashes() {
+        let cases = vec![
+            TestCase::new("baseline", Plan::new()),
+            TestCase::new(
+                "fail-read",
+                Plan::new().entry(PlanEntry {
+                    function: "read".into(),
+                    trigger: Trigger::on_call(1),
+                    action: FaultAction::return_value(-1).with_errno(5),
+                }),
+            ),
+            TestCase::new(
+                "short-read",
+                Plan::new().entry(PlanEntry {
+                    function: "read".into(),
+                    trigger: Trigger::on_call(1),
+                    action: FaultAction::return_value(4),
+                }),
+            ),
+        ];
+        let report = run_campaign(
+            &cases,
+            || {
+                let mut p = Process::new();
+                p.load(libc());
+                p
+            },
+            workload,
+        );
+        assert_eq!(report.outcomes.len(), 3);
+        assert!(report.outcomes[0].status.is_success());
+        assert_eq!(report.outcomes[1].status, ExitStatus::Exited(1));
+        assert_eq!(report.outcomes[2].status, ExitStatus::Crashed(Signal::Abort));
+        assert_eq!(report.crashes().count(), 1);
+        assert_eq!(report.failures().count(), 1);
+        assert_eq!(report.total_injections(), 2);
+        let text = report.to_text();
+        assert!(text.contains("short-read"));
+        assert!(text.contains("SIGABRT"));
+        assert!(report.to_string().contains("3 test cases"));
+    }
+
+    #[test]
+    fn replay_script_from_a_crashing_case_reproduces_the_crash() {
+        let crash_case = TestCase::new(
+            "short-read",
+            Plan::new().entry(PlanEntry {
+                function: "read".into(),
+                trigger: Trigger::on_call(1),
+                action: FaultAction::return_value(4),
+            }),
+        );
+        let setup = || {
+            let mut p = Process::new();
+            p.load(libc());
+            p
+        };
+        let report = run_campaign(std::slice::from_ref(&crash_case), setup, workload);
+        let replay = report.outcomes[0].replay.clone();
+        assert!(!replay.is_empty());
+        let report2 = run_campaign(&[TestCase::new("replay", replay)], setup, workload);
+        assert_eq!(report2.outcomes[0].status, ExitStatus::Crashed(Signal::Abort));
+    }
+}

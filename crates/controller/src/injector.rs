@@ -1,0 +1,693 @@
+//! The runtime half of the LFI controller: interceptor synthesis and trigger
+//! evaluation (§5.1).
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use lfi_profile::{FaultProfile, SideEffect, SideEffectKind};
+use lfi_runtime::{CallContext, NativeLibrary};
+use lfi_scenario::{Plan, PlanEntry};
+
+use crate::{InjectionRecord, TestLog};
+
+/// Name given to synthesized interceptor libraries.
+pub const INTERCEPTOR_LIBRARY_NAME: &str = "liblfi_interceptor.so";
+
+/// The injection engine: owns the fault scenario, the per-function call
+/// counters (the `call_count` static of the paper's stub), the random number
+/// generator for probabilistic triggers, and the test log.
+///
+/// An [`Injector`] is cheap to clone; clones share the same state, which is
+/// how every synthesized stub reaches the shared counters and log.
+#[derive(Debug, Clone)]
+pub struct Injector {
+    inner: Arc<Mutex<InjectorState>>,
+}
+
+#[derive(Debug)]
+struct InjectorState {
+    plan: Plan,
+    /// Plan-entry indices grouped by intercepted function, so that trigger
+    /// evaluation touches only the entries relevant to the current call (the
+    /// overhead in §6.4 grows with the triggers *per function*, not with the
+    /// whole plan).
+    entries_by_function: HashMap<String, Vec<usize>>,
+    /// Functions with at least one stack-trace trigger; the (comparatively
+    /// expensive) backtrace snapshot is only taken for these.
+    stack_sensitive: HashMap<String, bool>,
+    rng: StdRng,
+    call_counts: HashMap<String, u64>,
+    log: TestLog,
+    /// Return values observed on calls that reached the original definition
+    /// (pass-through or untriggered), per intercepted function — the raw
+    /// material for dynamic profile refinement.
+    observed: BTreeMap<String, BTreeMap<i64, u64>>,
+}
+
+/// An error return value observed at run time that the static fault profile
+/// does not list.
+///
+/// §3.1 notes two ways static profiles can be incomplete: error codes hidden
+/// behind indirect calls (false negatives) and the general reliance on what
+/// the binary alone reveals.  Related work (Süßkraut & Fetzer, §7) learns
+/// error values by observing execution; the LFI controller is in the perfect
+/// position to do the same for free, because every pass-through call already
+/// flows through its stubs.  A finding is a *candidate* new fault — it still
+/// needs the usual vetting before being added to a profile.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RefinementFinding {
+    /// The intercepted function.
+    pub function: String,
+    /// The observed return value missing from the profile.
+    pub value: i64,
+    /// How many times it was observed.
+    pub occurrences: u64,
+}
+
+/// What a stub decided to do for one intercepted call.
+#[derive(Debug, Clone, PartialEq)]
+struct Decision {
+    retval: Option<i64>,
+    errno: Option<i64>,
+    side_effects: Vec<SideEffect>,
+    call_original: bool,
+    arg_modifications: Vec<(u8, lfi_scenario::ArgOp, i64)>,
+    call_number: u64,
+}
+
+impl Injector {
+    /// Creates an injection engine for a fault scenario.  The random seed is
+    /// taken from the plan (or 0 when absent) so runs are reproducible.
+    pub fn new(plan: Plan) -> Self {
+        let seed = plan.seed.unwrap_or(0);
+        let mut entries_by_function: HashMap<String, Vec<usize>> = HashMap::new();
+        let mut stack_sensitive: HashMap<String, bool> = HashMap::new();
+        for (index, entry) in plan.entries.iter().enumerate() {
+            entries_by_function.entry(entry.function.clone()).or_default().push(index);
+            let sensitive = stack_sensitive.entry(entry.function.clone()).or_insert(false);
+            *sensitive |= !entry.trigger.stack_trace.is_empty();
+        }
+        Self {
+            inner: Arc::new(Mutex::new(InjectorState {
+                plan,
+                entries_by_function,
+                stack_sensitive,
+                rng: StdRng::seed_from_u64(seed),
+                call_counts: HashMap::new(),
+                log: TestLog::new(),
+                observed: BTreeMap::new(),
+            })),
+        }
+    }
+
+    /// The return values observed on calls that reached the original library
+    /// (either untriggered calls or pass-through injections), per function,
+    /// with occurrence counts.
+    pub fn observed_returns(&self) -> BTreeMap<String, BTreeMap<i64, u64>> {
+        self.inner.lock().observed.clone()
+    }
+
+    /// Diffs the observed behaviour against a set of static fault profiles
+    /// and returns every *negative* return value seen at run time that no
+    /// profile lists for that function — dynamic refinement of the static
+    /// analysis (§3.1's indirect-call false negatives are the typical cause).
+    pub fn refinement_findings(&self, profiles: &[FaultProfile]) -> Vec<RefinementFinding> {
+        let observed = self.observed_returns();
+        let mut findings = Vec::new();
+        for (function, values) in observed {
+            let profiled: Option<std::collections::BTreeSet<i64>> = profiles
+                .iter()
+                .find_map(|p| p.function(&function))
+                .map(|f| f.error_values());
+            for (value, occurrences) in values {
+                if value >= 0 {
+                    continue;
+                }
+                let known = profiled.as_ref().is_some_and(|set| set.contains(&value));
+                if !known {
+                    findings.push(RefinementFinding { function: function.clone(), value, occurrences });
+                }
+            }
+        }
+        findings
+    }
+
+    /// The functions this injector will intercept.
+    pub fn intercepted_functions(&self) -> Vec<String> {
+        self.inner.lock().plan.intercepted_functions().into_iter().map(str::to_owned).collect()
+    }
+
+    /// Synthesizes the interceptor library: one stub per function named in the
+    /// plan.  Load it with [`lfi_runtime::Process::preload`] so it shadows the
+    /// original definitions, exactly as `LD_PRELOAD` does for the real tool.
+    pub fn synthesize_interceptor(&self) -> NativeLibrary {
+        self.synthesize_interceptor_named(INTERCEPTOR_LIBRARY_NAME)
+    }
+
+    /// Synthesizes the interceptor library under a custom name.  Interceptors
+    /// for multiple plans can coexist in one process (§6.4 runs libc, libapr
+    /// and libaprutil interceptors simultaneously); they do not interfere
+    /// because stubs are keyed purely by function name.
+    pub fn synthesize_interceptor_named(&self, library_name: &str) -> NativeLibrary {
+        let mut builder = NativeLibrary::builder(library_name);
+        for function in self.intercepted_functions() {
+            let engine = self.clone();
+            let symbol = function.clone();
+            builder = builder.function(function, move |ctx| engine.stub_body(&symbol, ctx));
+        }
+        builder.build()
+    }
+
+    /// A snapshot of the log so far.
+    pub fn log(&self) -> TestLog {
+        self.inner.lock().log.clone()
+    }
+
+    /// The replay script distilled from the log so far (§5.2).
+    pub fn replay_plan(&self) -> Plan {
+        self.inner.lock().log.replay_plan()
+    }
+
+    /// Resets call counters, the log and the observed-return record, keeping
+    /// the plan (used between repetitions of a workload).
+    pub fn reset(&self) {
+        let mut state = self.inner.lock();
+        let seed = state.plan.seed.unwrap_or(0);
+        state.call_counts.clear();
+        state.log = TestLog::new();
+        state.rng = StdRng::seed_from_u64(seed);
+        state.observed.clear();
+    }
+
+    /// Records a return value that came back from the original definition.
+    fn record_observed(&self, symbol: &str, value: i64) {
+        let mut state = self.inner.lock();
+        *state.observed.entry(symbol.to_owned()).or_default().entry(value).or_insert(0) += 1;
+    }
+
+    /// The body shared by every synthesized stub.
+    fn stub_body(&self, symbol: &str, ctx: &mut CallContext<'_>) -> i64 {
+        let decision = self.decide(symbol, ctx);
+        match decision {
+            None => {
+                // No trigger fired: clean up and jump to the original, as the
+                // paper's stub does.  If there is no original definition the
+                // call degenerates to a no-op success.
+                let result = ctx.call_next().unwrap_or(0);
+                self.record_observed(symbol, result);
+                result
+            }
+            Some(decision) => self.apply(symbol, decision, ctx),
+        }
+    }
+
+    /// Evaluates the plan's triggers for one intercepted call.
+    fn decide(&self, symbol: &str, ctx: &CallContext<'_>) -> Option<Decision> {
+        let mut state = self.inner.lock();
+        let count = state.call_counts.entry(symbol.to_owned()).or_insert(0);
+        *count += 1;
+        let call_number = *count;
+        state.log.intercepted_calls += 1;
+
+        // The stack excluding the frame of the intercepted call itself: what
+        // the paper's `<stacktrace>` frames are matched against.  Snapshotting
+        // it costs an allocation, so it is only taken when some trigger for
+        // this function actually inspects the stack.
+        let caller_stack: Vec<&str> = if state.stack_sensitive.get(symbol).copied().unwrap_or(false) {
+            ctx.stack().iter().rev().skip(1).map(String::as_str).collect()
+        } else {
+            Vec::new()
+        };
+
+        let mut chosen: Option<Decision> = None;
+        // Split borrows: iterate over the plan while using the RNG.
+        let InjectorState { plan, entries_by_function, rng, .. } = &mut *state;
+        let candidate_indices = entries_by_function.get(symbol).map(Vec::as_slice).unwrap_or(&[]);
+        for &entry_index in candidate_indices {
+            let entry = &plan.entries[entry_index];
+            if !trigger_matches(entry, call_number, &caller_stack, rng) {
+                continue;
+            }
+            let (retval, errno, side_effects) = resolve_action(entry, rng);
+            chosen = Some(Decision {
+                retval,
+                errno,
+                side_effects,
+                call_original: entry.action.call_original,
+                arg_modifications: entry
+                    .action
+                    .arg_modifications
+                    .iter()
+                    .map(|m| (m.argument, m.op, m.value))
+                    .collect(),
+                call_number,
+            });
+            break;
+        }
+        chosen
+    }
+
+    /// Applies a decision: argument rewrites, errno, side effects, pass-through
+    /// and the injected return value; then logs the injection.
+    fn apply(&self, symbol: &str, decision: Decision, ctx: &mut CallContext<'_>) -> i64 {
+        for (argument, op, value) in &decision.arg_modifications {
+            let current = ctx.arg(*argument as usize);
+            ctx.set_arg(*argument as usize, op.apply(current, *value));
+        }
+        if let Some(errno) = decision.errno {
+            ctx.set_errno(errno);
+        }
+        for effect in &decision.side_effects {
+            match effect.kind {
+                SideEffectKind::Tls => {
+                    ctx.state().set_tls(&effect.module.clone(), effect.offset, effect.value);
+                    // errno lives in TLS; reflect the canonical value too so
+                    // programs that read errno through the process state see
+                    // the injected error.
+                    ctx.set_errno(effect.value);
+                }
+                SideEffectKind::Global => {
+                    ctx.state().set_global(&effect.module.clone(), effect.offset, effect.value);
+                }
+                SideEffectKind::OutputArg => {
+                    // The simulated process has no byte-addressable memory, so
+                    // output-argument writes are recorded in the log only.
+                }
+            }
+        }
+
+        let stack = ctx.stack().to_vec();
+        let passthrough_result = if decision.call_original { ctx.call_next().ok() } else { None };
+
+        {
+            let mut state = self.inner.lock();
+            state.log.injections.push(InjectionRecord {
+                function: symbol.to_owned(),
+                call_number: decision.call_number,
+                retval: if decision.call_original { None } else { decision.retval },
+                errno: decision.errno,
+                side_effects: decision.side_effects.clone(),
+                call_original: decision.call_original,
+                stack,
+            });
+        }
+
+        if decision.call_original {
+            // Pass-through entries (argument modification, overhead runs)
+            // return whatever the original returned.
+            if let Some(result) = passthrough_result {
+                self.record_observed(symbol, result);
+            }
+            passthrough_result.unwrap_or_else(|| decision.retval.unwrap_or(0))
+        } else {
+            decision.retval.unwrap_or(0)
+        }
+    }
+}
+
+fn trigger_matches(entry: &PlanEntry, call_number: u64, caller_stack: &[&str], rng: &mut StdRng) -> bool {
+    if let Some(n) = entry.trigger.inject_at_call {
+        if n != call_number {
+            return false;
+        }
+    }
+    if let Some(p) = entry.trigger.probability {
+        if !rng.gen_bool(p.clamp(0.0, 1.0)) {
+            return false;
+        }
+    }
+    if !entry.trigger.stack_trace.is_empty() {
+        // Frame i of the trigger must equal the i-th innermost caller frame.
+        for (i, frame) in entry.trigger.stack_trace.iter().enumerate() {
+            match caller_stack.get(i) {
+                Some(actual) if *actual == frame => {}
+                _ => return false,
+            }
+        }
+    }
+    true
+}
+
+fn resolve_action(entry: &PlanEntry, rng: &mut StdRng) -> (Option<i64>, Option<i64>, Vec<SideEffect>) {
+    if entry.action.random_choices.is_empty() {
+        return (entry.action.retval, entry.action.errno, entry.action.side_effects.clone());
+    }
+    let index = rng.gen_range(0..entry.action.random_choices.len());
+    let choice = &entry.action.random_choices[index];
+    let errno = choice
+        .side_effects
+        .iter()
+        .find(|s| s.kind == SideEffectKind::Tls)
+        .map(|s| s.value)
+        .or(entry.action.errno);
+    (Some(choice.retval), errno, choice.side_effects.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lfi_profile::ErrorReturn;
+    use lfi_runtime::Process;
+    use lfi_scenario::{ArgOp, FaultAction, Trigger};
+
+    fn libc() -> NativeLibrary {
+        NativeLibrary::builder("libc.so.6")
+            .function("read", |ctx| ctx.arg(2))
+            .function("write", |ctx| ctx.arg(2))
+            .constant("close", 0)
+            .build()
+    }
+
+    fn process_with(plan: Plan) -> (Process, Injector) {
+        let mut process = Process::new();
+        process.load(libc());
+        let injector = Injector::new(plan);
+        process.preload(injector.synthesize_interceptor());
+        (process, injector)
+    }
+
+    #[test]
+    fn call_count_trigger_fires_exactly_once() {
+        let plan = Plan::new().entry(PlanEntry {
+            function: "read".into(),
+            trigger: Trigger::on_call(3),
+            action: FaultAction::return_value(-1).with_errno(9),
+        });
+        let (mut process, injector) = process_with(plan);
+        let results: Vec<i64> = (0..5).map(|_| process.call("read", &[3, 0, 64]).unwrap()).collect();
+        assert_eq!(results, vec![64, 64, -1, 64, 64]);
+        assert_eq!(process.state().errno(), 9);
+        let log = injector.log();
+        assert_eq!(log.injection_count(), 1);
+        assert_eq!(log.injections[0].call_number, 3);
+        assert_eq!(log.intercepted_calls, 5);
+    }
+
+    #[test]
+    fn uninjected_calls_pass_through_untouched() {
+        let plan = Plan::new().entry(PlanEntry {
+            function: "read".into(),
+            trigger: Trigger::on_call(100),
+            action: FaultAction::return_value(-1),
+        });
+        let (mut process, injector) = process_with(plan);
+        for _ in 0..10 {
+            assert_eq!(process.call("read", &[3, 0, 8]).unwrap(), 8);
+        }
+        // Functions not named in the plan are not intercepted at all.
+        assert_eq!(process.call("close", &[5]).unwrap(), 0);
+        assert_eq!(injector.log().injection_count(), 0);
+        assert_eq!(injector.log().intercepted_calls, 10);
+    }
+
+    #[test]
+    fn stack_trace_trigger_only_fires_in_matching_context() {
+        let plan = Plan::new().entry(PlanEntry {
+            function: "read".into(),
+            trigger: Trigger::on_call(1).frame("refresh_files"),
+            action: FaultAction::return_value(0).with_errno(9),
+        });
+        let (mut process, injector) = process_with(plan.clone());
+        // Wrong context: no injection.
+        assert_eq!(process.call("read", &[3, 0, 8]).unwrap(), 8);
+        drop(injector);
+
+        let (mut process, injector) = process_with(plan);
+        process.push_frame("refresh_files");
+        assert_eq!(process.call("read", &[3, 0, 8]).unwrap(), 0);
+        process.pop_frame();
+        assert_eq!(injector.log().injection_count(), 1);
+        assert_eq!(injector.log().injections[0].stack, vec!["refresh_files".to_owned(), "read".to_owned()]);
+    }
+
+    #[test]
+    fn argument_modification_with_passthrough() {
+        // The paper's third example: 20th call to read, subtract 10 from the
+        // byte count, pass the call on.
+        let plan = Plan::new().entry(PlanEntry {
+            function: "read".into(),
+            trigger: Trigger::on_call(2),
+            action: FaultAction::default().passthrough().modify_arg(2, ArgOp::Sub, 10),
+        });
+        let (mut process, injector) = process_with(plan);
+        assert_eq!(process.call("read", &[3, 0, 64]).unwrap(), 64);
+        assert_eq!(process.call("read", &[3, 0, 64]).unwrap(), 54);
+        assert_eq!(process.call("read", &[3, 0, 64]).unwrap(), 64);
+        let log = injector.log();
+        assert_eq!(log.injection_count(), 1);
+        assert!(log.injections[0].call_original);
+    }
+
+    #[test]
+    fn observed_returns_refine_an_incomplete_profile() {
+        // The "original" read occasionally fails with -11 (EWOULDBLOCK-style)
+        // — a value the static profile below does not list.  A monitoring
+        // plan (a trigger that never fires) lets the controller watch the
+        // pass-through traffic and report the missing value.
+        let flaky = NativeLibrary::builder("libc.so.6")
+            .function("read", |ctx| if ctx.arg(0) == 13 { -11 } else { ctx.arg(2) })
+            .build();
+        let plan = Plan::new().entry(PlanEntry {
+            function: "read".into(),
+            trigger: Trigger::on_call(u64::MAX),
+            action: FaultAction::return_value(-1),
+        });
+        let mut process = Process::new();
+        process.load(flaky);
+        let injector = Injector::new(plan);
+        process.preload(injector.synthesize_interceptor());
+
+        for fd in 0..20 {
+            let _ = process.call("read", &[fd, 0, 64]).unwrap();
+        }
+
+        let observed = injector.observed_returns();
+        assert_eq!(observed["read"][&-11], 1);
+        assert_eq!(observed["read"][&64], 19);
+
+        // A static profile that only knows about -1 gets refined with -11.
+        let mut profile = lfi_profile::FaultProfile::new("libc.so.6");
+        profile.push_function(lfi_profile::FunctionProfile {
+            name: "read".into(),
+            error_returns: vec![ErrorReturn::bare(-1)],
+        });
+        let findings = injector.refinement_findings(&[profile.clone()]);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0], RefinementFinding { function: "read".into(), value: -11, occurrences: 1 });
+
+        // Values the profile already lists, and non-negative values, are not
+        // reported.
+        profile.functions[0].error_returns.push(ErrorReturn::bare(-11));
+        assert!(injector.refinement_findings(&[profile]).is_empty());
+
+        // reset() forgets the observations.
+        injector.reset();
+        assert!(injector.observed_returns().is_empty());
+    }
+
+    #[test]
+    fn passthrough_injections_also_feed_the_observation_record() {
+        // A pass-through entry (argument modification) still lets the
+        // original's return value be observed.
+        let plan = Plan::new().entry(PlanEntry {
+            function: "read".into(),
+            trigger: Trigger::on_call(1),
+            action: FaultAction::default().passthrough().modify_arg(2, ArgOp::Sub, 10),
+        });
+        let (mut process, injector) = process_with(plan);
+        assert_eq!(process.call("read", &[3, 0, 64]).unwrap(), 54);
+        let observed = injector.observed_returns();
+        assert_eq!(observed["read"][&54], 1);
+    }
+
+    #[test]
+    fn indirect_calls_are_resolved_at_runtime_and_injected_per_callee() {
+        // §3.1: "the LFI controller could dynamically resolve indirect calls
+        // at runtime and inject the return codes corresponding to the
+        // function being called".  The program calls `read` and `write`
+        // exclusively through function pointers; each gets the error code its
+        // own plan entry specifies.
+        let plan = Plan::new()
+            .entry(PlanEntry {
+                function: "read".into(),
+                trigger: Trigger::on_call(1),
+                action: FaultAction::return_value(-1).with_errno(9),
+            })
+            .entry(PlanEntry {
+                function: "write".into(),
+                trigger: Trigger::on_call(1),
+                action: FaultAction::return_value(-7).with_errno(28),
+            });
+        let (mut process, injector) = process_with(plan);
+        let read_ptr = process.fnptr("read").unwrap();
+        let write_ptr = process.fnptr("write").unwrap();
+
+        assert_eq!(process.call_ptr(read_ptr, &[3, 0, 64]).unwrap(), -1);
+        assert_eq!(process.state().errno(), 9);
+        assert_eq!(process.call_ptr(write_ptr, &[3, 0, 64]).unwrap(), -7);
+        assert_eq!(process.state().errno(), 28);
+        // Subsequent indirect calls pass through (the triggers already fired).
+        assert_eq!(process.call_ptr(read_ptr, &[3, 0, 64]).unwrap(), 64);
+
+        let log = injector.log();
+        assert_eq!(log.injection_count(), 2);
+        let functions: Vec<&str> = log.injections.iter().map(|r| r.function.as_str()).collect();
+        assert_eq!(functions, vec!["read", "write"]);
+    }
+
+    #[test]
+    fn direct_and_indirect_calls_share_one_call_counter() {
+        // A trigger on the 3rd call fires regardless of whether the calls
+        // arrived directly or through a pointer.
+        let plan = Plan::new().entry(PlanEntry {
+            function: "read".into(),
+            trigger: Trigger::on_call(3),
+            action: FaultAction::return_value(-1),
+        });
+        let (mut process, injector) = process_with(plan);
+        let ptr = process.fnptr("read").unwrap();
+        assert_eq!(process.call("read", &[3, 0, 8]).unwrap(), 8);
+        assert_eq!(process.call_ptr(ptr, &[3, 0, 8]).unwrap(), 8);
+        assert_eq!(process.call("read", &[3, 0, 8]).unwrap(), -1);
+        assert_eq!(injector.log().injections[0].call_number, 3);
+    }
+
+    #[test]
+    fn probability_trigger_injects_roughly_the_right_fraction() {
+        let plan = Plan::new().with_seed(7).entry(PlanEntry {
+            function: "write".into(),
+            trigger: Trigger::with_probability(0.3),
+            action: FaultAction {
+                random_choices: vec![ErrorReturn::bare(-1), ErrorReturn::bare(-2)],
+                ..FaultAction::default()
+            },
+        });
+        let (mut process, injector) = process_with(plan);
+        let mut failures = 0;
+        for _ in 0..1000 {
+            if process.call("write", &[1, 0, 16]).unwrap() < 0 {
+                failures += 1;
+            }
+        }
+        assert!((200..400).contains(&failures), "injected {failures} of 1000");
+        assert_eq!(injector.log().injection_count(), failures);
+        // Both choices get picked over time.
+        let distinct: std::collections::HashSet<i64> =
+            injector.log().injections.iter().filter_map(|r| r.retval).collect();
+        assert_eq!(distinct.len(), 2);
+    }
+
+    #[test]
+    fn runs_are_reproducible_with_the_same_seed() {
+        let plan = Plan::new().with_seed(11).entry(PlanEntry {
+            function: "write".into(),
+            trigger: Trigger::with_probability(0.5),
+            action: FaultAction { random_choices: vec![ErrorReturn::bare(-1)], ..FaultAction::default() },
+        });
+        let run = |plan: Plan| {
+            let (mut process, injector) = process_with(plan);
+            let results: Vec<i64> = (0..50).map(|_| process.call("write", &[1, 0, 4]).unwrap()).collect();
+            (results, injector.log().injection_count())
+        };
+        assert_eq!(run(plan.clone()), run(plan));
+    }
+
+    #[test]
+    fn tls_side_effects_reach_process_state_and_errno() {
+        let plan = Plan::new().entry(PlanEntry {
+            function: "read".into(),
+            trigger: Trigger::on_call(1),
+            action: FaultAction {
+                retval: Some(-1),
+                side_effects: vec![SideEffect::tls("libc.so.6", 0x12fff4, 5)],
+                ..FaultAction::default()
+            },
+        });
+        let (mut process, _injector) = process_with(plan);
+        assert_eq!(process.call("read", &[3, 0, 8]).unwrap(), -1);
+        assert_eq!(process.state().tls("libc.so.6", 0x12fff4), 5);
+        assert_eq!(process.state().errno(), 5);
+    }
+
+    #[test]
+    fn replay_plan_reproduces_a_random_run_exactly() {
+        let plan = Plan::new().with_seed(3).entry(PlanEntry {
+            function: "read".into(),
+            trigger: Trigger::with_probability(0.2),
+            action: FaultAction {
+                random_choices: vec![ErrorReturn::bare(-1), ErrorReturn::bare(-7)],
+                ..FaultAction::default()
+            },
+        });
+        let (mut process, injector) = process_with(plan);
+        let original: Vec<i64> = (0..40).map(|_| process.call("read", &[3, 0, 32]).unwrap()).collect();
+        let replay = injector.replay_plan();
+
+        let (mut process2, injector2) = process_with(replay);
+        let replayed: Vec<i64> = (0..40).map(|_| process2.call("read", &[3, 0, 32]).unwrap()).collect();
+        assert_eq!(original, replayed);
+        assert_eq!(injector.log().injection_count(), injector2.log().injection_count());
+    }
+
+    #[test]
+    fn interceptors_for_multiple_libraries_coexist() {
+        // §6.4: libc, libapr and libaprutil interceptors active at once.
+        let apr = NativeLibrary::builder("libapr.so").function("apr_read", |ctx| ctx.arg(1)).build();
+        let mut process = Process::new();
+        process.load(libc());
+        process.load(apr);
+        let libc_plan = Plan::new().entry(PlanEntry {
+            function: "read".into(),
+            trigger: Trigger::on_call(1),
+            action: FaultAction::return_value(-1),
+        });
+        let apr_plan = Plan::new().entry(PlanEntry {
+            function: "apr_read".into(),
+            trigger: Trigger::on_call(1),
+            action: FaultAction::return_value(-2),
+        });
+        let libc_injector = Injector::new(libc_plan);
+        let apr_injector = Injector::new(apr_plan);
+        process.preload(libc_injector.synthesize_interceptor_named("liblfi_libc.so"));
+        process.preload(apr_injector.synthesize_interceptor_named("liblfi_apr.so"));
+        assert_eq!(process.call("read", &[3, 0, 8]).unwrap(), -1);
+        assert_eq!(process.call("apr_read", &[0, 16]).unwrap(), -2);
+        assert_eq!(process.call("read", &[3, 0, 8]).unwrap(), 8);
+        assert_eq!(libc_injector.log().injection_count(), 1);
+        assert_eq!(apr_injector.log().injection_count(), 1);
+    }
+
+    #[test]
+    fn reset_clears_counters_and_log() {
+        let plan = Plan::new().entry(PlanEntry {
+            function: "read".into(),
+            trigger: Trigger::on_call(1),
+            action: FaultAction::return_value(-1),
+        });
+        let (mut process, injector) = process_with(plan);
+        assert_eq!(process.call("read", &[0, 0, 8]).unwrap(), -1);
+        injector.reset();
+        assert_eq!(injector.log().injection_count(), 0);
+        // After the reset the first call counts as call #1 again, so the
+        // trigger fires again.
+        assert_eq!(process.call("read", &[0, 0, 8]).unwrap(), -1);
+    }
+
+    #[test]
+    fn interception_without_an_original_definition_degrades_to_success() {
+        let plan = Plan::new().entry(PlanEntry {
+            function: "only_in_profile".into(),
+            trigger: Trigger::on_call(2),
+            action: FaultAction::return_value(-1),
+        });
+        let mut process = Process::new();
+        let injector = Injector::new(plan);
+        process.preload(injector.synthesize_interceptor());
+        assert_eq!(process.call("only_in_profile", &[]).unwrap(), 0);
+        assert_eq!(process.call("only_in_profile", &[]).unwrap(), -1);
+    }
+}

@@ -1,0 +1,42 @@
+//! # lfi-controller — the LFI controller (§5 of the paper)
+//!
+//! The controller takes fault profiles plus a fault scenario and drives the
+//! injection: it synthesizes an interceptor library with one stub per
+//! intercepted function, shims it in front of the original libraries
+//! (`LD_PRELOAD` in the paper, [`lfi_runtime::Process::preload`] here),
+//! evaluates triggers on every call, injects return values / errno / side
+//! effects / argument modifications, and records a log from which replay
+//! scripts are distilled.
+//!
+//! * [`Injector`] — trigger evaluation and injection engine, plus interceptor
+//!   synthesis.
+//! * [`TestLog`] / [`InjectionRecord`] — the §5.2 log and its replay plan.
+//! * [`run_campaign`] — the driver that runs a workload under each test case
+//!   and collects outcomes.
+//! * [`stubsrc`] — the generated C stub text, for parity with the paper's
+//!   Figure 3 pipeline.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod campaign;
+mod injector;
+mod log;
+pub mod stubsrc;
+
+pub use campaign::{run_campaign, CampaignReport, TestCase, TestOutcome};
+pub use injector::{Injector, RefinementFinding, INTERCEPTOR_LIBRARY_NAME};
+pub use log::{InjectionRecord, TestLog};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn public_types_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Injector>();
+        assert_send_sync::<TestLog>();
+        assert_send_sync::<CampaignReport>();
+        assert_send_sync::<TestCase>();
+    }
+}

@@ -1,0 +1,142 @@
+use lfi_objfile::SharedObject;
+use lfi_profile::FaultProfile;
+use lfi_profiler::{LibraryProfileReport, Profiler, ProfilerError, ProfilerOptions};
+use lfi_scenario::{generate, Plan};
+
+/// The top-level LFI facade: "profile the target application's shared
+/// libraries … then conduct fault injection experiments using various fault
+/// scenarios" (§2).
+///
+/// `Lfi` owns a [`Profiler`]; the controller side is exposed through
+/// [`lfi_controller::Injector`] and [`lfi_controller::run_campaign`], which
+/// take the plans this facade generates.
+///
+/// ```
+/// use lfi_asm::{FaultSpec, FunctionSpec, LibraryCompiler, LibrarySpec};
+/// use lfi_core::Lfi;
+/// use lfi_isa::Platform;
+///
+/// let lib = LibraryCompiler::new().compile(
+///     &LibrarySpec::new("libdemo.so", Platform::LinuxX86)
+///         .function(FunctionSpec::scalar("demo_read", 3).success(0).fault(FaultSpec::returning(-1).with_errno(5))),
+/// );
+/// let mut lfi = Lfi::new();
+/// lfi.add_library(lib.object);
+/// let report = lfi.profile("libdemo.so").unwrap();
+/// let plan = lfi.exhaustive_scenario(&["libdemo.so"]).unwrap();
+/// assert_eq!(report.profile.function_count(), 1);
+/// assert!(!plan.is_empty());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Lfi {
+    profiler: Profiler,
+}
+
+impl Lfi {
+    /// Creates a facade with the paper's default (conservative) profiler
+    /// options.
+    pub fn new() -> Self {
+        Self { profiler: Profiler::new() }
+    }
+
+    /// Creates a facade with explicit profiler options.
+    pub fn with_options(options: ProfilerOptions) -> Self {
+        Self { profiler: Profiler::with_options(options) }
+    }
+
+    /// Registers a library binary of the target application.
+    pub fn add_library(&mut self, object: SharedObject) {
+        self.profiler.add_library(object);
+    }
+
+    /// Registers the kernel image used to resolve syscall error codes.
+    pub fn set_kernel(&mut self, object: SharedObject) {
+        self.profiler.set_kernel(object);
+    }
+
+    /// Access to the underlying profiler.
+    pub fn profiler(&self) -> &Profiler {
+        &self.profiler
+    }
+
+    /// Profiles one registered library.
+    ///
+    /// # Errors
+    ///
+    /// See [`Profiler::profile_library`].
+    pub fn profile(&self, library: &str) -> Result<LibraryProfileReport, ProfilerError> {
+        self.profiler.profile_library(library)
+    }
+
+    /// Profiles every registered library in parallel.
+    ///
+    /// # Errors
+    ///
+    /// See [`Profiler::profile_all`].
+    pub fn profile_all(&self) -> Result<Vec<LibraryProfileReport>, ProfilerError> {
+        self.profiler.profile_all()
+    }
+
+    fn profiles_of(&self, libraries: &[&str]) -> Result<Vec<FaultProfile>, ProfilerError> {
+        libraries
+            .iter()
+            .map(|name| self.profile(name).map(|report| report.profile))
+            .collect()
+    }
+
+    /// Generates the exhaustive scenario over the given libraries (§4).
+    ///
+    /// # Errors
+    ///
+    /// Fails when any named library is unknown or cannot be disassembled.
+    pub fn exhaustive_scenario(&self, libraries: &[&str]) -> Result<Plan, ProfilerError> {
+        Ok(generate::exhaustive(&self.profiles_of(libraries)?))
+    }
+
+    /// Generates the random scenario over the given libraries (§4).
+    ///
+    /// # Errors
+    ///
+    /// Fails when any named library is unknown or cannot be disassembled.
+    pub fn random_scenario(
+        &self,
+        libraries: &[&str],
+        probability: f64,
+        seed: u64,
+    ) -> Result<Plan, ProfilerError> {
+        Ok(generate::random(&self.profiles_of(libraries)?, probability, seed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lfi_asm::{FaultSpec, FunctionSpec, LibraryCompiler, LibrarySpec};
+    use lfi_isa::Platform;
+
+    fn demo() -> SharedObject {
+        LibraryCompiler::new()
+            .compile(
+                &LibrarySpec::new("libdemo.so", Platform::LinuxX86)
+                    .function(FunctionSpec::scalar("a", 1).success(0).fault(FaultSpec::returning(-1)))
+                    .function(FunctionSpec::scalar("b", 1).success(0).fault(FaultSpec::returning(-2)).fault(FaultSpec::returning(-3))),
+            )
+            .object
+    }
+
+    #[test]
+    fn facade_profiles_and_generates_scenarios() {
+        let mut lfi = Lfi::with_options(ProfilerOptions::with_heuristics());
+        lfi.add_library(demo());
+        lfi.set_kernel(lfi_corpus::build_kernel(Platform::LinuxX86));
+        let report = lfi.profile("libdemo.so").unwrap();
+        assert_eq!(report.profile.function_count(), 2);
+        let exhaustive = lfi.exhaustive_scenario(&["libdemo.so"]).unwrap();
+        assert_eq!(exhaustive.len(), 3);
+        let random = lfi.random_scenario(&["libdemo.so"], 0.1, 1).unwrap();
+        assert_eq!(random.len(), 2);
+        assert!(lfi.profile_all().is_ok());
+        assert!(lfi.profile("libmissing.so").is_err());
+        assert!(lfi.profiler().library("libdemo.so").is_some());
+    }
+}

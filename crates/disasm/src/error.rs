@@ -1,0 +1,77 @@
+use std::error::Error;
+use std::fmt;
+
+use lfi_isa::IsaError;
+use lfi_objfile::ObjError;
+
+/// Errors produced while disassembling a shared object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DisasmError {
+    /// The object file itself could not be read or is inconsistent.
+    Object(ObjError),
+    /// A function's byte stream could not be decoded.
+    Decode {
+        /// Name of the function (empty for stripped locals).
+        function: String,
+        /// The underlying decoding error.
+        source: IsaError,
+    },
+    /// A jump target points outside the function body.
+    BranchOutOfRange {
+        /// Name of the function (empty for stripped locals).
+        function: String,
+        /// The offending target instruction index.
+        target: u32,
+        /// Number of instructions in the function.
+        len: usize,
+    },
+}
+
+impl fmt::Display for DisasmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DisasmError::Object(e) => write!(f, "object error: {e}"),
+            DisasmError::Decode { function, source } => {
+                write!(f, "failed to decode function `{function}`: {source}")
+            }
+            DisasmError::BranchOutOfRange { function, target, len } => write!(
+                f,
+                "branch target {target} out of range in function `{function}` ({len} instructions)"
+            ),
+        }
+    }
+}
+
+impl Error for DisasmError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DisasmError::Object(e) => Some(e),
+            DisasmError::Decode { source, .. } => Some(source),
+            DisasmError::BranchOutOfRange { .. } => None,
+        }
+    }
+}
+
+impl From<ObjError> for DisasmError {
+    fn from(value: ObjError) -> Self {
+        DisasmError::Object(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = DisasmError::Decode { function: "f".into(), source: IsaError::FellOffEnd };
+        assert!(e.to_string().contains('f'));
+        assert!(e.source().is_some());
+        let e = DisasmError::Object(ObjError::BadMagic);
+        assert!(!e.to_string().is_empty());
+        let e = DisasmError::BranchOutOfRange { function: "g".into(), target: 9, len: 2 };
+        assert!(e.to_string().contains('9'));
+        assert!(e.source().is_none());
+    }
+}

@@ -1,0 +1,220 @@
+//! Combining static-analysis profiles with parsed documentation.
+//!
+//! The paper's profiler deliberately avoids relying on documentation (§3.1),
+//! but notes that "should structured documentation exist and a documentation
+//! parser be available, it can be combined with LFI's static analysis to
+//! yield higher accuracy" (§6.3).  This module implements that combination:
+//! the union of the two sources, with per-value provenance so a tester can
+//! see which faults are vouched for by the binary, which only by the manual,
+//! and which by both.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use lfi_profile::{ErrorReturn, FaultProfile, FunctionProfile};
+
+use crate::parser::ParsedDocumentation;
+
+/// Where a combined error value came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Provenance {
+    /// Found only by static analysis of the binary.
+    StaticAnalysis,
+    /// Found only in the documentation.
+    Documentation,
+    /// Found by both sources (the highest-confidence class).
+    Both,
+}
+
+/// A fault profile whose values carry provenance.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CombinedProfile {
+    /// The profiled library.
+    pub library: String,
+    /// Per-function error values with their provenance.
+    pub functions: BTreeMap<String, BTreeMap<i64, Provenance>>,
+}
+
+impl CombinedProfile {
+    /// Builds the combined profile from a static-analysis profile and parsed
+    /// documentation.  Side effects recorded by the static profile are kept;
+    /// values contributed only by the documentation have none (the manual
+    /// does not say at which TLS offset errno lives).
+    pub fn combine(static_profile: &FaultProfile, docs: &ParsedDocumentation) -> Self {
+        let mut functions: BTreeMap<String, BTreeMap<i64, Provenance>> = BTreeMap::new();
+        for function in &static_profile.functions {
+            let entry = functions.entry(function.name.clone()).or_default();
+            for value in function.error_values() {
+                entry.insert(value, Provenance::StaticAnalysis);
+            }
+        }
+        for (name, values) in docs.error_sets() {
+            let entry = functions.entry(name).or_default();
+            for value in values {
+                entry
+                    .entry(value)
+                    .and_modify(|p| *p = Provenance::Both)
+                    .or_insert(Provenance::Documentation);
+            }
+        }
+        CombinedProfile { library: static_profile.library.clone(), functions }
+    }
+
+    /// The per-function error sets (for accuracy scoring).
+    pub fn error_sets(&self) -> BTreeMap<String, BTreeSet<i64>> {
+        self.functions
+            .iter()
+            .filter(|(_, values)| !values.is_empty())
+            .map(|(name, values)| (name.clone(), values.keys().copied().collect()))
+            .collect()
+    }
+
+    /// Counts of values by provenance, over the whole library.
+    pub fn provenance_counts(&self) -> ProvenanceCounts {
+        let mut counts = ProvenanceCounts::default();
+        for values in self.functions.values() {
+            for provenance in values.values() {
+                match provenance {
+                    Provenance::StaticAnalysis => counts.static_only += 1,
+                    Provenance::Documentation => counts.documentation_only += 1,
+                    Provenance::Both => counts.both += 1,
+                }
+            }
+        }
+        counts
+    }
+
+    /// Lowers the combined profile back into a [`FaultProfile`] that the
+    /// controller can consume: static values keep the side effects recorded
+    /// by the profiler, documentation-only values become bare error returns.
+    pub fn to_fault_profile(&self, static_profile: &FaultProfile) -> FaultProfile {
+        let mut out = FaultProfile::new(self.library.clone());
+        out.platform = static_profile.platform.clone();
+        for (name, values) in &self.functions {
+            let mut function = FunctionProfile::new(name.clone());
+            let existing = static_profile.function(name);
+            for (&value, _) in values {
+                let from_static = existing
+                    .and_then(|f| f.error_returns.iter().find(|r| r.retval == value))
+                    .cloned();
+                function.error_returns.push(from_static.unwrap_or_else(|| ErrorReturn::bare(value)));
+            }
+            out.push_function(function);
+        }
+        out
+    }
+}
+
+/// Per-provenance value counts for one combined profile.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProvenanceCounts {
+    /// Values only static analysis found.
+    pub static_only: usize,
+    /// Values only the documentation mentioned.
+    pub documentation_only: usize,
+    /// Values both sources agree on.
+    pub both: usize,
+}
+
+impl ProvenanceCounts {
+    /// Total number of distinct (function, value) pairs.
+    pub fn total(&self) -> usize {
+        self.static_only + self.documentation_only + self.both
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manpage::{DocumentationSet, ManPage};
+    use crate::parser::DocParser;
+    use lfi_profile::SideEffect;
+
+    fn static_profile() -> FaultProfile {
+        let mut profile = FaultProfile::new("libc.so.6");
+        profile.push_function(FunctionProfile {
+            name: "close".into(),
+            error_returns: vec![ErrorReturn {
+                retval: -1,
+                side_effects: vec![SideEffect::tls("libc.so.6", 0x12fff4, 9)],
+            }],
+        });
+        profile.push_function(FunctionProfile {
+            name: "read".into(),
+            error_returns: vec![ErrorReturn::bare(-1)],
+        });
+        profile
+    }
+
+    fn docs_with(pages: Vec<ManPage>) -> ParsedDocumentation {
+        let mut set = DocumentationSet::new("libc.so.6");
+        for page in pages {
+            set.push(page);
+        }
+        DocParser::new().parse_set("libc.so.6", &set.render()).unwrap()
+    }
+
+    #[test]
+    fn union_with_provenance() {
+        let docs = docs_with(vec![
+            ManPage::new("libc.so.6", "close").with_error_return(-1),
+            ManPage::new("libc.so.6", "write").with_error_return(-1).with_error_return(-2),
+        ]);
+        let combined = CombinedProfile::combine(&static_profile(), &docs);
+        assert_eq!(combined.functions["close"][&-1], Provenance::Both);
+        assert_eq!(combined.functions["read"][&-1], Provenance::StaticAnalysis);
+        assert_eq!(combined.functions["write"][&-1], Provenance::Documentation);
+        assert_eq!(combined.functions["write"][&-2], Provenance::Documentation);
+        let counts = combined.provenance_counts();
+        assert_eq!(counts, ProvenanceCounts { static_only: 1, documentation_only: 2, both: 1 });
+        assert_eq!(counts.total(), 4);
+    }
+
+    #[test]
+    fn error_sets_union_both_sources() {
+        let docs = docs_with(vec![ManPage::new("libc.so.6", "read").with_error_return(-5)]);
+        let combined = CombinedProfile::combine(&static_profile(), &docs);
+        let sets = combined.error_sets();
+        assert_eq!(sets["read"], BTreeSet::from([-5, -1]));
+        assert_eq!(sets["close"], BTreeSet::from([-1]));
+    }
+
+    #[test]
+    fn lowering_keeps_static_side_effects_and_adds_bare_doc_values() {
+        let docs = docs_with(vec![ManPage::new("libc.so.6", "close").with_error_return(-2)]);
+        let statics = static_profile();
+        let combined = CombinedProfile::combine(&statics, &docs);
+        let profile = combined.to_fault_profile(&statics);
+        let close = profile.function("close").unwrap();
+        let minus_one = close.error_returns.iter().find(|r| r.retval == -1).unwrap();
+        assert_eq!(minus_one.side_effects.len(), 1, "static side effects survive the merge");
+        let minus_two = close.error_returns.iter().find(|r| r.retval == -2).unwrap();
+        assert!(minus_two.side_effects.is_empty(), "documentation-only values are bare");
+    }
+
+    #[test]
+    fn empty_documentation_reduces_to_the_static_profile() {
+        let statics = static_profile();
+        let combined = CombinedProfile::combine(&statics, &ParsedDocumentation::default());
+        let lowered = combined.to_fault_profile(&statics);
+        assert_eq!(lowered.function_count(), statics.function_count());
+        let counts = combined.provenance_counts();
+        assert_eq!(counts.documentation_only, 0);
+        assert_eq!(counts.both, 0);
+    }
+
+    #[test]
+    fn combination_never_loses_a_static_value() {
+        let docs = docs_with(vec![ManPage::new("libc.so.6", "close").with_error_return(-7)]);
+        let statics = static_profile();
+        let combined = CombinedProfile::combine(&statics, &docs);
+        for function in &statics.functions {
+            for value in function.error_values() {
+                assert!(
+                    combined.functions[&function.name].contains_key(&value),
+                    "static value {value} of {} lost",
+                    function.name
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,77 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while rendering or parsing library documentation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DocError {
+    /// The page text has no recognizable section headers at all.
+    NoSections {
+        /// Name of the page (function) being parsed.
+        function: String,
+    },
+    /// An `ERRORS` entry names an errno constant the parser does not know.
+    UnknownErrno {
+        /// Name of the page (function) being parsed.
+        function: String,
+        /// The unrecognized constant, e.g. `EFROBNICATE`.
+        name: String,
+    },
+    /// A cross-reference ("the same errors that occur for …") points to a
+    /// function that has no page in the documentation set.
+    UnresolvedCrossReference {
+        /// The referring function.
+        function: String,
+        /// The missing referent.
+        target: String,
+    },
+    /// Cross-references form a cycle that never bottoms out in an enumerated
+    /// page.
+    CyclicCrossReference {
+        /// One function on the cycle.
+        function: String,
+    },
+}
+
+impl fmt::Display for DocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DocError::NoSections { function } => {
+                write!(f, "page for {function} has no recognizable sections")
+            }
+            DocError::UnknownErrno { function, name } => {
+                write!(f, "page for {function} names unknown errno constant {name}")
+            }
+            DocError::UnresolvedCrossReference { function, target } => {
+                write!(f, "page for {function} refers to {target}, which has no page")
+            }
+            DocError::CyclicCrossReference { function } => {
+                write!(f, "cross-references through {function} form a cycle")
+            }
+        }
+    }
+}
+
+impl Error for DocError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_the_function() {
+        let errors = [
+            DocError::NoSections { function: "close".into() },
+            DocError::UnknownErrno { function: "close".into(), name: "EFROBNICATE".into() },
+            DocError::UnresolvedCrossReference { function: "linkat".into(), target: "link".into() },
+            DocError::CyclicCrossReference { function: "a".into() },
+        ];
+        for error in errors {
+            let text = error.to_string();
+            assert!(!text.is_empty());
+        }
+        assert!(DocError::UnknownErrno { function: "close".into(), name: "EFROBNICATE".into() }
+            .to_string()
+            .contains("EFROBNICATE"));
+    }
+}

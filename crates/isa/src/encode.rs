@@ -1,0 +1,412 @@
+//! Binary encoding and decoding of SimISA instructions.
+//!
+//! The LFI profiler analyzes *binaries*, so SimISA functions are stored in
+//! object files as encoded byte streams and the disassembler (`lfi-disasm`)
+//! decodes them back.  The encoding is byte-oriented, little-endian and
+//! variable length.
+
+use crate::{BinAluOp, Cond, Inst, IsaError, Loc, Operand, Reg};
+
+// Opcode assignments.  Kept stable so object files remain readable across
+// versions of the toolchain.
+const OP_MOV_IMM: u8 = 0x01;
+const OP_MOV: u8 = 0x02;
+const OP_ALU: u8 = 0x03;
+const OP_NEG: u8 = 0x04;
+const OP_CMP: u8 = 0x05;
+const OP_JMP: u8 = 0x06;
+const OP_JMP_COND: u8 = 0x07;
+const OP_JMP_INDIRECT: u8 = 0x08;
+const OP_CALL: u8 = 0x09;
+const OP_CALL_INDIRECT: u8 = 0x0a;
+const OP_LOAD: u8 = 0x0b;
+const OP_STORE: u8 = 0x0c;
+const OP_LEA_PIC: u8 = 0x0d;
+const OP_SYSCALL: u8 = 0x0e;
+const OP_RET: u8 = 0x0f;
+const OP_NOP: u8 = 0x10;
+
+const LOC_REG: u8 = 0x00;
+const LOC_STACK: u8 = 0x01;
+const LOC_ARG: u8 = 0x02;
+const LOC_GLOBAL: u8 = 0x03;
+const LOC_TLS: u8 = 0x04;
+
+const OPERAND_IMM: u8 = 0x00;
+const OPERAND_LOC: u8 = 0x01;
+
+fn push_loc(out: &mut Vec<u8>, loc: Loc) {
+    match loc {
+        Loc::Reg(Reg(r)) => {
+            out.push(LOC_REG);
+            out.extend_from_slice(&(r as u32).to_le_bytes());
+        }
+        Loc::Stack(off) => {
+            out.push(LOC_STACK);
+            out.extend_from_slice(&off.to_le_bytes());
+        }
+        Loc::Arg(n) => {
+            out.push(LOC_ARG);
+            out.extend_from_slice(&(n as u32).to_le_bytes());
+        }
+        Loc::Global(off) => {
+            out.push(LOC_GLOBAL);
+            out.extend_from_slice(&off.to_le_bytes());
+        }
+        Loc::Tls(off) => {
+            out.push(LOC_TLS);
+            out.extend_from_slice(&off.to_le_bytes());
+        }
+    }
+}
+
+fn push_operand(out: &mut Vec<u8>, op: Operand) {
+    match op {
+        Operand::Imm(v) => {
+            out.push(OPERAND_IMM);
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        Operand::Loc(l) => {
+            out.push(OPERAND_LOC);
+            push_loc(out, l);
+        }
+    }
+}
+
+fn alu_code(op: BinAluOp) -> u8 {
+    match op {
+        BinAluOp::Add => 0,
+        BinAluOp::Sub => 1,
+        BinAluOp::And => 2,
+        BinAluOp::Or => 3,
+        BinAluOp::Xor => 4,
+        BinAluOp::Mul => 5,
+    }
+}
+
+fn cond_code(c: Cond) -> u8 {
+    match c {
+        Cond::Eq => 0,
+        Cond::Ne => 1,
+        Cond::Lt => 2,
+        Cond::Le => 3,
+        Cond::Gt => 4,
+        Cond::Ge => 5,
+    }
+}
+
+/// Encodes a single instruction, appending its bytes to `out`.
+pub fn encode_inst(inst: &Inst, out: &mut Vec<u8>) {
+    match *inst {
+        Inst::MovImm { dst, imm } => {
+            out.push(OP_MOV_IMM);
+            push_loc(out, dst);
+            out.extend_from_slice(&imm.to_le_bytes());
+        }
+        Inst::Mov { dst, src } => {
+            out.push(OP_MOV);
+            push_loc(out, dst);
+            push_loc(out, src);
+        }
+        Inst::Alu { op, dst, src } => {
+            out.push(OP_ALU);
+            out.push(alu_code(op));
+            push_loc(out, dst);
+            push_operand(out, src);
+        }
+        Inst::Neg { dst } => {
+            out.push(OP_NEG);
+            push_loc(out, dst);
+        }
+        Inst::Cmp { a, b } => {
+            out.push(OP_CMP);
+            push_loc(out, a);
+            push_operand(out, b);
+        }
+        Inst::Jmp { target } => {
+            out.push(OP_JMP);
+            out.extend_from_slice(&target.to_le_bytes());
+        }
+        Inst::JmpCond { cond, target } => {
+            out.push(OP_JMP_COND);
+            out.push(cond_code(cond));
+            out.extend_from_slice(&target.to_le_bytes());
+        }
+        Inst::JmpIndirect { loc } => {
+            out.push(OP_JMP_INDIRECT);
+            push_loc(out, loc);
+        }
+        Inst::Call { sym } => {
+            out.push(OP_CALL);
+            out.extend_from_slice(&sym.to_le_bytes());
+        }
+        Inst::CallIndirect { loc } => {
+            out.push(OP_CALL_INDIRECT);
+            push_loc(out, loc);
+        }
+        Inst::Load { dst, base, offset } => {
+            out.push(OP_LOAD);
+            out.push(dst.0);
+            out.push(base.0);
+            out.extend_from_slice(&offset.to_le_bytes());
+        }
+        Inst::Store { base, offset, src } => {
+            out.push(OP_STORE);
+            out.push(base.0);
+            out.extend_from_slice(&offset.to_le_bytes());
+            push_operand(out, src);
+        }
+        Inst::LeaPicBase { dst } => {
+            out.push(OP_LEA_PIC);
+            out.push(dst.0);
+        }
+        Inst::Syscall { num } => {
+            out.push(OP_SYSCALL);
+            out.extend_from_slice(&num.to_le_bytes());
+        }
+        Inst::Ret => out.push(OP_RET),
+        Inst::Nop => out.push(OP_NOP),
+    }
+}
+
+/// Encodes a full function body into a fresh byte vector.
+pub fn encode_function(body: &[Inst]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(body.len() * 8);
+    for inst in body {
+        encode_inst(inst, &mut out);
+    }
+    out
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn u8(&mut self) -> Result<u8, IsaError> {
+        let b = *self
+            .bytes
+            .get(self.pos)
+            .ok_or(IsaError::TruncatedInstruction { offset: self.pos })?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn u32(&mut self) -> Result<u32, IsaError> {
+        let end = self.pos + 4;
+        let slice = self
+            .bytes
+            .get(self.pos..end)
+            .ok_or(IsaError::TruncatedInstruction { offset: self.pos })?;
+        self.pos = end;
+        Ok(u32::from_le_bytes(slice.try_into().expect("slice is 4 bytes")))
+    }
+
+    fn i32(&mut self) -> Result<i32, IsaError> {
+        Ok(self.u32()? as i32)
+    }
+
+    fn i64(&mut self) -> Result<i64, IsaError> {
+        let end = self.pos + 8;
+        let slice = self
+            .bytes
+            .get(self.pos..end)
+            .ok_or(IsaError::TruncatedInstruction { offset: self.pos })?;
+        self.pos = end;
+        Ok(i64::from_le_bytes(slice.try_into().expect("slice is 8 bytes")))
+    }
+
+    fn loc(&mut self) -> Result<Loc, IsaError> {
+        let tag_offset = self.pos;
+        let tag = self.u8()?;
+        let payload = self.u32()?;
+        match tag {
+            LOC_REG => Ok(Loc::Reg(Reg(payload as u8))),
+            LOC_STACK => Ok(Loc::Stack(payload as i32)),
+            LOC_ARG => Ok(Loc::Arg(payload as u8)),
+            LOC_GLOBAL => Ok(Loc::Global(payload)),
+            LOC_TLS => Ok(Loc::Tls(payload)),
+            _ => Err(IsaError::InvalidLocation { tag, offset: tag_offset }),
+        }
+    }
+
+    fn operand(&mut self) -> Result<Operand, IsaError> {
+        let tag_offset = self.pos;
+        let tag = self.u8()?;
+        match tag {
+            OPERAND_IMM => Ok(Operand::Imm(self.i64()?)),
+            OPERAND_LOC => Ok(Operand::Loc(self.loc()?)),
+            _ => Err(IsaError::InvalidOperand { tag, offset: tag_offset }),
+        }
+    }
+}
+
+fn decode_alu(code: u8, offset: usize) -> Result<BinAluOp, IsaError> {
+    match code {
+        0 => Ok(BinAluOp::Add),
+        1 => Ok(BinAluOp::Sub),
+        2 => Ok(BinAluOp::And),
+        3 => Ok(BinAluOp::Or),
+        4 => Ok(BinAluOp::Xor),
+        5 => Ok(BinAluOp::Mul),
+        _ => Err(IsaError::UnknownOpcode { opcode: code, offset }),
+    }
+}
+
+fn decode_cond(code: u8, offset: usize) -> Result<Cond, IsaError> {
+    match code {
+        0 => Ok(Cond::Eq),
+        1 => Ok(Cond::Ne),
+        2 => Ok(Cond::Lt),
+        3 => Ok(Cond::Le),
+        4 => Ok(Cond::Gt),
+        5 => Ok(Cond::Ge),
+        _ => Err(IsaError::UnknownOpcode { opcode: code, offset }),
+    }
+}
+
+/// Decodes a full function body from its encoded bytes.
+///
+/// # Errors
+///
+/// Returns [`IsaError`] if the byte stream is truncated or contains an
+/// unknown opcode, location tag or operand tag.
+pub fn decode_function(bytes: &[u8]) -> Result<Vec<Inst>, IsaError> {
+    let mut cur = Cursor { bytes, pos: 0 };
+    let mut out = Vec::new();
+    while cur.pos < bytes.len() {
+        let op_offset = cur.pos;
+        let opcode = cur.u8()?;
+        let inst = match opcode {
+            OP_MOV_IMM => Inst::MovImm { dst: cur.loc()?, imm: cur.i64()? },
+            OP_MOV => Inst::Mov { dst: cur.loc()?, src: cur.loc()? },
+            OP_ALU => {
+                let code_offset = cur.pos;
+                let code = cur.u8()?;
+                Inst::Alu {
+                    op: decode_alu(code, code_offset)?,
+                    dst: cur.loc()?,
+                    src: cur.operand()?,
+                }
+            }
+            OP_NEG => Inst::Neg { dst: cur.loc()? },
+            OP_CMP => Inst::Cmp { a: cur.loc()?, b: cur.operand()? },
+            OP_JMP => Inst::Jmp { target: cur.u32()? },
+            OP_JMP_COND => {
+                let code_offset = cur.pos;
+                let code = cur.u8()?;
+                Inst::JmpCond { cond: decode_cond(code, code_offset)?, target: cur.u32()? }
+            }
+            OP_JMP_INDIRECT => Inst::JmpIndirect { loc: cur.loc()? },
+            OP_CALL => Inst::Call { sym: cur.u32()? },
+            OP_CALL_INDIRECT => Inst::CallIndirect { loc: cur.loc()? },
+            OP_LOAD => Inst::Load { dst: Reg(cur.u8()?), base: Reg(cur.u8()?), offset: cur.i32()? },
+            OP_STORE => Inst::Store { base: Reg(cur.u8()?), offset: cur.i32()?, src: cur.operand()? },
+            OP_LEA_PIC => Inst::LeaPicBase { dst: Reg(cur.u8()?) },
+            OP_SYSCALL => Inst::Syscall { num: cur.u32()? },
+            OP_RET => Inst::Ret,
+            OP_NOP => Inst::Nop,
+            other => return Err(IsaError::UnknownOpcode { opcode: other, offset: op_offset }),
+        };
+        out.push(inst);
+    }
+    Ok(out)
+}
+
+/// Returns the encoded size, in bytes, of a function body.
+pub fn encoded_size(body: &[Inst]) -> usize {
+    encode_function(body).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Platform;
+
+    fn sample_body() -> Vec<Inst> {
+        let abi = Platform::LinuxX86.abi();
+        vec![
+            Inst::Cmp { a: Loc::Arg(0), b: Operand::Imm(0) },
+            Inst::JmpCond { cond: Cond::Ne, target: 4 },
+            Inst::MovImm { dst: abi.return_loc(), imm: 0 },
+            Inst::Ret,
+            Inst::LeaPicBase { dst: Reg(3) },
+            Inst::Syscall { num: 6 },
+            Inst::Mov { dst: Loc::Reg(Reg(2)), src: abi.return_loc() },
+            Inst::Neg { dst: Loc::Reg(Reg(2)) },
+            Inst::Store { base: Reg(3), offset: 0x12fff4, src: Operand::Loc(Loc::Reg(Reg(2))) },
+            Inst::MovImm { dst: abi.return_loc(), imm: -1 },
+            Inst::Ret,
+        ]
+    }
+
+    #[test]
+    fn roundtrip_sample() {
+        let body = sample_body();
+        let bytes = encode_function(&body);
+        let decoded = decode_function(&bytes).unwrap();
+        assert_eq!(body, decoded);
+    }
+
+    #[test]
+    fn empty_function_roundtrips() {
+        assert!(decode_function(&[]).unwrap().is_empty());
+        assert!(encode_function(&[]).is_empty());
+    }
+
+    #[test]
+    fn truncated_stream_is_rejected() {
+        // Cut inside the trailing `MovImm` (the final `ret` is one byte, so
+        // removing two bytes lands mid-instruction).
+        let bytes = encode_function(&sample_body());
+        let err = decode_function(&bytes[..bytes.len() - 2]).unwrap_err();
+        assert!(matches!(err, IsaError::TruncatedInstruction { .. }));
+    }
+
+    #[test]
+    fn unknown_opcode_is_rejected() {
+        let err = decode_function(&[0xee]).unwrap_err();
+        assert_eq!(err, IsaError::UnknownOpcode { opcode: 0xee, offset: 0 });
+    }
+
+    #[test]
+    fn invalid_location_tag_is_rejected() {
+        // OP_NEG followed by a bogus location tag.
+        let err = decode_function(&[OP_NEG, 0x07, 0, 0, 0, 0]).unwrap_err();
+        assert!(matches!(err, IsaError::InvalidLocation { tag: 0x07, .. }));
+    }
+
+    #[test]
+    fn invalid_operand_tag_is_rejected() {
+        // OP_CMP, valid loc (reg 0), bogus operand tag.
+        let mut bytes = vec![OP_CMP];
+        push_loc(&mut bytes, Loc::Reg(Reg(0)));
+        bytes.push(0x09);
+        let err = decode_function(&bytes).unwrap_err();
+        assert!(matches!(err, IsaError::InvalidOperand { tag: 0x09, .. }));
+    }
+
+    #[test]
+    fn encoded_size_matches_encoding() {
+        let body = sample_body();
+        assert_eq!(encoded_size(&body), encode_function(&body).len());
+        assert!(encoded_size(&body) > body.len());
+    }
+
+    #[test]
+    fn all_location_kinds_roundtrip() {
+        let locs = [
+            Loc::Reg(Reg(15)),
+            Loc::Stack(-64),
+            Loc::Stack(128),
+            Loc::Arg(7),
+            Loc::Global(0xdead),
+            Loc::Tls(0xbeef),
+        ];
+        for loc in locs {
+            let body = vec![Inst::Neg { dst: loc }];
+            assert_eq!(decode_function(&encode_function(&body)).unwrap(), body);
+        }
+    }
+}

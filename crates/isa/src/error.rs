@@ -1,0 +1,105 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while decoding or executing SimISA code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum IsaError {
+    /// The byte stream ended in the middle of an instruction.
+    TruncatedInstruction {
+        /// Byte offset at which decoding stopped.
+        offset: usize,
+    },
+    /// An unknown opcode byte was encountered.
+    UnknownOpcode {
+        /// The offending opcode.
+        opcode: u8,
+        /// Byte offset of the opcode.
+        offset: usize,
+    },
+    /// A location tag byte did not name a valid location kind.
+    InvalidLocation {
+        /// The offending tag.
+        tag: u8,
+        /// Byte offset of the tag.
+        offset: usize,
+    },
+    /// An operand tag byte did not name a valid operand kind.
+    InvalidOperand {
+        /// The offending tag.
+        tag: u8,
+        /// Byte offset of the tag.
+        offset: usize,
+    },
+    /// The interpreter exceeded its execution step budget (likely an infinite
+    /// loop in synthetic code).
+    StepLimitExceeded {
+        /// The configured limit.
+        limit: u64,
+    },
+    /// The interpreter jumped to an instruction index outside the function.
+    JumpOutOfRange {
+        /// The requested instruction index.
+        target: u32,
+        /// Number of instructions in the function.
+        len: usize,
+    },
+    /// The interpreter reached the end of a function without a `ret`.
+    FellOffEnd,
+    /// A call could not be resolved by the environment.
+    UnresolvedCall {
+        /// The symbol index that could not be resolved.
+        sym: u32,
+    },
+}
+
+impl fmt::Display for IsaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IsaError::TruncatedInstruction { offset } => {
+                write!(f, "instruction stream truncated at byte {offset}")
+            }
+            IsaError::UnknownOpcode { opcode, offset } => {
+                write!(f, "unknown opcode {opcode:#04x} at byte {offset}")
+            }
+            IsaError::InvalidLocation { tag, offset } => {
+                write!(f, "invalid location tag {tag:#04x} at byte {offset}")
+            }
+            IsaError::InvalidOperand { tag, offset } => {
+                write!(f, "invalid operand tag {tag:#04x} at byte {offset}")
+            }
+            IsaError::StepLimitExceeded { limit } => {
+                write!(f, "execution exceeded the step limit of {limit}")
+            }
+            IsaError::JumpOutOfRange { target, len } => {
+                write!(f, "jump target {target} outside function of {len} instructions")
+            }
+            IsaError::FellOffEnd => write!(f, "execution fell off the end of the function"),
+            IsaError::UnresolvedCall { sym } => write!(f, "call to unresolved symbol index {sym}"),
+        }
+    }
+}
+
+impl Error for IsaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let errors = [
+            IsaError::TruncatedInstruction { offset: 7 },
+            IsaError::UnknownOpcode { opcode: 0xff, offset: 2 },
+            IsaError::InvalidLocation { tag: 9, offset: 3 },
+            IsaError::InvalidOperand { tag: 8, offset: 4 },
+            IsaError::StepLimitExceeded { limit: 10 },
+            IsaError::JumpOutOfRange { target: 99, len: 3 },
+            IsaError::FellOffEnd,
+            IsaError::UnresolvedCall { sym: 5 },
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

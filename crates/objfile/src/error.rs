@@ -1,0 +1,98 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while parsing or querying a SimObj shared object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ObjError {
+    /// The byte stream did not start with the SimObj magic number.
+    BadMagic,
+    /// The format version is not understood by this implementation.
+    UnsupportedVersion {
+        /// The version found in the header.
+        version: u16,
+    },
+    /// The byte stream ended prematurely.
+    Truncated {
+        /// Byte offset at which parsing stopped.
+        offset: usize,
+    },
+    /// A string field was not valid UTF-8.
+    InvalidString {
+        /// Byte offset of the string.
+        offset: usize,
+    },
+    /// An enum tag had an out-of-range value.
+    InvalidTag {
+        /// Name of the field being parsed.
+        field: &'static str,
+        /// The offending tag value.
+        value: u8,
+    },
+    /// A symbol referenced a function index that does not exist.
+    DanglingFunctionIndex {
+        /// Name of the symbol.
+        symbol: String,
+        /// The missing function index.
+        index: u32,
+    },
+    /// The requested symbol does not exist in this object.
+    UnknownSymbol {
+        /// The requested name.
+        name: String,
+    },
+    /// The requested symbol exists but is an import with no code here.
+    SymbolIsImport {
+        /// The requested name.
+        name: String,
+    },
+}
+
+impl fmt::Display for ObjError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObjError::BadMagic => write!(f, "not a SimObj file (bad magic)"),
+            ObjError::UnsupportedVersion { version } => {
+                write!(f, "unsupported SimObj format version {version}")
+            }
+            ObjError::Truncated { offset } => write!(f, "object file truncated at byte {offset}"),
+            ObjError::InvalidString { offset } => {
+                write!(f, "invalid UTF-8 string at byte {offset}")
+            }
+            ObjError::InvalidTag { field, value } => {
+                write!(f, "invalid tag value {value} for field {field}")
+            }
+            ObjError::DanglingFunctionIndex { symbol, index } => {
+                write!(f, "symbol {symbol} references missing function index {index}")
+            }
+            ObjError::UnknownSymbol { name } => write!(f, "symbol {name} not found in object"),
+            ObjError::SymbolIsImport { name } => {
+                write!(f, "symbol {name} is an import and carries no code in this object")
+            }
+        }
+    }
+}
+
+impl Error for ObjError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_nonempty() {
+        let errors = [
+            ObjError::BadMagic,
+            ObjError::UnsupportedVersion { version: 9 },
+            ObjError::Truncated { offset: 12 },
+            ObjError::InvalidString { offset: 3 },
+            ObjError::InvalidTag { field: "storage", value: 7 },
+            ObjError::DanglingFunctionIndex { symbol: "f".into(), index: 4 },
+            ObjError::UnknownSymbol { name: "g".into() },
+            ObjError::SymbolIsImport { name: "h".into() },
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,74 @@
+use std::error::Error;
+use std::fmt;
+
+use crate::xml::XmlError;
+
+/// Errors produced while reading a fault profile from XML.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ProfileError {
+    /// The document is not well-formed XML.
+    Xml(XmlError),
+    /// The document is XML but does not follow the profile schema.
+    Schema {
+        /// Description of the schema violation.
+        message: String,
+    },
+    /// A numeric field could not be parsed.
+    InvalidNumber {
+        /// The attribute or element holding the number.
+        field: String,
+        /// The offending text.
+        text: String,
+    },
+}
+
+impl ProfileError {
+    /// Convenience constructor for schema violations.
+    pub fn schema(message: impl Into<String>) -> Self {
+        ProfileError::Schema { message: message.into() }
+    }
+}
+
+impl fmt::Display for ProfileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProfileError::Xml(e) => write!(f, "invalid XML: {e}"),
+            ProfileError::Schema { message } => write!(f, "invalid fault profile: {message}"),
+            ProfileError::InvalidNumber { field, text } => {
+                write!(f, "invalid number {text:?} in field {field}")
+            }
+        }
+    }
+}
+
+impl Error for ProfileError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ProfileError::Xml(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<XmlError> for ProfileError {
+    fn from(value: XmlError) -> Self {
+        ProfileError::Xml(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = ProfileError::from(XmlError::NoRootElement);
+        assert!(e.source().is_some());
+        assert!(!e.to_string().is_empty());
+        assert!(!ProfileError::schema("missing function name").to_string().is_empty());
+        assert!(!ProfileError::InvalidNumber { field: "retval".into(), text: "x".into() }
+            .to_string()
+            .is_empty());
+    }
+}

@@ -1,0 +1,57 @@
+use std::error::Error;
+use std::fmt;
+
+use lfi_disasm::DisasmError;
+
+/// Errors produced by the LFI profiler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ProfilerError {
+    /// The named library was never registered with the profiler.
+    UnknownLibrary {
+        /// The requested library name.
+        name: String,
+    },
+    /// The library binary could not be disassembled.
+    Disasm(DisasmError),
+}
+
+impl fmt::Display for ProfilerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProfilerError::UnknownLibrary { name } => {
+                write!(f, "library {name} has not been registered with the profiler")
+            }
+            ProfilerError::Disasm(e) => write!(f, "disassembly failed: {e}"),
+        }
+    }
+}
+
+impl Error for ProfilerError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ProfilerError::Disasm(e) => Some(e),
+            ProfilerError::UnknownLibrary { .. } => None,
+        }
+    }
+}
+
+impl From<DisasmError> for ProfilerError {
+    fn from(value: DisasmError) -> Self {
+        ProfilerError::Disasm(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = ProfilerError::UnknownLibrary { name: "libzzz.so".into() };
+        assert!(e.to_string().contains("libzzz.so"));
+        assert!(e.source().is_none());
+        let e = ProfilerError::from(DisasmError::BranchOutOfRange { function: "f".into(), target: 1, len: 1 });
+        assert!(e.source().is_some());
+    }
+}

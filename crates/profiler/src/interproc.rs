@@ -1,0 +1,707 @@
+//! The LFI profiler proper: inter-procedural resolution of error return
+//! values across library boundaries and into the kernel image, side-effect
+//! classification, heuristics, and profile generation.
+
+use std::cell::{Cell, RefCell};
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+use std::time::{Duration, Instant};
+
+use lfi_disasm::{Disassembler, FunctionDisassembly, ObjectDisassembly};
+use lfi_isa::Inst;
+use lfi_objfile::{SharedObject, SymbolDef, SymbolId};
+use lfi_profile::{ErrorReturn, FaultProfile, FunctionProfile, SideEffect};
+
+use crate::arg_constraints::{analyze_arg_constraints, FunctionArgConstraints};
+use crate::return_codes::{analyze_returns, ValueOrigin};
+use crate::side_effects::{classify_side_effects, side_effects_in_block};
+use crate::{ProfilerError, ProfilerOptions};
+
+/// Timing and size measurements for one profiling run (the §6.2 efficiency
+/// experiment reports exactly these quantities).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProfilingStats {
+    /// Wall-clock profiling time.
+    pub duration: Duration,
+    /// Number of exported functions analyzed.
+    pub functions_analyzed: usize,
+    /// Size of the library's text, in bytes.
+    pub code_size_bytes: usize,
+    /// Longest constant-propagation chain observed (≤ 3 in the paper).
+    pub max_propagation_hops: usize,
+}
+
+/// The result of profiling one library.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LibraryProfileReport {
+    /// The generated fault profile.
+    pub profile: FaultProfile,
+    /// Profiling statistics.
+    pub stats: ProfilingStats,
+}
+
+/// The LFI profiler: add the libraries an application links against (plus,
+/// optionally, a kernel image) and ask for fault profiles.
+///
+/// ```
+/// use lfi_asm::{FaultSpec, FunctionSpec, LibraryCompiler, LibrarySpec};
+/// use lfi_isa::Platform;
+/// use lfi_profiler::Profiler;
+///
+/// let lib = LibraryCompiler::new().compile(
+///     &LibrarySpec::new("libx.so", Platform::LinuxX86)
+///         .function(FunctionSpec::scalar("f", 1).success(0).fault(FaultSpec::returning(-1))),
+/// );
+/// let mut profiler = Profiler::new();
+/// profiler.add_library(lib.object);
+/// let report = profiler.profile_library("libx.so").unwrap();
+/// assert_eq!(report.profile.function("f").unwrap().error_values().into_iter().collect::<Vec<_>>(), vec![-1, 0]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Profiler {
+    options: ProfilerOptions,
+    libraries: HashMap<String, SharedObject>,
+    kernel: Option<SharedObject>,
+}
+
+impl Profiler {
+    /// Creates a profiler with the paper's default (conservative) options.
+    pub fn new() -> Self {
+        Self::with_options(ProfilerOptions::default())
+    }
+
+    /// Creates a profiler with explicit options.
+    pub fn with_options(options: ProfilerOptions) -> Self {
+        Self { options, libraries: HashMap::new(), kernel: None }
+    }
+
+    /// The options in effect.
+    pub fn options(&self) -> ProfilerOptions {
+        self.options
+    }
+
+    /// Registers a library binary for analysis.  Libraries are keyed by file
+    /// name; registering the same name twice replaces the previous object.
+    pub fn add_library(&mut self, object: SharedObject) {
+        self.libraries.insert(object.name().to_owned(), object);
+    }
+
+    /// Registers the kernel image used to resolve system-call error codes
+    /// (§3.1: "LFI therefore performs static analysis on the kernel image as
+    /// well").
+    pub fn set_kernel(&mut self, object: SharedObject) {
+        self.kernel = Some(object);
+    }
+
+    /// Names of the registered libraries, in arbitrary order.
+    pub fn library_names(&self) -> impl Iterator<Item = &str> {
+        self.libraries.keys().map(String::as_str)
+    }
+
+    /// Returns the registered library with the given name, if any.
+    pub fn library(&self, name: &str) -> Option<&SharedObject> {
+        self.libraries.get(name)
+    }
+
+    /// Profiles one registered library.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProfilerError::UnknownLibrary`] if the library was never
+    /// registered and [`ProfilerError::Disasm`] if its binary cannot be
+    /// disassembled.
+    pub fn profile_library(&self, name: &str) -> Result<LibraryProfileReport, ProfilerError> {
+        let object = self
+            .libraries
+            .get(name)
+            .ok_or_else(|| ProfilerError::UnknownLibrary { name: name.to_owned() })?;
+        let start = Instant::now();
+        let resolver = Resolver::new(self);
+        let disassembly = resolver.disassembly(name)?;
+
+        let mut profile = FaultProfile::new(name).with_platform(object.platform().to_string());
+        let mut functions_analyzed = 0usize;
+        for function in disassembly.exported_functions() {
+            functions_analyzed += 1;
+            let resolved = resolver.resolve(name, function.symbol, &mut Vec::new(), 0)?;
+            let error_returns = self.apply_heuristics(function, resolved.returns);
+            profile.push_function(FunctionProfile { name: function.name.clone(), error_returns });
+        }
+
+        let stats = ProfilingStats {
+            duration: start.elapsed(),
+            functions_analyzed,
+            code_size_bytes: object.code_size(),
+            max_propagation_hops: resolver.max_hops.get(),
+        };
+        Ok(LibraryProfileReport { profile, stats })
+    }
+
+    /// Profiles several libraries, one thread per library, and returns the
+    /// reports in the same order as `names`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error encountered; profiling of the other libraries
+    /// still runs to completion.
+    pub fn profile_many(&self, names: &[&str]) -> Result<Vec<LibraryProfileReport>, ProfilerError> {
+        let mut results: Vec<Option<Result<LibraryProfileReport, ProfilerError>>> = Vec::new();
+        results.resize_with(names.len(), || None);
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (index, name) in names.iter().enumerate() {
+                handles.push((index, scope.spawn(move |_| self.profile_library(name))));
+            }
+            for (index, handle) in handles {
+                results[index] = Some(handle.join().expect("profiling thread panicked"));
+            }
+        })
+        .expect("profiling scope panicked");
+        results.into_iter().map(|r| r.expect("slot filled")).collect()
+    }
+
+    /// Profiles every registered library (the "profile the whole system"
+    /// workflow mentioned in §6.2).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error encountered.
+    pub fn profile_all(&self) -> Result<Vec<LibraryProfileReport>, ProfilerError> {
+        let mut names: Vec<&str> = self.libraries.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        self.profile_many(&names)
+    }
+
+    /// Infers, for each exported function of `name`, which of its error
+    /// return values are *argument-dependent* and under which constraints
+    /// (§3.1's "false positives … returned only when certain combinations of
+    /// arguments are provided").  Functions with no argument-gated value are
+    /// omitted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProfilerError::UnknownLibrary`] if the library was never
+    /// registered and [`ProfilerError::Disasm`] if its binary cannot be
+    /// disassembled.
+    pub fn argument_constraints(
+        &self,
+        name: &str,
+    ) -> Result<std::collections::BTreeMap<String, FunctionArgConstraints>, ProfilerError> {
+        let object = self
+            .libraries
+            .get(name)
+            .ok_or_else(|| ProfilerError::UnknownLibrary { name: name.to_owned() })?;
+        let resolver = Resolver::new(self);
+        let disassembly = resolver.disassembly(name)?;
+        let abi = object.platform().abi();
+        let mut out = std::collections::BTreeMap::new();
+        for function in disassembly.exported_functions() {
+            let constraints = analyze_arg_constraints(&function.cfg, &abi);
+            if !constraints.is_empty() {
+                out.insert(function.name.clone(), constraints);
+            }
+        }
+        Ok(out)
+    }
+
+    fn apply_heuristics(&self, function: &FunctionDisassembly, mut returns: Vec<ErrorReturn>) -> Vec<ErrorReturn> {
+        if self.options.drop_boolean_predicates {
+            let only_bool = !returns.is_empty() && returns.iter().all(|r| r.retval == 0 || r.retval == 1);
+            let short = function.cfg.insts().len() <= self.options.short_function_threshold;
+            let has_calls = function.cfg.insts().iter().any(Inst::is_call);
+            if only_bool && short && !has_calls {
+                return Vec::new();
+            }
+        }
+        if self.options.drop_zero_success_returns {
+            let distinct: HashSet<i64> = returns.iter().map(|r| r.retval).collect();
+            if distinct.len() > 1 && distinct.contains(&0) {
+                returns.retain(|r| r.retval != 0);
+            }
+        }
+        returns
+    }
+}
+
+/// Per-profiling-run resolution state: memoized inter-procedural results and
+/// cached disassemblies.
+struct Resolver<'a> {
+    profiler: &'a Profiler,
+    disassemblies: RefCell<HashMap<String, Rc<ObjectDisassembly>>>,
+    memo: RefCell<HashMap<(String, SymbolId), ResolvedReturns>>,
+    kernel_memo: RefCell<HashMap<u32, Vec<i64>>>,
+    kernel_disassembly: RefCell<Option<Rc<ObjectDisassembly>>>,
+    max_hops: Cell<usize>,
+}
+
+/// The resolved set of returnable values of one function.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct ResolvedReturns {
+    returns: Vec<ErrorReturn>,
+    has_unresolved: bool,
+}
+
+impl ResolvedReturns {
+    fn push(&mut self, retval: i64, side_effects: Vec<SideEffect>) {
+        if let Some(existing) = self.returns.iter_mut().find(|r| r.retval == retval) {
+            for effect in side_effects {
+                if !existing.side_effects.contains(&effect) {
+                    existing.side_effects.push(effect);
+                }
+            }
+        } else {
+            self.returns.push(ErrorReturn { retval, side_effects });
+        }
+    }
+
+    fn merge(&mut self, other: ResolvedReturns) {
+        for ret in other.returns {
+            self.push(ret.retval, ret.side_effects);
+        }
+        self.has_unresolved |= other.has_unresolved;
+    }
+}
+
+impl<'a> Resolver<'a> {
+    fn new(profiler: &'a Profiler) -> Self {
+        Self {
+            profiler,
+            disassemblies: RefCell::new(HashMap::new()),
+            memo: RefCell::new(HashMap::new()),
+            kernel_memo: RefCell::new(HashMap::new()),
+            kernel_disassembly: RefCell::new(None),
+            max_hops: Cell::new(0),
+        }
+    }
+
+    fn disassembly(&self, library: &str) -> Result<Rc<ObjectDisassembly>, ProfilerError> {
+        if let Some(existing) = self.disassemblies.borrow().get(library) {
+            return Ok(Rc::clone(existing));
+        }
+        let object = self
+            .profiler
+            .libraries
+            .get(library)
+            .ok_or_else(|| ProfilerError::UnknownLibrary { name: library.to_owned() })?;
+        let disassembly = Rc::new(Disassembler::new().disassemble_object(object)?);
+        self.disassemblies.borrow_mut().insert(library.to_owned(), Rc::clone(&disassembly));
+        Ok(disassembly)
+    }
+
+    /// Error codes a system call can produce, from static analysis of the
+    /// kernel image.  Kernel entry points are named `sys_<number>`.
+    fn kernel_errors(&self, num: u32) -> Vec<i64> {
+        if let Some(cached) = self.kernel_memo.borrow().get(&num) {
+            return cached.clone();
+        }
+        let values = self.compute_kernel_errors(num);
+        self.kernel_memo.borrow_mut().insert(num, values.clone());
+        values
+    }
+
+    fn compute_kernel_errors(&self, num: u32) -> Vec<i64> {
+        let Some(kernel) = &self.profiler.kernel else { return Vec::new() };
+        if self.kernel_disassembly.borrow().is_none() {
+            let Ok(disassembly) = Disassembler::new().disassemble_object(kernel) else {
+                return Vec::new();
+            };
+            *self.kernel_disassembly.borrow_mut() = Some(Rc::new(disassembly));
+        }
+        let borrowed = self.kernel_disassembly.borrow();
+        let disassembly = borrowed.as_ref().expect("kernel disassembly cached");
+        let name = format!("sys_{num}");
+        let Some(function) = disassembly.function(&name) else { return Vec::new() };
+        let analysis = analyze_returns(&function.cfg, &kernel.platform().abi());
+        analysis.constants().into_iter().filter(|v| *v < 0).collect()
+    }
+
+    /// Resolves the returnable values of a function, recursing into dependent
+    /// functions (possibly in other libraries) as the paper describes.
+    fn resolve(
+        &self,
+        library: &str,
+        symbol: SymbolId,
+        in_progress: &mut Vec<(String, SymbolId)>,
+        depth: usize,
+    ) -> Result<ResolvedReturns, ProfilerError> {
+        let key = (library.to_owned(), symbol);
+        if let Some(cached) = self.memo.borrow().get(&key) {
+            return Ok(cached.clone());
+        }
+        if in_progress.contains(&key) || depth > self.profiler.options.max_call_depth {
+            // Recursion cycle or depth bound: contribute nothing, as a
+            // fixed-point seed.
+            return Ok(ResolvedReturns { returns: Vec::new(), has_unresolved: true });
+        }
+        in_progress.push(key.clone());
+        let result = self.resolve_uncached(library, symbol, in_progress, depth);
+        in_progress.pop();
+        if let Ok(resolved) = &result {
+            self.memo.borrow_mut().insert(key, resolved.clone());
+        }
+        result
+    }
+
+    fn resolve_uncached(
+        &self,
+        library: &str,
+        symbol: SymbolId,
+        in_progress: &mut Vec<(String, SymbolId)>,
+        depth: usize,
+    ) -> Result<ResolvedReturns, ProfilerError> {
+        let object = self
+            .profiler
+            .libraries
+            .get(library)
+            .ok_or_else(|| ProfilerError::UnknownLibrary { name: library.to_owned() })?;
+        let disassembly = self.disassembly(library)?;
+        let Some(function) = disassembly.function_by_symbol(symbol) else {
+            // Imported or missing: resolve in the providing library.
+            return self.resolve_import(object, symbol, in_progress, depth);
+        };
+
+        let abi = object.platform().abi();
+        let analysis = analyze_returns(&function.cfg, &abi);
+        self.max_hops.set(self.max_hops.get().max(analysis.max_propagation_hops));
+
+        let mut resolved = ResolvedReturns::default();
+        let kernel_errors = |num: u32| self.kernel_errors(num);
+        for origin in &analysis.origins {
+            match *origin {
+                ValueOrigin::Const { value, block, .. } => {
+                    let raw = side_effects_in_block(&function.cfg, block, &abi);
+                    let effects = classify_side_effects(&raw, object, &kernel_errors);
+                    resolved.push(value, effects);
+                }
+                ValueOrigin::SyscallReturn { num, .. } => {
+                    for value in self.kernel_errors(num) {
+                        resolved.push(value, Vec::new());
+                    }
+                }
+                ValueOrigin::CalleeReturn { sym, .. } => {
+                    let callee = self.resolve_callee(library, object, SymbolId(sym), in_progress, depth)?;
+                    resolved.merge(callee);
+                }
+                ValueOrigin::IndirectCallReturn { .. } | ValueOrigin::Argument { .. } | ValueOrigin::Unknown => {
+                    resolved.has_unresolved = true;
+                }
+            }
+        }
+        Ok(resolved)
+    }
+
+    fn resolve_callee(
+        &self,
+        library: &str,
+        object: &SharedObject,
+        callee: SymbolId,
+        in_progress: &mut Vec<(String, SymbolId)>,
+        depth: usize,
+    ) -> Result<ResolvedReturns, ProfilerError> {
+        let Some(symbol) = object.symbol(callee) else {
+            return Ok(ResolvedReturns { returns: Vec::new(), has_unresolved: true });
+        };
+        match &symbol.def {
+            SymbolDef::Defined { .. } => self.resolve(library, callee, in_progress, depth + 1),
+            SymbolDef::Import { .. } => self.resolve_import(object, callee, in_progress, depth),
+        }
+    }
+
+    fn resolve_import(
+        &self,
+        object: &SharedObject,
+        symbol: SymbolId,
+        in_progress: &mut Vec<(String, SymbolId)>,
+        depth: usize,
+    ) -> Result<ResolvedReturns, ProfilerError> {
+        let Some(entry) = object.symbol(symbol) else {
+            return Ok(ResolvedReturns { returns: Vec::new(), has_unresolved: true });
+        };
+        let name = entry.name.clone();
+        let hint = match &entry.def {
+            SymbolDef::Import { library_hint } => library_hint.clone(),
+            SymbolDef::Defined { .. } => None,
+        };
+        // Prefer the hinted library, then the declared dependencies, then any
+        // registered library exporting the symbol.
+        let mut candidates: Vec<&str> = Vec::new();
+        if let Some(hint) = &hint {
+            candidates.push(hint.as_str());
+        }
+        for dep in object.dependencies() {
+            candidates.push(dep.as_str());
+        }
+        for lib in self.profiler.libraries.keys() {
+            candidates.push(lib.as_str());
+        }
+        for candidate in candidates {
+            let Some(target) = self.profiler.libraries.get(candidate) else { continue };
+            let Some((id, target_symbol)) = target.symbol_by_name(&name) else { continue };
+            if target_symbol.is_export() {
+                return self.resolve(candidate, id, in_progress, depth + 1);
+            }
+        }
+        Ok(ResolvedReturns { returns: Vec::new(), has_unresolved: true })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lfi_asm::{FaultSpec, FunctionSpec, LibraryCompiler, LibrarySpec};
+    use lfi_isa::{Inst, Loc, Platform};
+    use lfi_objfile::ObjectBuilder;
+    use lfi_profile::SideEffectKind;
+
+    fn compile(spec: LibrarySpec) -> SharedObject {
+        LibraryCompiler::new().compile(&spec).object
+    }
+
+    /// A minimal kernel image whose `sys_6` handler can fail with -9, -5, -4.
+    fn kernel() -> SharedObject {
+        let abi = Platform::LinuxX86.abi();
+        let spec = LibrarySpec::new("kernel.img", Platform::LinuxX86).function(
+            FunctionSpec::scalar("sys_6", 3)
+                .success(0)
+                .fault(FaultSpec::returning(-9))
+                .fault(FaultSpec::returning(-5))
+                .fault(FaultSpec::returning(-4)),
+        );
+        let _ = abi;
+        compile(spec)
+    }
+
+    #[test]
+    fn direct_constants_and_errno_are_profiled() {
+        let lib = compile(
+            LibrarySpec::new("liba.so", Platform::LinuxX86).function(
+                FunctionSpec::scalar("f", 1)
+                    .success(0)
+                    .fault(FaultSpec::returning(-1).with_errno(9))
+                    .fault(FaultSpec::returning(-2)),
+            ),
+        );
+        let mut profiler = Profiler::new();
+        profiler.add_library(lib);
+        let report = profiler.profile_library("liba.so").unwrap();
+        let f = report.profile.function("f").unwrap();
+        assert_eq!(f.error_values().into_iter().collect::<Vec<_>>(), vec![-2, -1, 0]);
+        let minus_one = f.error_returns.iter().find(|r| r.retval == -1).unwrap();
+        assert_eq!(minus_one.side_effects.len(), 1);
+        assert_eq!(minus_one.side_effects[0].kind, SideEffectKind::Tls);
+        assert_eq!(minus_one.side_effects[0].value, 9);
+        assert_eq!(report.stats.functions_analyzed, 1);
+        assert!(report.stats.code_size_bytes > 0);
+    }
+
+    #[test]
+    fn syscall_errors_come_from_the_kernel_image() {
+        let lib = compile(
+            LibrarySpec::new("libc.so.6", Platform::LinuxX86)
+                .function(FunctionSpec::scalar("close", 1).success(0).fault(FaultSpec::via_syscall(6))),
+        );
+        let mut profiler = Profiler::new();
+        profiler.add_library(lib);
+        profiler.set_kernel(kernel());
+        let report = profiler.profile_library("libc.so.6").unwrap();
+        let close = report.profile.function("close").unwrap();
+        let minus_one = close.error_returns.iter().find(|r| r.retval == -1).unwrap();
+        let mut errno_values: Vec<i64> = minus_one
+            .side_effects
+            .iter()
+            .filter(|s| s.kind == SideEffectKind::Tls)
+            .map(|s| s.value)
+            .collect();
+        errno_values.sort_unstable();
+        // The kernel returns -9/-5/-4; the library negates them into errno.
+        assert_eq!(errno_values, vec![4, 5, 9]);
+    }
+
+    #[test]
+    fn without_a_kernel_image_syscall_errors_are_missed() {
+        let lib = compile(
+            LibrarySpec::new("libc.so.6", Platform::LinuxX86)
+                .function(FunctionSpec::scalar("close", 1).success(0).fault(FaultSpec::via_syscall(6))),
+        );
+        let mut profiler = Profiler::new();
+        profiler.add_library(lib);
+        let report = profiler.profile_library("libc.so.6").unwrap();
+        let close = report.profile.function("close").unwrap();
+        let minus_one = close.error_returns.iter().find(|r| r.retval == -1).unwrap();
+        assert!(minus_one.side_effects.is_empty());
+    }
+
+    #[test]
+    fn dependent_function_errors_propagate_across_libraries() {
+        let inner = compile(
+            LibrarySpec::new("libinner.so", Platform::LinuxX86)
+                .function(FunctionSpec::scalar("inner_fail", 0).success(0).fault(FaultSpec::returning(-77).with_errno(7))),
+        );
+        let outer = compile(
+            LibrarySpec::new("libouter.so", Platform::LinuxX86)
+                .dependency("libinner.so")
+                .import("inner_fail", Some("libinner.so"))
+                .function(FunctionSpec::scalar("outer", 1).success(0).fault(FaultSpec::via_callee("inner_fail"))),
+        );
+        let mut profiler = Profiler::new();
+        profiler.add_library(inner);
+        profiler.add_library(outer);
+        let report = profiler.profile_library("libouter.so").unwrap();
+        let outer = report.profile.function("outer").unwrap();
+        assert!(outer.error_values().contains(&-77));
+        let propagated = outer.error_returns.iter().find(|r| r.retval == -77).unwrap();
+        // The callee's errno side effect travels with the propagated value.
+        assert!(propagated.side_effects.iter().any(|s| s.value == 7));
+    }
+
+    #[test]
+    fn dependent_function_in_same_library_is_resolved() {
+        let lib = compile(
+            LibrarySpec::new("libself.so", Platform::LinuxX86)
+                .function(FunctionSpec::scalar("helper", 0).success(0).fault(FaultSpec::returning(-3)).local())
+                .function(FunctionSpec::scalar("outer", 1).success(0).fault(FaultSpec::via_callee("helper"))),
+        );
+        let mut profiler = Profiler::new();
+        profiler.add_library(lib);
+        let report = profiler.profile_library("libself.so").unwrap();
+        // Only `outer` is exported, and it inherits -3 from the local helper.
+        assert_eq!(report.profile.function_count(), 1);
+        assert!(report.profile.function("outer").unwrap().error_values().contains(&-3));
+    }
+
+    #[test]
+    fn indirect_call_errors_are_missed_false_negatives() {
+        let lib = compile(
+            LibrarySpec::new("libind.so", Platform::LinuxX86).function(
+                FunctionSpec::scalar("sneaky", 1)
+                    .success(0)
+                    .fault(FaultSpec::returning(-13).hidden_behind_indirect_call()),
+            ),
+        );
+        let mut profiler = Profiler::new();
+        profiler.add_library(lib);
+        let report = profiler.profile_library("libind.so").unwrap();
+        assert!(!report.profile.function("sneaky").unwrap().error_values().contains(&-13));
+    }
+
+    #[test]
+    fn phantom_guard_errors_are_reported_false_positives() {
+        let lib = compile(
+            LibrarySpec::new("libph.so", Platform::LinuxX86)
+                .function(FunctionSpec::scalar("stateful", 1).success(0).fault(FaultSpec::returning(-99).phantom())),
+        );
+        let mut profiler = Profiler::new();
+        profiler.add_library(lib);
+        let report = profiler.profile_library("libph.so").unwrap();
+        assert!(report.profile.function("stateful").unwrap().error_values().contains(&-99));
+    }
+
+    #[test]
+    fn heuristics_drop_success_returns_and_boolean_predicates() {
+        let spec = LibrarySpec::new("libh.so", Platform::LinuxX86)
+            .function(FunctionSpec::scalar("f", 1).success(0).fault(FaultSpec::returning(-1)))
+            .function(FunctionSpec::scalar("is_file", 2).boolean_predicate());
+        let lib = compile(spec);
+
+        let mut conservative = Profiler::new();
+        conservative.add_library(lib.clone());
+        let report = conservative.profile_library("libh.so").unwrap();
+        assert!(report.profile.function("f").unwrap().error_values().contains(&0));
+        assert!(!report.profile.function("is_file").unwrap().is_empty());
+
+        let mut tuned = Profiler::with_options(ProfilerOptions::with_heuristics());
+        tuned.add_library(lib);
+        let report = tuned.profile_library("libh.so").unwrap();
+        assert_eq!(
+            report.profile.function("f").unwrap().error_values().into_iter().collect::<Vec<_>>(),
+            vec![-1]
+        );
+        assert!(report.profile.function("is_file").unwrap().is_empty());
+    }
+
+    #[test]
+    fn stripped_libraries_still_profile_exports() {
+        let lib = compile(
+            LibrarySpec::new("libstrip.so", Platform::LinuxX86)
+                .function(FunctionSpec::scalar("helper", 0).success(0).fault(FaultSpec::returning(-3)).local())
+                .function(FunctionSpec::scalar("api", 1).success(0).fault(FaultSpec::via_callee("helper"))),
+        )
+        .stripped();
+        let mut profiler = Profiler::new();
+        profiler.add_library(lib);
+        let report = profiler.profile_library("libstrip.so").unwrap();
+        assert!(report.profile.function("api").unwrap().error_values().contains(&-3));
+    }
+
+    #[test]
+    fn unknown_library_is_an_error() {
+        let profiler = Profiler::new();
+        assert!(matches!(
+            profiler.profile_library("libmissing.so"),
+            Err(ProfilerError::UnknownLibrary { .. })
+        ));
+    }
+
+    #[test]
+    fn mutually_recursive_functions_terminate() {
+        // a calls b on its error path, b calls a on its error path.
+        let abi = Platform::LinuxX86.abi();
+        let object = ObjectBuilder::new("librec.so", Platform::LinuxX86)
+            .export("a", vec![Inst::Call { sym: 1 }, Inst::Ret])
+            .export(
+                "b",
+                vec![
+                    Inst::Cmp { a: Loc::Arg(0), b: 0i64.into() },
+                    Inst::JmpCond { cond: lfi_isa::Cond::Eq, target: 4 },
+                    Inst::MovImm { dst: abi.return_loc(), imm: -8 },
+                    Inst::Ret,
+                    Inst::Call { sym: 0 },
+                    Inst::Ret,
+                ],
+            )
+            .build();
+        let mut profiler = Profiler::new();
+        profiler.add_library(object);
+        let report = profiler.profile_library("librec.so").unwrap();
+        assert!(report.profile.function("a").unwrap().error_values().contains(&-8));
+        assert!(report.profile.function("b").unwrap().error_values().contains(&-8));
+    }
+
+    #[test]
+    fn profile_many_runs_in_parallel_and_preserves_order() {
+        let liba = compile(
+            LibrarySpec::new("liba.so", Platform::LinuxX86)
+                .function(FunctionSpec::scalar("fa", 0).success(0).fault(FaultSpec::returning(-1))),
+        );
+        let libb = compile(
+            LibrarySpec::new("libb.so", Platform::LinuxX86)
+                .function(FunctionSpec::scalar("fb", 0).success(0).fault(FaultSpec::returning(-2))),
+        );
+        let mut profiler = Profiler::new();
+        profiler.add_library(liba);
+        profiler.add_library(libb);
+        let reports = profiler.profile_many(&["libb.so", "liba.so"]).unwrap();
+        assert_eq!(reports[0].profile.library, "libb.so");
+        assert_eq!(reports[1].profile.library, "liba.so");
+        let all = profiler.profile_all().unwrap();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].profile.library, "liba.so");
+    }
+
+    #[test]
+    fn output_argument_side_effects_reach_the_profile() {
+        let lib = compile(
+            LibrarySpec::new("libout.so", Platform::LinuxX86).function(
+                FunctionSpec::scalar("getaddr", 2)
+                    .success(0)
+                    .fault(FaultSpec::returning(-1).with_output_arg(1, 0)),
+            ),
+        );
+        let mut profiler = Profiler::new();
+        profiler.add_library(lib);
+        let report = profiler.profile_library("libout.so").unwrap();
+        let f = report.profile.function("getaddr").unwrap();
+        let minus_one = f.error_returns.iter().find(|r| r.retval == -1).unwrap();
+        assert!(minus_one.side_effects.iter().any(|s| s.kind == SideEffectKind::OutputArg && s.offset == 1));
+    }
+}

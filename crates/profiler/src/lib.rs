@@ -1,0 +1,54 @@
+//! # lfi-profiler — the LFI profiler (§3 of the paper)
+//!
+//! The profiler statically analyzes library *binaries* — no source code, no
+//! documentation, no symbols beyond the dynamic exports — and produces, for
+//! every exported function, the set of error return values it can expose and
+//! the side effects (errno-style TLS writes, globals, output arguments) that
+//! accompany them.  The pipeline is:
+//!
+//! 1. disassemble the library and build a CFG per function (`lfi-disasm`);
+//! 2. run a *reverse constant propagation* from every write to the ABI return
+//!    location that precedes a `ret` ([`analyze_returns`]);
+//! 3. recursively resolve calls to dependent functions, following imports
+//!    into other registered libraries and system calls into the kernel image
+//!    ([`Profiler`]);
+//! 4. scan the blocks containing the constant assignments for side-effect
+//!    writes ([`side_effects`]);
+//! 5. optionally apply the two unsound filtering heuristics of §3.1
+//!    ([`ProfilerOptions`]);
+//! 6. emit a [`lfi_profile::FaultProfile`].
+//!
+//! The [`accuracy`] module scores profiles against ground truth the way the
+//! paper's §6.3 does.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accuracy;
+mod arg_constraints;
+mod error;
+mod interproc;
+mod options;
+mod return_codes;
+mod side_effects;
+
+pub use accuracy::{score_profile, score_sets, AccuracyReport, GroundTruth};
+pub use arg_constraints::{analyze_arg_constraints, ArgConstraint, FunctionArgConstraints};
+pub use error::ProfilerError;
+pub use interproc::{LibraryProfileReport, Profiler, ProfilingStats};
+pub use options::ProfilerOptions;
+pub use return_codes::{analyze_returns, ReturnAnalysis, ValueOrigin};
+pub use side_effects::{classify_side_effects, side_effects_in_block, RawSideEffect, RawSideTarget, RawSideValue};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn public_types_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Profiler>();
+        assert_send_sync::<ProfilerOptions>();
+        assert_send_sync::<AccuracyReport>();
+        assert_send_sync::<ProfilerError>();
+    }
+}

@@ -1,0 +1,67 @@
+/// Tuning knobs for the LFI profiler.
+///
+/// The two heuristics correspond to §3.1 of the paper.  Both are *unsound*
+/// (they can drop genuine faults), so — exactly as in the paper — they are
+/// disabled by default: "we prefer to risk injecting some non-faults rather
+/// than miss valid faults".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProfilerOptions {
+    /// Heuristic 1: remove 0-return values from functions for which more than
+    /// one constant return value was found (0 is then likely the success
+    /// return, not a fault).
+    pub drop_zero_success_returns: bool,
+    /// Heuristic 2: drop short `isFile()`-style predicates that only return 0
+    /// or 1 and make no calls — neither value reflects a failure.
+    pub drop_boolean_predicates: bool,
+    /// Maximum inter-procedural recursion depth when resolving dependent
+    /// functions' return values.
+    pub max_call_depth: usize,
+    /// Instruction-count threshold under which a 0/1-returning function is
+    /// considered "short" for heuristic 2.
+    pub short_function_threshold: usize,
+}
+
+impl Default for ProfilerOptions {
+    fn default() -> Self {
+        Self {
+            drop_zero_success_returns: false,
+            drop_boolean_predicates: false,
+            max_call_depth: 16,
+            short_function_threshold: 24,
+        }
+    }
+}
+
+impl ProfilerOptions {
+    /// The paper's default configuration (no heuristics).
+    pub fn conservative() -> Self {
+        Self::default()
+    }
+
+    /// Both heuristics enabled — the configuration used when comparing
+    /// against documentation, where success returns would otherwise count as
+    /// spurious faults.
+    pub fn with_heuristics() -> Self {
+        Self { drop_zero_success_returns: true, drop_boolean_predicates: true, ..Self::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let options = ProfilerOptions::default();
+        assert!(!options.drop_zero_success_returns);
+        assert!(!options.drop_boolean_predicates);
+        assert_eq!(options, ProfilerOptions::conservative());
+    }
+
+    #[test]
+    fn heuristic_preset_enables_both() {
+        let options = ProfilerOptions::with_heuristics();
+        assert!(options.drop_zero_success_returns);
+        assert!(options.drop_boolean_predicates);
+    }
+}

@@ -1,0 +1,62 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the simulated process runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RuntimeError {
+    /// No loaded library defines the requested symbol.
+    UnresolvedSymbol {
+        /// The symbol name.
+        name: String,
+    },
+    /// `call_next` was invoked but there is no further definition of the
+    /// symbol in the resolution chain.
+    ChainExhausted {
+        /// The symbol name.
+        name: String,
+    },
+    /// Nested library calls exceeded the recursion limit.
+    CallDepthExceeded {
+        /// The configured limit.
+        limit: usize,
+    },
+    /// An indirect call went through a value that is not a function pointer
+    /// obtained from [`Process::fnptr`](crate::Process::fnptr).
+    InvalidFunctionPointer {
+        /// The raw pointer value.
+        value: u64,
+    },
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::UnresolvedSymbol { name } => write!(f, "undefined symbol: {name}"),
+            RuntimeError::ChainExhausted { name } => {
+                write!(f, "no next definition of {name} in the resolution chain")
+            }
+            RuntimeError::CallDepthExceeded { limit } => {
+                write!(f, "nested library calls exceeded the depth limit of {limit}")
+            }
+            RuntimeError::InvalidFunctionPointer { value } => {
+                write!(f, "call through invalid function pointer {value:#x}")
+            }
+        }
+    }
+}
+
+impl Error for RuntimeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_nonempty() {
+        assert!(RuntimeError::UnresolvedSymbol { name: "read".into() }.to_string().contains("read"));
+        assert!(RuntimeError::ChainExhausted { name: "read".into() }.to_string().contains("read"));
+        assert!(RuntimeError::CallDepthExceeded { limit: 3 }.to_string().contains('3'));
+        assert!(RuntimeError::InvalidFunctionPointer { value: 0xbad }.to_string().contains("0xbad"));
+    }
+}

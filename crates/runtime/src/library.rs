@@ -1,0 +1,116 @@
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::CallContext;
+
+/// The run-time behaviour of one library function, analogous to the machine
+/// code the dynamic linker would map into a real process.
+///
+/// Behaviours receive a [`CallContext`] giving access to the call arguments,
+/// the process's `errno`/TLS/global state, the call stack, and the ability to
+/// invoke the next definition of the same symbol in the resolution chain
+/// (`dlsym(RTLD_NEXT)` in the paper's stubs).
+pub type NativeFn = Arc<dyn Fn(&mut CallContext<'_>) -> i64 + Send + Sync>;
+
+/// A loadable library: a name plus the behaviours of the symbols it defines.
+///
+/// Interceptor libraries synthesized by the LFI controller and the "original"
+/// libraries from the corpus are both [`NativeLibrary`] values; interposition
+/// is purely a matter of load order (see [`crate::Process::preload`]).
+#[derive(Clone)]
+pub struct NativeLibrary {
+    name: String,
+    functions: HashMap<String, NativeFn>,
+}
+
+impl NativeLibrary {
+    /// Starts building a library with the given name.
+    pub fn builder(name: impl Into<String>) -> NativeLibraryBuilder {
+        NativeLibraryBuilder { library: NativeLibrary { name: name.into(), functions: HashMap::new() } }
+    }
+
+    /// The library's file name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The behaviour registered for `symbol`, if any.
+    pub fn function(&self, symbol: &str) -> Option<&NativeFn> {
+        self.functions.get(symbol)
+    }
+
+    /// Names of the symbols this library defines, in arbitrary order.
+    pub fn symbols(&self) -> impl Iterator<Item = &str> {
+        self.functions.keys().map(String::as_str)
+    }
+
+    /// Number of defined symbols.
+    pub fn symbol_count(&self) -> usize {
+        self.functions.len()
+    }
+}
+
+impl fmt::Debug for NativeLibrary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NativeLibrary")
+            .field("name", &self.name)
+            .field("symbols", &self.functions.len())
+            .finish()
+    }
+}
+
+/// Builder for [`NativeLibrary`].
+pub struct NativeLibraryBuilder {
+    library: NativeLibrary,
+}
+
+impl NativeLibraryBuilder {
+    /// Registers a behaviour for a symbol.  Registering the same symbol twice
+    /// replaces the earlier behaviour.
+    pub fn function<F>(mut self, symbol: impl Into<String>, behaviour: F) -> Self
+    where
+        F: Fn(&mut CallContext<'_>) -> i64 + Send + Sync + 'static,
+    {
+        self.library.functions.insert(symbol.into(), Arc::new(behaviour));
+        self
+    }
+
+    /// Registers a behaviour that ignores its context and returns a constant.
+    pub fn constant(self, symbol: impl Into<String>, value: i64) -> Self {
+        self.function(symbol, move |_| value)
+    }
+
+    /// Finishes the library.
+    pub fn build(self) -> NativeLibrary {
+        self.library
+    }
+}
+
+impl fmt::Debug for NativeLibraryBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NativeLibraryBuilder").field("library", &self.library).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_registers_and_replaces_symbols() {
+        let lib = NativeLibrary::builder("libc.so.6")
+            .constant("getpid", 1234)
+            .constant("getpid", 4321)
+            .function("read", |ctx| ctx.arg(2))
+            .build();
+        assert_eq!(lib.name(), "libc.so.6");
+        assert_eq!(lib.symbol_count(), 2);
+        assert!(lib.function("read").is_some());
+        assert!(lib.function("write").is_none());
+        let mut symbols: Vec<&str> = lib.symbols().collect();
+        symbols.sort_unstable();
+        assert_eq!(symbols, vec!["getpid", "read"]);
+        assert!(format!("{lib:?}").contains("libc.so.6"));
+    }
+}

@@ -1,0 +1,583 @@
+use std::collections::HashMap;
+
+use crate::{NativeFn, NativeLibrary, RuntimeError};
+
+/// The mutable state of a simulated process that library behaviours can
+/// observe and modify: `errno`, per-module TLS and global data, and the call
+/// stack used by stack-trace triggers.
+#[derive(Debug, Clone, Default)]
+pub struct ProcessState {
+    errno: i64,
+    tls: HashMap<(String, u32), i64>,
+    globals: HashMap<(String, u32), i64>,
+    stack: Vec<String>,
+    call_log: Vec<String>,
+    call_log_enabled: bool,
+}
+
+impl ProcessState {
+    /// Current `errno` value.
+    pub fn errno(&self) -> i64 {
+        self.errno
+    }
+
+    /// Sets `errno`.
+    pub fn set_errno(&mut self, value: i64) {
+        self.errno = value;
+    }
+
+    /// Reads a TLS slot of a module (0 if never written).
+    pub fn tls(&self, module: &str, offset: u32) -> i64 {
+        *self.tls.get(&(module.to_owned(), offset)).unwrap_or(&0)
+    }
+
+    /// Writes a TLS slot of a module.
+    pub fn set_tls(&mut self, module: &str, offset: u32, value: i64) {
+        self.tls.insert((module.to_owned(), offset), value);
+    }
+
+    /// Reads a global slot of a module (0 if never written).
+    pub fn global(&self, module: &str, offset: u32) -> i64 {
+        *self.globals.get(&(module.to_owned(), offset)).unwrap_or(&0)
+    }
+
+    /// Writes a global slot of a module.
+    pub fn set_global(&mut self, module: &str, offset: u32, value: i64) {
+        self.globals.insert((module.to_owned(), offset), value);
+    }
+
+    /// The current call stack, innermost frame last.
+    pub fn stack(&self) -> &[String] {
+        &self.stack
+    }
+
+    /// When enabled, every dispatched library call is appended to
+    /// [`ProcessState::call_log`]; used by the controller to find the
+    /// most-called functions for the overhead experiments.
+    pub fn set_call_log_enabled(&mut self, enabled: bool) {
+        self.call_log_enabled = enabled;
+    }
+
+    /// The recorded library calls, in order.
+    pub fn call_log(&self) -> &[String] {
+        &self.call_log
+    }
+
+    /// Clears the recorded library calls.
+    pub fn clear_call_log(&mut self) {
+        self.call_log.clear();
+    }
+}
+
+/// An opaque function-pointer value handed out by [`Process::fnptr`].
+///
+/// Programs (and library behaviours) can stash these and later call through
+/// them with [`Process::call_ptr`] / [`CallContext::call_ptr`]; the pointer is
+/// resolved back to its symbol *at call time*, so preloaded interceptors see
+/// indirect calls exactly like direct ones.  This is the runtime counterpart
+/// of §3.1's observation that "the LFI controller could dynamically resolve
+/// indirect calls at runtime and inject the return codes corresponding to the
+/// function being called".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FnPtr(u64);
+
+impl FnPtr {
+    /// The raw pointer value (useful for storing in simulated memory or logs).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+/// Base value of simulated function-pointer handles, chosen to resemble a
+/// shared-library load address.
+const FNPTR_BASE: u64 = 0x7f00_0000_0000;
+
+/// A simulated process: an ordered set of loaded libraries and the state the
+/// program and its libraries share.
+///
+/// Symbol resolution follows load order, so a library loaded with
+/// [`Process::preload`] shadows later definitions exactly as `LD_PRELOAD`
+/// makes the LFI interceptor shadow the original library (§5.1); the shadowed
+/// definition remains reachable through [`CallContext::call_next`].
+#[derive(Debug, Clone, Default)]
+pub struct Process {
+    libraries: Vec<NativeLibrary>,
+    state: ProcessState,
+    max_call_depth: usize,
+    fnptrs: Vec<String>,
+}
+
+impl Process {
+    /// Creates an empty process.
+    pub fn new() -> Self {
+        Self { libraries: Vec::new(), state: ProcessState::default(), max_call_depth: 256, fnptrs: Vec::new() }
+    }
+
+    /// Loads a library at the *end* of the resolution order (a normal
+    /// `DT_NEEDED` dependency).
+    pub fn load(&mut self, library: NativeLibrary) {
+        self.libraries.push(library);
+    }
+
+    /// Loads a library at the *front* of the resolution order
+    /// (the `LD_PRELOAD` slot used by interceptor libraries).
+    pub fn preload(&mut self, library: NativeLibrary) {
+        self.libraries.insert(0, library);
+    }
+
+    /// The libraries currently loaded, in resolution order.
+    pub fn loaded_libraries(&self) -> impl Iterator<Item = &str> {
+        self.libraries.iter().map(NativeLibrary::name)
+    }
+
+    /// Shared process state.
+    pub fn state(&self) -> &ProcessState {
+        &self.state
+    }
+
+    /// Mutable access to shared process state.
+    pub fn state_mut(&mut self) -> &mut ProcessState {
+        &mut self.state
+    }
+
+    /// Pushes an application-level stack frame (e.g. `refresh_files`), so that
+    /// stack-trace triggers can match application call sites.
+    pub fn push_frame(&mut self, frame: impl Into<String>) {
+        self.state.stack.push(frame.into());
+    }
+
+    /// Pops the innermost application-level stack frame.
+    pub fn pop_frame(&mut self) {
+        self.state.stack.pop();
+    }
+
+    /// The resolution chain for a symbol: every definition in load order.
+    fn resolution_chain(&self, symbol: &str) -> Vec<NativeFn> {
+        self.libraries
+            .iter()
+            .filter_map(|lib| lib.function(symbol).cloned())
+            .collect()
+    }
+
+    /// Calls a library function by name, dispatching to the first definition
+    /// in load order (interceptors first).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::UnresolvedSymbol`] when no loaded library
+    /// defines the symbol, and [`RuntimeError::CallDepthExceeded`] on runaway
+    /// recursion.
+    pub fn call(&mut self, symbol: &str, args: &[i64]) -> Result<i64, RuntimeError> {
+        self.call_at_depth(symbol, args, 0)
+    }
+
+    /// Resolves a symbol to an opaque function pointer — the `dlsym` analogue
+    /// for programs that call libraries through pointers (callback tables,
+    /// vtables, plugin registries).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::UnresolvedSymbol`] when no loaded library
+    /// defines the symbol at resolution time.
+    pub fn fnptr(&mut self, symbol: &str) -> Result<FnPtr, RuntimeError> {
+        if self.resolution_chain(symbol).is_empty() {
+            return Err(RuntimeError::UnresolvedSymbol { name: symbol.to_owned() });
+        }
+        if let Some(existing) = self.fnptrs.iter().position(|s| s == symbol) {
+            return Ok(FnPtr(FNPTR_BASE + existing as u64 * 16));
+        }
+        self.fnptrs.push(symbol.to_owned());
+        Ok(FnPtr(FNPTR_BASE + (self.fnptrs.len() as u64 - 1) * 16))
+    }
+
+    /// The symbol a function pointer refers to, if it was produced by
+    /// [`Process::fnptr`].
+    pub fn fnptr_symbol(&self, ptr: FnPtr) -> Option<&str> {
+        let index = ptr.0.checked_sub(FNPTR_BASE)? / 16;
+        self.fnptrs.get(index as usize).map(String::as_str)
+    }
+
+    /// Calls through a function pointer.  The pointer is resolved back to its
+    /// symbol *now*, at call time, and the call then goes through the regular
+    /// resolution chain — so interceptors synthesized by the controller apply
+    /// to indirect calls too, injecting the error codes of whichever function
+    /// the pointer currently designates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::InvalidFunctionPointer`] when the value was not
+    /// produced by [`Process::fnptr`], plus any error the resolved call can
+    /// produce.
+    pub fn call_ptr(&mut self, ptr: FnPtr, args: &[i64]) -> Result<i64, RuntimeError> {
+        self.call_ptr_at_depth(ptr, args, 0)
+    }
+
+    fn call_ptr_at_depth(&mut self, ptr: FnPtr, args: &[i64], depth: usize) -> Result<i64, RuntimeError> {
+        let Some(symbol) = self.fnptr_symbol(ptr).map(str::to_owned) else {
+            return Err(RuntimeError::InvalidFunctionPointer { value: ptr.0 });
+        };
+        self.call_at_depth(&symbol, args, depth)
+    }
+
+    fn call_at_depth(&mut self, symbol: &str, args: &[i64], depth: usize) -> Result<i64, RuntimeError> {
+        if depth > self.max_call_depth {
+            return Err(RuntimeError::CallDepthExceeded { limit: self.max_call_depth });
+        }
+        let chain = self.resolution_chain(symbol);
+        if chain.is_empty() {
+            return Err(RuntimeError::UnresolvedSymbol { name: symbol.to_owned() });
+        }
+        if self.state.call_log_enabled {
+            self.state.call_log.push(symbol.to_owned());
+        }
+        self.state.stack.push(symbol.to_owned());
+        let mut context = CallContext {
+            process: self,
+            symbol: symbol.to_owned(),
+            chain,
+            chain_index: 0,
+            args: args.to_vec(),
+            depth,
+        };
+        let result = context.invoke_current();
+        self.state.stack.pop();
+        result
+    }
+}
+
+/// The view a library behaviour gets of the call it is servicing.
+pub struct CallContext<'p> {
+    process: &'p mut Process,
+    symbol: String,
+    chain: Vec<NativeFn>,
+    chain_index: usize,
+    args: Vec<i64>,
+    depth: usize,
+}
+
+impl CallContext<'_> {
+    fn invoke_current(&mut self) -> Result<i64, RuntimeError> {
+        let handler = self.chain[self.chain_index].clone();
+        Ok(handler(self))
+    }
+
+    /// The name of the intercepted symbol.
+    pub fn symbol(&self) -> &str {
+        &self.symbol
+    }
+
+    /// The call arguments (possibly already modified by an interceptor).
+    pub fn args(&self) -> &[i64] {
+        &self.args
+    }
+
+    /// The `index`-th argument, or 0 when absent.
+    pub fn arg(&self, index: usize) -> i64 {
+        self.args.get(index).copied().unwrap_or(0)
+    }
+
+    /// Overwrites the `index`-th argument (extending with zeros if needed), as
+    /// the scenario language's `<modify>` element requires.
+    pub fn set_arg(&mut self, index: usize, value: i64) {
+        if self.args.len() <= index {
+            self.args.resize(index + 1, 0);
+        }
+        self.args[index] = value;
+    }
+
+    /// Current `errno`.
+    pub fn errno(&self) -> i64 {
+        self.process.state.errno()
+    }
+
+    /// Sets `errno`.
+    pub fn set_errno(&mut self, value: i64) {
+        self.process.state.set_errno(value);
+    }
+
+    /// Shared process state.
+    pub fn state(&mut self) -> &mut ProcessState {
+        &mut self.process.state
+    }
+
+    /// The current call stack, innermost frame last (includes this call).
+    pub fn stack(&self) -> &[String] {
+        self.process.state.stack()
+    }
+
+    /// Invokes the next definition of the same symbol in the resolution chain
+    /// with the (possibly modified) arguments — the `dlsym(RTLD_NEXT)` +
+    /// `jmp` path of the paper's stub.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::ChainExhausted`] when there is no further
+    /// definition (the interceptor was loaded without the original library).
+    pub fn call_next(&mut self) -> Result<i64, RuntimeError> {
+        if self.chain_index + 1 >= self.chain.len() {
+            return Err(RuntimeError::ChainExhausted { name: self.symbol.clone() });
+        }
+        self.chain_index += 1;
+        let result = self.invoke_current();
+        self.chain_index -= 1;
+        result
+    }
+
+    /// Makes a fresh call to another library function (a nested call with its
+    /// own resolution chain).
+    ///
+    /// # Errors
+    ///
+    /// Propagates resolution and recursion errors from the nested call.
+    pub fn call(&mut self, symbol: &str, args: &[i64]) -> Result<i64, RuntimeError> {
+        self.process.call_at_depth(symbol, args, self.depth + 1)
+    }
+
+    /// Resolves a symbol to a function pointer (see [`Process::fnptr`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::UnresolvedSymbol`] when the symbol is not
+    /// defined by any loaded library.
+    pub fn fnptr(&mut self, symbol: &str) -> Result<FnPtr, RuntimeError> {
+        self.process.fnptr(symbol)
+    }
+
+    /// Makes a fresh call through a function pointer (see
+    /// [`Process::call_ptr`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::InvalidFunctionPointer`] for values not
+    /// produced by [`Process::fnptr`], plus any error from the resolved call.
+    pub fn call_ptr(&mut self, ptr: FnPtr, args: &[i64]) -> Result<i64, RuntimeError> {
+        self.process.call_ptr_at_depth(ptr, args, self.depth + 1)
+    }
+}
+
+impl std::fmt::Debug for CallContext<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CallContext")
+            .field("symbol", &self.symbol)
+            .field("args", &self.args)
+            .field("chain_len", &self.chain.len())
+            .field("chain_index", &self.chain_index)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn libc() -> NativeLibrary {
+        NativeLibrary::builder("libc.so.6")
+            .constant("getpid", 1234)
+            .function("read", |ctx| {
+                // "read" returns the requested byte count and clears errno.
+                ctx.set_errno(0);
+                ctx.arg(2)
+            })
+            .function("checked_read", |ctx| {
+                // A libc function calling another libc function.
+                let args = ctx.args().to_vec();
+                let n = ctx.call("read", &args).unwrap_or(-1);
+                if n < 0 {
+                    ctx.set_errno(5);
+                }
+                n
+            })
+            .build()
+    }
+
+    #[test]
+    fn plain_calls_resolve_to_the_loaded_library() {
+        let mut process = Process::new();
+        process.load(libc());
+        assert_eq!(process.call("getpid", &[]).unwrap(), 1234);
+        assert_eq!(process.call("read", &[3, 0x1000, 64]).unwrap(), 64);
+        assert_eq!(process.state().errno(), 0);
+        assert!(matches!(
+            process.call("write", &[]),
+            Err(RuntimeError::UnresolvedSymbol { .. })
+        ));
+    }
+
+    #[test]
+    fn preloaded_interceptor_shadows_and_chains_to_the_original() {
+        let mut process = Process::new();
+        process.load(libc());
+        let interceptor = NativeLibrary::builder("lfi_interceptor.so")
+            .function("read", |ctx| {
+                // Inject a short read on the first argument value 7, otherwise
+                // pass through to the original definition.
+                if ctx.arg(0) == 7 {
+                    ctx.set_errno(4);
+                    -1
+                } else {
+                    ctx.call_next().unwrap()
+                }
+            })
+            .build();
+        process.preload(interceptor);
+        assert_eq!(process.loaded_libraries().next(), Some("lfi_interceptor.so"));
+        assert_eq!(process.call("read", &[3, 0, 64]).unwrap(), 64);
+        assert_eq!(process.call("read", &[7, 0, 64]).unwrap(), -1);
+        assert_eq!(process.state().errno(), 4);
+        // Symbols the interceptor does not define still resolve normally.
+        assert_eq!(process.call("getpid", &[]).unwrap(), 1234);
+    }
+
+    #[test]
+    fn chain_exhaustion_is_reported() {
+        let mut process = Process::new();
+        process.preload(
+            NativeLibrary::builder("lonely.so")
+                .function("read", |ctx| ctx.call_next().map_or(-99, |v| v))
+                .build(),
+        );
+        assert_eq!(process.call("read", &[]).unwrap(), -99);
+    }
+
+    #[test]
+    fn nested_calls_and_stack_frames() {
+        let mut process = Process::new();
+        process.load(libc());
+        process.push_frame("refresh_files");
+        // During the call the stack is [refresh_files, checked_read, read];
+        // verify via an interceptor that captures it.
+        let seen = std::sync::Arc::new(parking_lot::Mutex::new(Vec::<String>::new()));
+        let seen_clone = std::sync::Arc::clone(&seen);
+        process.preload(
+            NativeLibrary::builder("spy.so")
+                .function("read", move |ctx| {
+                    *seen_clone.lock() = ctx.stack().to_vec();
+                    ctx.call_next().unwrap()
+                })
+                .build(),
+        );
+        assert_eq!(process.call("checked_read", &[1, 0, 8]).unwrap(), 8);
+        process.pop_frame();
+        assert_eq!(*seen.lock(), vec!["refresh_files".to_owned(), "checked_read".to_owned(), "read".to_owned()]);
+        assert!(process.state().stack().is_empty());
+    }
+
+    #[test]
+    fn call_log_records_dispatches_when_enabled() {
+        let mut process = Process::new();
+        process.load(libc());
+        process.state_mut().set_call_log_enabled(true);
+        process.call("getpid", &[]).unwrap();
+        process.call("checked_read", &[1, 0, 4]).unwrap();
+        assert_eq!(process.state().call_log(), &["getpid", "checked_read", "read"]);
+        process.state_mut().clear_call_log();
+        assert!(process.state().call_log().is_empty());
+    }
+
+    #[test]
+    fn argument_modification_is_visible_to_the_original() {
+        let mut process = Process::new();
+        process.load(libc());
+        process.preload(
+            NativeLibrary::builder("modify.so")
+                .function("read", |ctx| {
+                    let shorter = ctx.arg(2) - 10;
+                    ctx.set_arg(2, shorter);
+                    ctx.call_next().unwrap()
+                })
+                .build(),
+        );
+        assert_eq!(process.call("read", &[3, 0, 64]).unwrap(), 54);
+    }
+
+    #[test]
+    fn runaway_recursion_is_stopped() {
+        let mut process = Process::new();
+        process.load(
+            NativeLibrary::builder("librec.so")
+                .function("spin", |ctx| ctx.call("spin", &[]).unwrap_or(-1))
+                .build(),
+        );
+        assert_eq!(process.call("spin", &[]).unwrap(), -1);
+    }
+
+    #[test]
+    fn function_pointers_resolve_at_call_time_through_the_chain() {
+        let mut process = Process::new();
+        process.load(libc());
+        // The program obtains the pointer *before* the interceptor is loaded,
+        // the way a long-lived callback table would.
+        let read_ptr = process.fnptr("read").unwrap();
+        let getpid_ptr = process.fnptr("getpid").unwrap();
+        assert_ne!(read_ptr, getpid_ptr);
+        assert_eq!(process.fnptr("read").unwrap(), read_ptr, "same symbol yields the same pointer");
+        assert_eq!(process.fnptr_symbol(read_ptr), Some("read"));
+        assert_eq!(process.call_ptr(read_ptr, &[3, 0, 64]).unwrap(), 64);
+
+        // Loading an interceptor afterwards still affects indirect calls,
+        // because resolution happens when the pointer is invoked.
+        process.preload(
+            NativeLibrary::builder("lfi_interceptor.so")
+                .function("read", |ctx| {
+                    ctx.set_errno(9);
+                    -1
+                })
+                .build(),
+        );
+        assert_eq!(process.call_ptr(read_ptr, &[3, 0, 64]).unwrap(), -1);
+        assert_eq!(process.state().errno(), 9);
+        // A pointer to an unintercepted function is unaffected.
+        assert_eq!(process.call_ptr(getpid_ptr, &[]).unwrap(), 1234);
+    }
+
+    #[test]
+    fn invalid_and_unresolved_function_pointers_are_rejected() {
+        let mut process = Process::new();
+        process.load(libc());
+        assert!(matches!(process.fnptr("no_such_symbol"), Err(RuntimeError::UnresolvedSymbol { .. })));
+        let bogus = FnPtr(0xdead_beef);
+        assert!(matches!(
+            process.call_ptr(bogus, &[]),
+            Err(RuntimeError::InvalidFunctionPointer { value: 0xdead_beef })
+        ));
+        assert_eq!(process.fnptr_symbol(bogus), None);
+    }
+
+    #[test]
+    fn library_behaviours_can_make_indirect_calls() {
+        let mut process = Process::new();
+        process.load(libc());
+        process.load(
+            NativeLibrary::builder("libplugin.so")
+                .function("invoke_callback", |ctx| {
+                    // Resolve and call `read` through a pointer from inside a
+                    // library behaviour (depth-tracked nested call).
+                    let ptr = ctx.fnptr("read").unwrap();
+                    let args = ctx.args().to_vec();
+                    ctx.call_ptr(ptr, &args).unwrap_or(-1)
+                })
+                .build(),
+        );
+        assert_eq!(process.call("invoke_callback", &[1, 0, 32]).unwrap(), 32);
+    }
+
+    #[test]
+    fn fnptr_raw_values_look_like_addresses_and_round_trip() {
+        let mut process = Process::new();
+        process.load(libc());
+        let ptr = process.fnptr("getpid").unwrap();
+        assert!(ptr.raw() >= 0x7f00_0000_0000);
+        assert_eq!(process.fnptr_symbol(ptr), Some("getpid"));
+    }
+
+    #[test]
+    fn tls_and_global_state_are_per_module() {
+        let mut process = Process::new();
+        process.state_mut().set_tls("libc.so.6", 0x12fff4, 9);
+        process.state_mut().set_global("libapp.so", 0x10, 3);
+        assert_eq!(process.state().tls("libc.so.6", 0x12fff4), 9);
+        assert_eq!(process.state().tls("libm.so", 0x12fff4), 0);
+        assert_eq!(process.state().global("libapp.so", 0x10), 3);
+        assert_eq!(process.state().global("libapp.so", 0x18), 0);
+    }
+}

@@ -1,0 +1,48 @@
+//! # lfi-scenario — the fault-scenario ("faultload") language of §4
+//!
+//! A fault injection scenario pairs *triggers* (call counts, stack traces,
+//! probabilities) with *faults* (injected return values, errno, side effects,
+//! argument modifications).  This crate defines the plan data model
+//! ([`Plan`]), its XML dialect (round-tripping the exact snippets shown in the
+//! paper), the automatic generators — [`generate::exhaustive`] and
+//! [`generate::random`] — and the ready-made libc scenarios of §4
+//! ([`ready_made`]).
+//!
+//! ```
+//! use lfi_scenario::{FaultAction, Plan, PlanEntry, Trigger};
+//!
+//! let plan = Plan::new().entry(PlanEntry {
+//!     function: "readdir64".into(),
+//!     trigger: Trigger::on_call(5),
+//!     action: FaultAction::return_value(0).with_errno(9),
+//! });
+//! let xml = plan.to_xml();
+//! assert_eq!(Plan::from_xml(&xml).unwrap(), plan);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod errno;
+mod error;
+pub mod generate;
+mod plan;
+pub mod ready_made;
+
+pub use error::ScenarioError;
+pub use plan::{ArgModification, ArgOp, FaultAction, Plan, PlanEntry, Trigger};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn public_types_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Plan>();
+        assert_send_sync::<PlanEntry>();
+        assert_send_sync::<Trigger>();
+        assert_send_sync::<FaultAction>();
+        assert_send_sync::<ScenarioError>();
+    }
+}

@@ -1,0 +1,106 @@
+//! Ready-made libc fault scenarios (§4): "all faults related to file I/O, all
+//! memory allocation faults, or all socket I/O faults", provided so testers
+//! can bootstrap experiments without writing any scenario by hand.
+
+use lfi_profile::FaultProfile;
+
+use crate::{generate, Plan};
+
+/// libc functions covered by the file-I/O ready-made scenario.
+pub const FILE_IO_FUNCTIONS: &[&str] = &[
+    "open", "open64", "read", "write", "close", "lseek", "fsync", "stat", "fstat", "readdir", "readdir64", "unlink",
+    "rename", "ftruncate", "pread", "pwrite",
+];
+
+/// libc functions covered by the memory-allocation ready-made scenario.
+pub const MEMORY_FUNCTIONS: &[&str] = &["malloc", "calloc", "realloc", "posix_memalign", "mmap", "brk"];
+
+/// libc functions covered by the socket-I/O ready-made scenario.
+pub const SOCKET_FUNCTIONS: &[&str] = &[
+    "socket", "connect", "bind", "listen", "accept", "send", "sendto", "recv", "recvfrom", "select", "poll",
+    "getaddrinfo", "pipe",
+];
+
+/// Narrows a profile to the named functions.
+fn restricted(profile: &FaultProfile, functions: &[&str]) -> FaultProfile {
+    let mut narrowed = profile.clone();
+    narrowed.retain_functions(functions);
+    narrowed
+}
+
+/// Exhaustive injection over the file-I/O subset of a libc profile.
+pub fn file_io_faults(libc_profile: &FaultProfile) -> Plan {
+    generate::exhaustive(&[restricted(libc_profile, FILE_IO_FUNCTIONS)])
+}
+
+/// Exhaustive injection over the memory-allocation subset of a libc profile.
+pub fn memory_faults(libc_profile: &FaultProfile) -> Plan {
+    generate::exhaustive(&[restricted(libc_profile, MEMORY_FUNCTIONS)])
+}
+
+/// Exhaustive injection over the socket-I/O subset of a libc profile.
+pub fn socket_faults(libc_profile: &FaultProfile) -> Plan {
+    generate::exhaustive(&[restricted(libc_profile, SOCKET_FUNCTIONS)])
+}
+
+/// Random injection with the given probability over the I/O functions
+/// (file + socket), the configuration used to find the Pidgin bug in §6.1.
+pub fn random_io_faults(libc_profile: &FaultProfile, probability: f64, seed: u64) -> Plan {
+    let mut functions: Vec<&str> = Vec::new();
+    functions.extend_from_slice(FILE_IO_FUNCTIONS);
+    functions.extend_from_slice(SOCKET_FUNCTIONS);
+    generate::random(&[restricted(libc_profile, &functions)], probability, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lfi_profile::{ErrorReturn, FunctionProfile};
+
+    fn libc_profile() -> FaultProfile {
+        let mut profile = FaultProfile::new("libc.so.6");
+        for name in ["read", "write", "malloc", "socket", "getpid", "connect"] {
+            profile.push_function(FunctionProfile {
+                name: name.into(),
+                error_returns: vec![ErrorReturn::bare(-1)],
+            });
+        }
+        profile
+    }
+
+    #[test]
+    fn file_io_scenario_only_touches_file_functions() {
+        let plan = file_io_faults(&libc_profile());
+        assert_eq!(plan.intercepted_functions(), vec!["read", "write"]);
+    }
+
+    #[test]
+    fn memory_scenario_only_touches_allocators() {
+        let plan = memory_faults(&libc_profile());
+        assert_eq!(plan.intercepted_functions(), vec!["malloc"]);
+    }
+
+    #[test]
+    fn socket_scenario_only_touches_socket_functions() {
+        let plan = socket_faults(&libc_profile());
+        assert_eq!(plan.intercepted_functions(), vec!["connect", "socket"]);
+    }
+
+    #[test]
+    fn random_io_covers_file_and_socket_functions() {
+        let plan = random_io_faults(&libc_profile(), 0.1, 11);
+        assert_eq!(plan.intercepted_functions(), vec!["connect", "read", "socket", "write"]);
+        assert!(plan.entries.iter().all(|e| e.trigger.probability == Some(0.1)));
+    }
+
+    #[test]
+    fn function_lists_do_not_overlap() {
+        for f in FILE_IO_FUNCTIONS {
+            assert!(!MEMORY_FUNCTIONS.contains(f));
+            assert!(!SOCKET_FUNCTIONS.contains(f));
+        }
+        for f in MEMORY_FUNCTIONS {
+            assert!(!SOCKET_FUNCTIONS.contains(f));
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! Reproduce the §6.4 overhead experiments (Tables 3 and 4): Apache httpd
+//! under the AB load generator and MySQL under the SysBench-like OLTP
+//! workload, with 0 / 10 / 100 / 500 / 1000 passthrough triggers installed on
+//! the most-called library functions.
+//!
+//! Run with `cargo run --release --example apache_overhead`.
+
+use lfi::core::experiments;
+
+fn main() {
+    let table3 = experiments::table3_apache_overhead(1000, 2009);
+    println!("{}", table3.render());
+    println!("worst-case overhead: {:.1}%\n", table3.max_overhead_percent());
+
+    let table4 = experiments::table4_mysql_overhead(500, 2009);
+    println!("{}", table4.render());
+    println!("worst-case overhead: {:.1}%", table4.max_overhead_percent());
+}

@@ -1,0 +1,95 @@
+//! Cross-check library documentation against the binary (§3.1, §3.3, §6.3).
+//!
+//! The LFI profiler's fault profiles "could also be used for other purposes,
+//! such as cross-checking API documentation" (§3.3).  This example does
+//! exactly that:
+//!
+//! 1. profile the libc-like corpus binary and a libxml2-like binary;
+//! 2. render each library's reference manual, parse it back with the
+//!    documentation parser, and diff it against the profiler's findings —
+//!    surfacing the paper's anecdotes (`close` can set EIO on Linux although
+//!    BSD man pages omit it; `htmlParseDocument` can return 1 although it is
+//!    documented as 0/-1 only);
+//! 3. build the combined static+documentation profile and show where each
+//!    error value came from.
+//!
+//! Run with `cargo run --example doc_audit`.
+
+use std::collections::BTreeSet;
+
+use lfi::corpus::named::build_libxml2_with_doc_mismatch;
+use lfi::corpus::{build_kernel, build_libc_scaled};
+use lfi::docs::{CombinedProfile, DocParser, DocumentationSet, Provenance, StylePolicy};
+use lfi::isa::Platform;
+use lfi::profiler::{Profiler, ProfilerOptions};
+use lfi::scenario::errno::errno_name;
+
+fn main() {
+    let platform = Platform::LinuxX86;
+
+    // --- libc: errno values the man pages forgot ---------------------------
+    let libc = build_libc_scaled(platform, 60);
+    let mut profiler = Profiler::with_options(ProfilerOptions::with_heuristics());
+    profiler.add_library(libc.compiled.object.clone());
+    profiler.set_kernel(build_kernel(platform));
+    let profile = profiler.profile_library("libc.so.6").expect("libc profiles").profile;
+
+    println!("== errno values found in the binary but missing from the documentation ==");
+    let documented = lfi::corpus::libc_errno_documentation();
+    for function in ["close", "modify_ldt"] {
+        let Some(found) = profile.function(function) else { continue };
+        let found_errnos: BTreeSet<i64> =
+            found.error_returns.iter().flat_map(|r| r.errno_values()).map(i64::abs).collect();
+        let listed = documented.get(function).cloned().unwrap_or_default();
+        let listed: BTreeSet<i64> = listed.iter().map(|v| v.abs()).collect();
+        for errno in found_errnos.difference(&listed) {
+            let name = errno_name(*errno).unwrap_or("?");
+            println!("  {function}: can set errno {errno} ({name}), not in the man page");
+        }
+    }
+
+    // --- libxml2: an undocumented return value ------------------------------
+    let libxml2 = build_libxml2_with_doc_mismatch(11);
+    println!("\n== return values found in the binary but missing from the documentation ==");
+    for (function, values) in libxml2.undocumented_behaviour() {
+        println!("  {function}: undocumented return value(s) {values:?}");
+    }
+
+    // --- combined static + documentation profile ---------------------------
+    let manual = DocumentationSet::from_error_map(
+        libc.name(),
+        &libc.documentation,
+        StylePolicy::realistic(),
+        2009,
+    );
+    let mut parsed = DocParser::new().parse_set(libc.name(), &manual.render()).expect("manual parses");
+    parsed.resolve_cross_references().expect("references resolve");
+    println!(
+        "\n== parsed manual: {} pages, {:.0}% too vague to enumerate values ==",
+        parsed.len(),
+        parsed.imprecise_fraction() * 100.0
+    );
+
+    let combined = CombinedProfile::combine(&profile, &parsed);
+    let counts = combined.provenance_counts();
+    println!(
+        "combined profile: {} values total — {} from static analysis only, {} from documentation only, {} confirmed by both",
+        counts.total(),
+        counts.static_only,
+        counts.documentation_only,
+        counts.both
+    );
+
+    // Show a few per-value provenance entries for one function.
+    if let Some(values) = combined.functions.get("close") {
+        println!("\nclose():");
+        for (value, provenance) in values {
+            let source = match provenance {
+                Provenance::StaticAnalysis => "binary only",
+                Provenance::Documentation => "documentation only",
+                Provenance::Both => "binary + documentation",
+            };
+            println!("  returns {value}  [{source}]");
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Reproduce the §6.1 Pidgin experiment: a random fault scenario on the I/O
+//! functions of libc with 10% injection probability crashes the IM client's
+//! login sequence with SIGABRT; the generated replay script reproduces the
+//! crash deterministically.
+//!
+//! Run with `cargo run --example pidgin_bug_hunt`.
+
+use lfi::apps::{base_process, new_world, PidginApp};
+use lfi::controller::Injector;
+use lfi::core::experiments;
+use lfi::corpus::{build_kernel, build_libc_scaled};
+use lfi::isa::Platform;
+use lfi::profiler::{Profiler, ProfilerOptions};
+use lfi::scenario::ready_made;
+
+fn main() {
+    // The packaged experiment driver...
+    let result = experiments::pidgin_bug_hunt(100, 2009);
+    println!("{}", result.render());
+
+    // ...and the same hunt spelled out step by step.
+    let platform = Platform::LinuxX86;
+    let mut profiler = Profiler::with_options(ProfilerOptions::with_heuristics());
+    profiler.add_library(build_libc_scaled(platform, 80).compiled.object);
+    profiler.set_kernel(build_kernel(platform));
+    let libc_profile = profiler.profile_library("libc.so.6").expect("libc profiles").profile;
+
+    for attempt in 0..100u64 {
+        let plan = ready_made::random_io_faults(&libc_profile, 0.10, 7000 + attempt);
+        let injector = Injector::new(plan);
+        let world = new_world();
+        let mut process = base_process(&world, false);
+        process.preload(injector.synthesize_interceptor());
+
+        let status = PidginApp::new().login(&mut process, &world);
+        if status.is_crash() {
+            println!("attempt {attempt}: Pidgin login crashed: {status}");
+            println!("injection log:\n{}", injector.log().to_text());
+            let replay = injector.replay_plan();
+            println!("replay script:\n{}", replay.to_xml());
+
+            // Re-run under the replay script, as a developer would before
+            // attaching a debugger.
+            let world = new_world();
+            let mut process = base_process(&world, false);
+            let replay_injector = Injector::new(replay);
+            process.preload(replay_injector.synthesize_interceptor());
+            let replayed = PidginApp::new().login(&mut process, &world);
+            println!("replayed run: {replayed}");
+            return;
+        }
+    }
+    println!("no crash in 100 attempts (unexpected — the bug should be found quickly)");
+}

@@ -1,0 +1,72 @@
+//! Quickstart: the full LFI pipeline on a toy library and application.
+//!
+//! 1. build a synthetic shared library (`libdemo.so`);
+//! 2. profile its binary to discover error return values and errno side
+//!    effects;
+//! 3. auto-generate an exhaustive fault scenario;
+//! 4. synthesize an interceptor library and preload it into a simulated
+//!    process;
+//! 5. run a tiny "application" against it and print the injection log and the
+//!    replay script.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use lfi::asm::{FaultSpec, FunctionSpec, LibraryCompiler, LibrarySpec};
+use lfi::controller::Injector;
+use lfi::isa::Platform;
+use lfi::runtime::{NativeLibrary, Process};
+use lfi::Lfi;
+
+fn main() {
+    // --- Step 1: the "target application's shared library" -----------------
+    let compiled = LibraryCompiler::new().compile(
+        &LibrarySpec::new("libdemo.so", Platform::LinuxX86)
+            .function(
+                FunctionSpec::scalar("demo_read", 3)
+                    .success(0)
+                    .fault(FaultSpec::returning(-1).with_errno(5))
+                    .fault(FaultSpec::returning(-2).with_errno(4)),
+            )
+            .function(FunctionSpec::pointer("demo_alloc", 1).success(0x4000).fault(FaultSpec::returning(0).with_errno(12))),
+    );
+
+    // --- Step 2: profile the binary ----------------------------------------
+    let mut lfi = Lfi::new();
+    lfi.add_library(compiled.object);
+    let report = lfi.profile("libdemo.so").expect("profiling succeeds");
+    println!("== fault profile ({} functions, {} faults) ==", report.profile.function_count(), report.profile.total_faults());
+    println!("{}", report.profile.to_xml());
+
+    // --- Step 3: generate a fault scenario ----------------------------------
+    let plan = lfi.exhaustive_scenario(&["libdemo.so"]).expect("scenario generation succeeds");
+    println!("== exhaustive scenario ({} triggers) ==", plan.len());
+    println!("{}", plan.to_xml());
+
+    // --- Step 4: synthesize and preload the interceptor ---------------------
+    let injector = Injector::new(plan);
+    let mut process = Process::new();
+    // The "original library", as the dynamic linker would load it.
+    process.load(
+        NativeLibrary::builder("libdemo.so")
+            .function("demo_read", |ctx| ctx.arg(2))
+            .constant("demo_alloc", 0x4000)
+            .build(),
+    );
+    process.preload(injector.synthesize_interceptor());
+
+    // --- Step 5: run the application under injection ------------------------
+    let mut successes = 0;
+    let mut handled_errors = 0;
+    for request in 0..6 {
+        let result = process.call("demo_read", &[3, 0, 64 + request]).expect("symbol resolves");
+        if result >= 0 {
+            successes += 1;
+        } else {
+            handled_errors += 1;
+            println!("request {request}: demo_read failed with {result}, errno {}", process.state().errno());
+        }
+    }
+    println!("== workload finished: {successes} successes, {handled_errors} injected failures ==");
+    println!("== injection log ==\n{}", injector.log().to_text());
+    println!("== replay script ==\n{}", injector.replay_plan().to_xml());
+}

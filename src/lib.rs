@@ -1,0 +1,107 @@
+//! # lfi — a Rust reproduction of "LFI: A Practical and General Library-Level Fault Injector" (DSN 2009)
+//!
+//! This crate is the umbrella for the reproduction's workspace.  It re-exports
+//! every component crate under a short module name and re-exports the facade
+//! type [`Lfi`] at the top level, so applications can depend on a single
+//! crate:
+//!
+//! ```
+//! use lfi::asm::{FaultSpec, FunctionSpec, LibraryCompiler, LibrarySpec};
+//! use lfi::isa::Platform;
+//! use lfi::Lfi;
+//!
+//! // Build a (synthetic) shared library, profile it, generate a scenario.
+//! let lib = LibraryCompiler::new().compile(
+//!     &LibrarySpec::new("libdemo.so", Platform::LinuxX86)
+//!         .function(FunctionSpec::scalar("demo_read", 3).success(0).fault(FaultSpec::returning(-1).with_errno(5))),
+//! );
+//! let mut lfi = Lfi::new();
+//! lfi.add_library(lib.object);
+//! let plan = lfi.exhaustive_scenario(&["libdemo.so"]).unwrap();
+//! assert!(!plan.is_empty());
+//! ```
+//!
+//! The pipeline mirrors the paper's architecture (Figure 1):
+//!
+//! | paper component | crate |
+//! |---|---|
+//! | library binaries (ELF/PE)         | [`objfile`] (+ [`isa`], [`asm`]) |
+//! | disassembler / CFG recovery        | [`disasm`] |
+//! | LFI profiler                       | [`profiler`], output in [`profile`] |
+//! | fault scenarios ("faultloads")     | [`scenario`] |
+//! | LFI controller / interceptors      | [`controller`], over [`runtime`] |
+//! | evaluated libraries & applications | [`corpus`], [`apps`] |
+//! | end-to-end facade & experiments    | [`core`] (re-exported as [`Lfi`]) |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use lfi_core::Lfi;
+
+/// The end-to-end facade and the evaluation experiment drivers.
+pub mod core {
+    pub use lfi_core::*;
+}
+
+/// SimISA: the synthetic instruction set, platform ABIs and interpreter.
+pub mod isa {
+    pub use lfi_isa::*;
+}
+
+/// SimObj: the synthetic shared-object format.
+pub mod objfile {
+    pub use lfi_objfile::*;
+}
+
+/// The synthetic library compiler (`FunctionSpec` → SimISA).
+pub mod asm {
+    pub use lfi_asm::*;
+}
+
+/// Disassembly and control-flow-graph recovery.
+pub mod disasm {
+    pub use lfi_disasm::*;
+}
+
+/// Fault-profile data model and XML representation.
+pub mod profile {
+    pub use lfi_profile::*;
+}
+
+/// Structured library documentation, its parser, and combined
+/// static+documentation profiles.
+pub mod docs {
+    pub use lfi_docs::*;
+}
+
+/// The LFI profiler: reverse constant propagation, side-effect analysis,
+/// accuracy scoring.
+pub mod profiler {
+    pub use lfi_profiler::*;
+}
+
+/// The fault-scenario language, generators and ready-made libc scenarios.
+pub mod scenario {
+    pub use lfi_scenario::*;
+}
+
+/// The simulated process runtime (dynamic linker, dispatch chains, errno).
+pub mod runtime {
+    pub use lfi_runtime::*;
+}
+
+/// The LFI controller: interceptor synthesis, trigger evaluation, logs,
+/// replay scripts, campaigns.
+pub mod controller {
+    pub use lfi_controller::*;
+}
+
+/// The synthetic library corpus (libc, kernel image, Table 1/2 libraries).
+pub mod corpus {
+    pub use lfi_corpus::*;
+}
+
+/// The simulated applications (Pidgin, MySQL, Apache) and their workloads.
+pub mod apps {
+    pub use lfi_apps::*;
+}
