@@ -131,12 +131,7 @@ pub mod ab {
     }
 
     /// Runs `requests` requests of the given kind against the server.
-    pub fn run_ab(
-        server: &mut ApacheServer,
-        process: &mut Process,
-        kind: RequestKind,
-        requests: u64,
-    ) -> AbReport {
+    pub fn run_ab(server: &mut ApacheServer, process: &mut Process, kind: RequestKind, requests: u64) -> AbReport {
         let start = super::Instant::now();
         let mut completed = 0;
         for _ in 0..requests {

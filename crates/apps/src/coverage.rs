@@ -90,13 +90,7 @@ fn ratio(part: usize, whole: usize) -> f64 {
 
 impl fmt::Display for CoverageMap {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{}/{} blocks ({:.1}%)",
-            self.hit_blocks(),
-            self.total_blocks(),
-            self.overall() * 100.0
-        )
+        write!(f, "{}/{} blocks ({:.1}%)", self.hit_blocks(), self.total_blocks(), self.overall() * 100.0)
     }
 }
 

@@ -347,7 +347,7 @@ mod tests {
                 move |ctx| {
                     let mut count = count.lock();
                     *count += 1;
-                    if *count % 13 == 0 {
+                    if (*count).is_multiple_of(13) {
                         ctx.set_errno(5);
                         -1
                     } else {
@@ -360,7 +360,7 @@ mod tests {
                 move |ctx| {
                     let mut count = count.lock();
                     *count += 1;
-                    if *count % 3 == 0 {
+                    if (*count).is_multiple_of(3) {
                         ctx.set_errno(28);
                         -1
                     } else {
@@ -373,7 +373,7 @@ mod tests {
                 move |ctx| {
                     let mut count = count.lock();
                     *count += 1;
-                    if *count % 29 == 0 {
+                    if (*count).is_multiple_of(29) {
                         ctx.set_errno(12);
                         0
                     } else {

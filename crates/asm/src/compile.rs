@@ -118,9 +118,9 @@ impl LibraryCompiler {
         }
         let mut imports: Vec<(String, Option<String>)> = Vec::new();
         let intern_import = |name: &str,
-                                 hint: Option<&str>,
-                                 symbol_ids: &mut HashMap<String, SymbolId>,
-                                 imports: &mut Vec<(String, Option<String>)>| {
+                             hint: Option<&str>,
+                             symbol_ids: &mut HashMap<String, SymbolId>,
+                             imports: &mut Vec<(String, Option<String>)>| {
             if !symbol_ids.contains_key(name) {
                 let id = SymbolId((spec.functions.len() + imports.len()) as u32);
                 symbol_ids.insert(name.to_owned(), id);
@@ -174,9 +174,11 @@ impl LibraryCompiler {
         for (name, offset) in &globals {
             builder = builder.data_symbol(name.clone(), *offset, Storage::Global);
         }
-        builder = builder
-            .data_symbol("__lfi_fnptr", FNPTR_SLOT_OFFSET, Storage::Global)
-            .data_symbol("__lfi_hidden_state", HIDDEN_STATE_OFFSET, Storage::Global);
+        builder = builder.data_symbol("__lfi_fnptr", FNPTR_SLOT_OFFSET, Storage::Global).data_symbol(
+            "__lfi_hidden_state",
+            HIDDEN_STATE_OFFSET,
+            Storage::Global,
+        );
 
         let mut compiled_functions = Vec::with_capacity(spec.functions.len());
         for f in &spec.functions {
@@ -251,13 +253,15 @@ fn lower_function(
     for (i, fault) in spec.faults.iter().enumerate() {
         asm.bind(fault_labels[i]);
         let selector = (i + 1) as i64;
-        let outcome = lower_fault(&mut asm, fault, spec, platform, symbol_ids, globals, LowerRegs {
-            ret,
-            pic,
-            scratch,
-            ptr_scratch,
-            val_scratch,
-        });
+        let outcome = lower_fault(
+            &mut asm,
+            fault,
+            spec,
+            platform,
+            symbol_ids,
+            globals,
+            LowerRegs { ret, pic, scratch, ptr_scratch, val_scratch },
+        );
         paths.push(PathInfo { selector, fault_index: Some(i), outcome });
     }
 
@@ -302,11 +306,7 @@ fn lower_fault(
     let emit_side_effects = |asm: &mut FnAsm, fault: &FaultSpec| {
         if let Some(errno) = fault.errno {
             asm.push(Inst::LeaPicBase { dst: pic });
-            asm.push(Inst::Store {
-                base: pic,
-                offset: abi.errno_tls_offset() as i32,
-                src: Operand::Imm(errno),
-            });
+            asm.push(Inst::Store { base: pic, offset: abi.errno_tls_offset() as i32, src: Operand::Imm(errno) });
         }
         for effect in &fault.side_effects {
             match effect {
@@ -548,9 +548,12 @@ mod tests {
 
     #[test]
     fn imports_are_created_for_external_callees() {
-        let spec = LibrarySpec::new("libapp.so", Platform::LinuxX86)
-            .dependency("libc.so.6")
-            .function(FunctionSpec::scalar("wrapper", 1).success(0).fault(FaultSpec::via_callee("read")).plain_call("close"));
+        let spec = LibrarySpec::new("libapp.so", Platform::LinuxX86).dependency("libc.so.6").function(
+            FunctionSpec::scalar("wrapper", 1)
+                .success(0)
+                .fault(FaultSpec::via_callee("read"))
+                .plain_call("close"),
+        );
         let lib = LibraryCompiler::new().compile(&spec);
         let (_, read_sym) = lib.object.symbol_by_name("read").unwrap();
         let (_, close_sym) = lib.object.symbol_by_name("close").unwrap();

@@ -264,13 +264,7 @@ pub struct LibrarySpec {
 impl LibrarySpec {
     /// Creates an empty library spec.
     pub fn new(name: impl Into<String>, platform: Platform) -> Self {
-        Self {
-            name: name.into(),
-            platform,
-            functions: Vec::new(),
-            dependencies: Vec::new(),
-            imports: Vec::new(),
-        }
+        Self { name: name.into(), platform, functions: Vec::new(), dependencies: Vec::new(), imports: Vec::new() }
     }
 
     /// Adds a function.
@@ -311,20 +305,14 @@ mod tests {
     fn fault_builders_set_mechanisms() {
         assert_eq!(FaultSpec::returning(-1).mechanism, ErrorMechanism::Direct);
         assert_eq!(FaultSpec::via_syscall(3).mechanism, ErrorMechanism::Syscall { num: 3 });
-        assert_eq!(
-            FaultSpec::via_callee("helper").mechanism,
-            ErrorMechanism::Callee { name: "helper".into() }
-        );
+        assert_eq!(FaultSpec::via_callee("helper").mechanism, ErrorMechanism::Callee { name: "helper".into() });
         assert_eq!(FaultSpec::returning(-2).hidden_behind_indirect_call().mechanism, ErrorMechanism::IndirectCall);
         assert_eq!(FaultSpec::returning(-3).phantom().mechanism, ErrorMechanism::PhantomGuard);
     }
 
     #[test]
     fn fault_side_effects_accumulate() {
-        let fault = FaultSpec::returning(-1)
-            .with_errno(5)
-            .with_global("last_error", 5)
-            .with_output_arg(1, 0);
+        let fault = FaultSpec::returning(-1).with_errno(5).with_global("last_error", 5).with_output_arg(1, 0);
         assert_eq!(fault.errno, Some(5));
         assert_eq!(fault.side_effects.len(), 2);
     }

@@ -12,11 +12,9 @@ fn bench_table1(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_secs(1));
     for functions_per_library in [100usize, 400] {
         let config = SurveyConfig { libraries: 2, functions_per_library, seed: 2009 };
-        group.bench_with_input(
-            BenchmarkId::from_parameter(config.total_functions()),
-            &config,
-            |b, config| b.iter(|| table1_survey(*config)),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(config.total_functions()), &config, |b, config| {
+            b.iter(|| table1_survey(*config))
+        });
     }
     group.finish();
 

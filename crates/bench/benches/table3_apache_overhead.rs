@@ -11,7 +11,7 @@ use lfi_core::experiments::{table3_apache_overhead, TRIGGER_COUNTS};
 use lfi_corpus::{build_kernel, build_libc_scaled};
 use lfi_isa::Platform;
 use lfi_profiler::{Profiler, ProfilerOptions};
-use lfi_scenario::generate;
+use lfi_scenario::generator::{ScenarioGenerator, TriggerLoad};
 
 fn bench_table3(c: &mut Criterion) {
     let platform = Platform::LinuxX86;
@@ -28,24 +28,20 @@ fn bench_table3(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_secs(1));
     for (label, kind) in [("static_html", RequestKind::StaticHtml), ("php", RequestKind::Php)] {
         for &triggers in TRIGGER_COUNTS {
-            group.bench_with_input(
-                BenchmarkId::new(label, triggers),
-                &(kind, triggers),
-                |b, &(kind, triggers)| {
-                    b.iter(|| {
-                        let world = new_world();
-                        let mut process = base_process(&world, true);
-                        if triggers > 0 {
-                            let top = most_called_functions(triggers.min(300));
-                            let plan = generate::trigger_load(&profiles, &top, triggers, true, 2009);
-                            let injector = Injector::new(plan);
-                            process.preload(injector.synthesize_interceptor());
-                        }
-                        let mut server = ApacheServer::start(&mut process, &world);
-                        run_ab(&mut server, &mut process, kind, 100)
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(label, triggers), &(kind, triggers), |b, &(kind, triggers)| {
+                b.iter(|| {
+                    let world = new_world();
+                    let mut process = base_process(&world, true);
+                    if triggers > 0 {
+                        let top = most_called_functions(triggers.min(300));
+                        let plan = TriggerLoad::new(top, triggers, 2009).generate(&profiles);
+                        let injector = Injector::new(plan);
+                        process.preload(injector.synthesize_interceptor());
+                    }
+                    let mut server = ApacheServer::start(&mut process, &world);
+                    run_ab(&mut server, &mut process, kind, 100)
+                })
+            });
         }
     }
     group.finish();

@@ -10,7 +10,7 @@ use lfi_core::experiments::{table4_mysql_overhead, TRIGGER_COUNTS};
 use lfi_corpus::{build_kernel, build_libc_scaled};
 use lfi_isa::Platform;
 use lfi_profiler::{Profiler, ProfilerOptions};
-use lfi_scenario::generate;
+use lfi_scenario::generator::{ScenarioGenerator, TriggerLoad};
 
 fn bench_table4(c: &mut Criterion) {
     let platform = Platform::LinuxX86;
@@ -26,26 +26,22 @@ fn bench_table4(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_secs(1));
     for (label, mode) in [("read_only", OltpMode::ReadOnly), ("read_write", OltpMode::ReadWrite)] {
         for &triggers in TRIGGER_COUNTS {
-            group.bench_with_input(
-                BenchmarkId::new(label, triggers),
-                &(mode, triggers),
-                |b, &(mode, triggers)| {
-                    b.iter(|| {
-                        let world = new_world();
-                        let mut process = base_process(&world, false);
-                        if triggers > 0 {
-                            let plan = generate::trigger_load(&profiles, &top, triggers, true, 2009);
-                            let injector = Injector::new(plan);
-                            process.preload(injector.synthesize_interceptor());
-                        }
-                        let mut server = MysqlServer::start(&mut process, &world);
-                        for i in 0..100 {
-                            let _ = server.insert(&mut process, i, true);
-                        }
-                        run_oltp(&mut server, &mut process, mode, 50)
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(label, triggers), &(mode, triggers), |b, &(mode, triggers)| {
+                b.iter(|| {
+                    let world = new_world();
+                    let mut process = base_process(&world, false);
+                    if triggers > 0 {
+                        let plan = TriggerLoad::new(top.iter().copied(), triggers, 2009).generate(&profiles);
+                        let injector = Injector::new(plan);
+                        process.preload(injector.synthesize_interceptor());
+                    }
+                    let mut server = MysqlServer::start(&mut process, &world);
+                    for i in 0..100 {
+                        let _ = server.insert(&mut process, i, true);
+                    }
+                    run_oltp(&mut server, &mut process, mode, 50)
+                })
+            });
         }
     }
     group.finish();

@@ -7,7 +7,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lfi_controller::Injector;
 use lfi_profile::FaultProfile;
 use lfi_runtime::{NativeLibrary, Process};
-use lfi_scenario::generate;
+use lfi_scenario::generator::{ScenarioGenerator, TriggerLoad};
 
 fn process_with_triggers(triggers: usize) -> Process {
     let mut process = Process::new();
@@ -16,7 +16,7 @@ fn process_with_triggers(triggers: usize) -> Process {
         // All triggers target the same function so every call evaluates all
         // of them; call-count triggers placed beyond the benchmark's call
         // count never fire, isolating pure evaluation cost.
-        let plan = generate::trigger_load(&[FaultProfile::new("libc.so.6")], &["read"], triggers, true, 7);
+        let plan = TriggerLoad::new(["read"], triggers, 7).generate(&[FaultProfile::new("libc.so.6")]);
         let injector = Injector::new(plan);
         process.preload(injector.synthesize_interceptor());
     }

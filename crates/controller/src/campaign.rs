@@ -1,12 +1,23 @@
-//! The campaign driver: run a workload under a set of fault scenarios and
-//! collect per-test-case outcomes, logs and replay scripts (§5, §5.2).
+//! The campaign driver (§5, §5.2): run a workload under a set of fault
+//! scenarios and collect per-test-case outcomes, logs and replay scripts.
+//!
+//! Campaigns are configured through the fluent [`Campaign`] builder: test
+//! cases (hand-made, or derived from a
+//! [`ScenarioGenerator`](lfi_scenario::generator::ScenarioGenerator)),
+//! [`CampaignObserver`] hooks, an [`ExecutionPolicy`], and a parallelism
+//! degree for running independent test cases on worker threads.  The old
+//! [`run_campaign`] free function survives as a deprecated serial shim.
 
 use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
+use lfi_profile::FaultProfile;
 use lfi_runtime::{ExitStatus, Process};
+use lfi_scenario::generator::ScenarioGenerator;
 use lfi_scenario::Plan;
 
-use crate::{Injector, TestLog};
+use crate::{InjectionRecord, Injector, TestLog};
 
 /// One fault-injection test case: a name and the scenario to apply.
 #[derive(Debug, Clone, PartialEq)]
@@ -44,7 +55,7 @@ impl TestOutcome {
     }
 }
 
-/// The report produced by a campaign: one outcome per test case.
+/// The report produced by a campaign: one outcome per executed test case.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct CampaignReport {
     /// Outcomes, in test-case order.
@@ -73,12 +84,7 @@ impl CampaignReport {
         let mut out = String::new();
         out.push_str(&format!("# LFI campaign report: {} test cases\n", self.outcomes.len()));
         for outcome in &self.outcomes {
-            out.push_str(&format!(
-                "{}: {} ({} injections)\n",
-                outcome.name,
-                outcome.status,
-                outcome.injection_count()
-            ));
+            out.push_str(&format!("{}: {} ({} injections)\n", outcome.name, outcome.status, outcome.injection_count()));
         }
         out.push_str(&format!(
             "# crashes: {}, failures: {}, total injections: {}\n",
@@ -102,12 +108,308 @@ impl fmt::Display for CampaignReport {
     }
 }
 
-/// Runs a set of fault-injection test cases against a workload.
+/// Hooks invoked while a campaign runs.
 ///
-/// For each test case the driver builds a fresh process via `setup`
-/// (equivalent to the developer-provided start script of §5), synthesizes and
-/// preloads the interceptor for the case's plan, runs `workload`, and records
-/// the exit status together with the injection log and replay script.
+/// Observers may be shared across worker threads, so implementations must be
+/// `Send + Sync`; interior mutability (e.g. a mutex-guarded vector) is the
+/// expected pattern for collecting data.  For each test case the driver
+/// calls `on_test_start`, then `on_injection` once per injection recorded
+/// during the run (in log order, after the workload finishes), then
+/// `on_outcome`.  With `parallelism(n)`, hooks of *different* cases
+/// interleave; the per-case ordering still holds.
+pub trait CampaignObserver: Send + Sync {
+    /// A test case is about to run.
+    fn on_test_start(&self, _case: &TestCase) {}
+
+    /// An injection was performed during `case` (reported from the injection
+    /// log once the case's workload finishes).
+    fn on_injection(&self, _case: &TestCase, _record: &InjectionRecord) {}
+
+    /// A test case finished.
+    fn on_outcome(&self, _outcome: &TestOutcome) {}
+}
+
+/// When a campaign stops before exhausting its test-case list.
+///
+/// The default policy runs every case.  `max_cases` truncates the list up
+/// front; `stop_on_first_crash` and `injection_budget` stop the campaign
+/// after the case that triggers them (with `parallelism(n)`, cases already
+/// in flight still finish and are reported).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecutionPolicy {
+    stop_on_first_crash: bool,
+    max_cases: Option<usize>,
+    injection_budget: Option<usize>,
+}
+
+impl ExecutionPolicy {
+    /// The default policy: run every test case.
+    pub fn run_all() -> Self {
+        Self::default()
+    }
+
+    /// Stop scheduling new cases once a case crashes.
+    pub fn stop_on_first_crash(mut self) -> Self {
+        self.stop_on_first_crash = true;
+        self
+    }
+
+    /// Run at most `max` test cases.
+    pub fn max_cases(mut self, max: usize) -> Self {
+        self.max_cases = Some(max);
+        self
+    }
+
+    /// Stop scheduling new cases once the campaign has performed at least
+    /// `budget` injections.
+    pub fn injection_budget(mut self, budget: usize) -> Self {
+        self.injection_budget = Some(budget);
+        self
+    }
+}
+
+/// A per-case workload: consumes the prepared process and reports how the
+/// run ended.  Boxed so case-specific state (a fresh simulated world, a
+/// request trace, …) can be captured per case.
+pub type CaseWorkload = Box<dyn FnOnce(&mut Process) -> ExitStatus + Send>;
+
+/// Fluent builder and driver for fault-injection campaigns.
+///
+/// ```
+/// use lfi_controller::{Campaign, ExecutionPolicy, TestCase};
+/// use lfi_runtime::{ExitStatus, NativeLibrary, Process};
+/// use lfi_scenario::{FaultAction, Plan, PlanEntry, Trigger};
+///
+/// let case = TestCase::new(
+///     "fail-read",
+///     Plan::new().entry(PlanEntry {
+///         function: "read".into(),
+///         trigger: Trigger::on_call(1),
+///         action: FaultAction::return_value(-1).with_errno(5),
+///     }),
+/// );
+/// let report = Campaign::new()
+///     .case(TestCase::new("baseline", Plan::new()))
+///     .case(case)
+///     .policy(ExecutionPolicy::run_all())
+///     .parallelism(2)
+///     .run(
+///         || {
+///             let mut process = Process::new();
+///             process.load(NativeLibrary::builder("libc.so.6").function("read", |ctx| ctx.arg(2)).build());
+///             process
+///         },
+///         |process| match process.call("read", &[3, 0, 8]) {
+///             Ok(n) if n >= 0 => ExitStatus::Exited(0),
+///             _ => ExitStatus::Exited(1),
+///         },
+///     );
+/// assert_eq!(report.outcomes.len(), 2);
+/// assert_eq!(report.failures().count(), 1);
+/// ```
+#[derive(Default)]
+pub struct Campaign {
+    cases: Vec<TestCase>,
+    observers: Vec<Arc<dyn CampaignObserver>>,
+    policy: ExecutionPolicy,
+    parallelism: usize,
+}
+
+impl Campaign {
+    /// An empty campaign (serial, run-all policy, no cases).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A campaign whose test cases are derived from a scenario generator:
+    /// one case per generated plan entry (the paper's one-fault-per-run
+    /// style), each inheriting the generated plan's seed.
+    ///
+    /// Call-count triggers are re-anchored to the *first* call in their
+    /// case: generators like `Exhaustive` use consecutive ordinals so that
+    /// one run can iterate a function's whole fault set, but split into
+    /// single-fault cases those ordinals would leave case *n* waiting for
+    /// *n* calls that its workload may never make.  Probability and
+    /// stack-trace conditions are preserved.  To keep the original
+    /// ordinals, build cases by hand with [`Campaign::cases`].
+    pub fn from_generator<G>(generator: &G, profiles: &[FaultProfile]) -> Self
+    where
+        G: ScenarioGenerator + ?Sized,
+    {
+        let plan = generator.generate(profiles);
+        let seed = plan.seed;
+        let cases = plan
+            .entries
+            .into_iter()
+            .enumerate()
+            .map(|(index, mut entry)| {
+                let name = format!("{}-{:04}-{}", generator.name(), index, entry.function);
+                if entry.trigger.inject_at_call.is_some() {
+                    entry.trigger.inject_at_call = Some(1);
+                }
+                TestCase::new(name, Plan { entries: vec![entry], seed })
+            })
+            .collect();
+        Campaign { cases, ..Self::default() }
+    }
+
+    /// Adds one test case.
+    pub fn case(mut self, case: TestCase) -> Self {
+        self.cases.push(case);
+        self
+    }
+
+    /// Adds test cases in bulk.
+    pub fn cases(mut self, cases: impl IntoIterator<Item = TestCase>) -> Self {
+        self.cases.extend(cases);
+        self
+    }
+
+    /// Attaches an observer (hooks run in registration order).
+    pub fn observer(mut self, observer: impl CampaignObserver + 'static) -> Self {
+        self.observers.push(Arc::new(observer));
+        self
+    }
+
+    /// Attaches an already-shared observer.
+    pub fn observer_arc(mut self, observer: Arc<dyn CampaignObserver>) -> Self {
+        self.observers.push(observer);
+        self
+    }
+
+    /// Sets the execution policy (default: run every case).
+    pub fn policy(mut self, policy: ExecutionPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Runs up to `workers` test cases concurrently, each on its own
+    /// [`Process`] (0 and 1 both mean serial).  Outcomes are reported in
+    /// test-case order regardless of completion order.
+    pub fn parallelism(mut self, workers: usize) -> Self {
+        self.parallelism = workers;
+        self
+    }
+
+    /// The configured test cases.
+    pub fn case_list(&self) -> &[TestCase] {
+        &self.cases
+    }
+
+    /// Runs the campaign with a shared setup/workload pair: `setup` builds a
+    /// fresh process per case (the developer-provided start script of §5),
+    /// `workload` exercises it.
+    pub fn run<S, W>(&self, setup: S, workload: W) -> CampaignReport
+    where
+        S: Fn() -> Process + Send + Sync,
+        W: Fn(&mut Process) -> ExitStatus + Send + Sync,
+    {
+        self.drive(|case| self.execute(case, setup(), &workload))
+    }
+
+    /// Runs the campaign with a per-case runner, for workloads that need
+    /// case-local state: the runner returns the fresh process *and* the
+    /// workload closure for that case.
+    pub fn run_per_case<R>(&self, runner: R) -> CampaignReport
+    where
+        R: Fn(&TestCase) -> (Process, CaseWorkload) + Send + Sync,
+    {
+        self.drive(|case| {
+            let (process, workload) = runner(case);
+            self.execute(case, process, workload)
+        })
+    }
+
+    /// Executes one case: synthesize + preload the interceptor, run the
+    /// workload, fire the observer hooks, collect the outcome.
+    fn execute<W>(&self, case: &TestCase, mut process: Process, workload: W) -> TestOutcome
+    where
+        W: FnOnce(&mut Process) -> ExitStatus,
+    {
+        for observer in &self.observers {
+            observer.on_test_start(case);
+        }
+        let injector = Injector::new(case.plan.clone());
+        process.preload(injector.synthesize_interceptor());
+        let status = workload(&mut process);
+        let log = injector.log();
+        for observer in &self.observers {
+            for record in &log.injections {
+                observer.on_injection(case, record);
+            }
+        }
+        let outcome = TestOutcome { name: case.name.clone(), status, log, replay: injector.replay_plan() };
+        for observer in &self.observers {
+            observer.on_outcome(&outcome);
+        }
+        outcome
+    }
+
+    /// The scheduling core shared by [`Campaign::run`] and
+    /// [`Campaign::run_per_case`].
+    fn drive<F>(&self, run_case: F) -> CampaignReport
+    where
+        F: Fn(&TestCase) -> TestOutcome + Sync,
+    {
+        let limit = self.policy.max_cases.map_or(self.cases.len(), |max| max.min(self.cases.len()));
+        let cases = &self.cases[..limit];
+        let workers = self.parallelism.clamp(1, cases.len().max(1));
+
+        let next = AtomicUsize::new(0);
+        let stop = AtomicBool::new(false);
+        let injections = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<TestOutcome>>> = cases.iter().map(|_| Mutex::new(None)).collect();
+
+        let worker = || loop {
+            if stop.load(Ordering::Acquire) {
+                break;
+            }
+            let index = next.fetch_add(1, Ordering::Relaxed);
+            let Some(case) = cases.get(index) else { break };
+            let outcome = run_case(case);
+            let crashed = outcome.status.is_crash();
+            let total = injections.fetch_add(outcome.injection_count(), Ordering::AcqRel) + outcome.injection_count();
+            if let Ok(mut slot) = slots[index].lock() {
+                *slot = Some(outcome);
+            }
+            if (self.policy.stop_on_first_crash && crashed)
+                || self.policy.injection_budget.is_some_and(|budget| total >= budget)
+            {
+                stop.store(true, Ordering::Release);
+            }
+        };
+
+        if workers <= 1 {
+            worker();
+        } else {
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(worker);
+                }
+            });
+        }
+
+        let outcomes = slots
+            .into_iter()
+            .filter_map(|slot| slot.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner))
+            .collect();
+        CampaignReport { outcomes }
+    }
+}
+
+impl fmt::Debug for Campaign {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Campaign")
+            .field("cases", &self.cases.len())
+            .field("observers", &self.observers.len())
+            .field("policy", &self.policy)
+            .field("parallelism", &self.parallelism)
+            .finish()
+    }
+}
+
+/// Runs a set of fault-injection test cases serially (the pre-builder API).
+#[deprecated(since = "0.1.0", note = "use the lfi_controller::Campaign builder")]
 pub fn run_campaign<S, W>(cases: &[TestCase], mut setup: S, mut workload: W) -> CampaignReport
 where
     S: FnMut() -> Process,
@@ -132,7 +434,9 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use lfi_profile::{ErrorReturn, FunctionProfile};
     use lfi_runtime::{NativeLibrary, Signal};
+    use lfi_scenario::generator::{Exhaustive, Filtered};
     use lfi_scenario::{FaultAction, PlanEntry, Trigger};
 
     fn libc() -> NativeLibrary {
@@ -140,6 +444,12 @@ mod tests {
             .function("malloc", |ctx| if ctx.arg(0) > 1 << 30 { 0 } else { 0x1000 })
             .function("read", |ctx| ctx.arg(2))
             .build()
+    }
+
+    fn setup() -> Process {
+        let mut process = Process::new();
+        process.load(libc());
+        process
     }
 
     /// A toy workload: read a header, allocate that many bytes, crash with
@@ -157,9 +467,8 @@ mod tests {
         ExitStatus::Exited(0)
     }
 
-    #[test]
-    fn campaign_separates_clean_runs_failures_and_crashes() {
-        let cases = vec![
+    fn standard_cases() -> Vec<TestCase> {
+        vec![
             TestCase::new("baseline", Plan::new()),
             TestCase::new(
                 "fail-read",
@@ -177,16 +486,14 @@ mod tests {
                     action: FaultAction::return_value(4),
                 }),
             ),
-        ];
-        let report = run_campaign(
-            &cases,
-            || {
-                let mut p = Process::new();
-                p.load(libc());
-                p
-            },
-            workload,
-        );
+        ]
+    }
+
+    #[test]
+    fn campaign_separates_clean_runs_failures_and_crashes() {
+        let campaign = Campaign::new().cases(standard_cases());
+        assert_eq!(campaign.case_list().len(), 3);
+        let report = campaign.run(setup, workload);
         assert_eq!(report.outcomes.len(), 3);
         assert!(report.outcomes[0].status.is_success());
         assert_eq!(report.outcomes[1].status, ExitStatus::Exited(1));
@@ -198,6 +505,7 @@ mod tests {
         assert!(text.contains("short-read"));
         assert!(text.contains("SIGABRT"));
         assert!(report.to_string().contains("3 test cases"));
+        assert!(format!("{campaign:?}").contains("cases: 3"));
     }
 
     #[test]
@@ -210,15 +518,156 @@ mod tests {
                 action: FaultAction::return_value(4),
             }),
         );
-        let setup = || {
-            let mut p = Process::new();
-            p.load(libc());
-            p
-        };
-        let report = run_campaign(std::slice::from_ref(&crash_case), setup, workload);
+        let report = Campaign::new().case(crash_case).run(setup, workload);
         let replay = report.outcomes[0].replay.clone();
         assert!(!replay.is_empty());
-        let report2 = run_campaign(&[TestCase::new("replay", replay)], setup, workload);
+        let report2 = Campaign::new().case(TestCase::new("replay", replay)).run(setup, workload);
         assert_eq!(report2.outcomes[0].status, ExitStatus::Crashed(Signal::Abort));
+    }
+
+    /// Records every hook invocation with its case name.
+    #[derive(Default)]
+    struct EventLog {
+        events: Mutex<Vec<String>>,
+    }
+
+    impl CampaignObserver for Arc<EventLog> {
+        fn on_test_start(&self, case: &TestCase) {
+            self.events.lock().unwrap().push(format!("start:{}", case.name));
+        }
+
+        fn on_injection(&self, case: &TestCase, record: &InjectionRecord) {
+            self.events.lock().unwrap().push(format!("inject:{}:{}", case.name, record.function));
+        }
+
+        fn on_outcome(&self, outcome: &TestOutcome) {
+            self.events.lock().unwrap().push(format!("outcome:{}:{}", outcome.name, outcome.status));
+        }
+    }
+
+    #[test]
+    fn observers_see_start_injection_outcome_in_order() {
+        let log = Arc::new(EventLog::default());
+        let report = Campaign::new().cases(standard_cases()).observer(Arc::clone(&log)).run(setup, workload);
+        assert_eq!(report.outcomes.len(), 3);
+        let events = log.events.lock().unwrap().clone();
+        assert_eq!(
+            events,
+            vec![
+                "start:baseline",
+                "outcome:baseline:exited with status 0",
+                "start:fail-read",
+                "inject:fail-read:read",
+                "outcome:fail-read:exited with status 1",
+                "start:short-read",
+                "inject:short-read:read",
+                "outcome:short-read:killed by SIGABRT",
+            ]
+        );
+    }
+
+    #[test]
+    fn parallel_and_serial_runs_produce_the_same_report() {
+        // Many deterministic cases: each injects a distinct short read.
+        let cases: Vec<TestCase> = (0..24)
+            .map(|i| {
+                TestCase::new(
+                    format!("case-{i:02}"),
+                    Plan::new().entry(PlanEntry {
+                        function: "read".into(),
+                        trigger: Trigger::on_call(1),
+                        action: FaultAction::return_value(if i % 3 == 0 { 4 } else { 8 }),
+                    }),
+                )
+            })
+            .collect();
+        let serial = Campaign::new().cases(cases.clone()).run(setup, workload);
+        let parallel = Campaign::new().cases(cases).parallelism(8).run(setup, workload);
+        // Outcomes are slot-ordered, so the full reports match exactly.
+        assert_eq!(serial, parallel);
+        assert_eq!(serial.outcomes.len(), 24);
+        assert_eq!(serial.crashes().count(), 8);
+    }
+
+    #[test]
+    fn stop_on_first_crash_halts_the_campaign() {
+        let report = Campaign::new()
+            .cases(standard_cases())
+            .policy(ExecutionPolicy::run_all().stop_on_first_crash())
+            .run(setup, workload);
+        // standard cases crash only in case 3; a crash-first ordering:
+        let crash_first = vec![standard_cases().remove(2), standard_cases().remove(0), standard_cases().remove(1)];
+        let stopped = Campaign::new()
+            .cases(crash_first)
+            .policy(ExecutionPolicy::run_all().stop_on_first_crash())
+            .run(setup, workload);
+        assert_eq!(report.outcomes.len(), 3, "crash in the last case stops nothing");
+        assert_eq!(stopped.outcomes.len(), 1, "crash in the first case stops the rest");
+        assert!(stopped.outcomes[0].status.is_crash());
+    }
+
+    #[test]
+    fn max_cases_and_injection_budget_bound_the_run() {
+        let capped = Campaign::new()
+            .cases(standard_cases())
+            .policy(ExecutionPolicy::run_all().max_cases(2))
+            .run(setup, workload);
+        assert_eq!(capped.outcomes.len(), 2);
+
+        let budgeted = Campaign::new()
+            .cases(standard_cases())
+            .policy(ExecutionPolicy::run_all().injection_budget(1))
+            .run(setup, workload);
+        // baseline injects 0, fail-read reaches the budget of 1, short-read
+        // never runs.
+        assert_eq!(budgeted.outcomes.len(), 2);
+        assert_eq!(budgeted.total_injections(), 1);
+    }
+
+    #[test]
+    fn from_generator_builds_one_case_per_plan_entry() {
+        let mut profile = FaultProfile::new("libc.so.6");
+        profile.push_function(FunctionProfile {
+            name: "read".into(),
+            error_returns: vec![ErrorReturn::bare(-1), ErrorReturn::bare(4)],
+        });
+        profile.push_function(FunctionProfile { name: "malloc".into(), error_returns: vec![ErrorReturn::bare(0)] });
+        let campaign =
+            Campaign::from_generator(&Filtered::new(Exhaustive).allow(["read"]), std::slice::from_ref(&profile));
+        assert_eq!(campaign.case_list().len(), 2);
+        assert!(campaign.case_list().iter().all(|c| c.plan.len() == 1));
+        assert!(campaign.case_list()[0].name.contains("filtered"));
+        assert!(campaign.case_list()[0].name.ends_with("read"));
+        // Exhaustive ordinals (call 1, call 2, ...) are re-anchored so each
+        // single-fault case injects on its workload's first call.
+        assert!(campaign.case_list().iter().all(|c| c.plan.entries[0].trigger.inject_at_call == Some(1)));
+
+        let report = campaign.run(setup, workload);
+        assert_eq!(report.outcomes.len(), 2);
+        assert_eq!(report.failures().count(), 1); // read() -> -1
+        assert_eq!(report.crashes().count(), 1); // read() -> 4 => huge malloc
+    }
+
+    #[test]
+    fn per_case_runners_carry_case_local_state() {
+        let report = Campaign::new().cases(standard_cases()).parallelism(2).run_per_case(|case| {
+            // Case-local state: the workload closure owns the case name.
+            let name = case.name.clone();
+            let workload: CaseWorkload = Box::new(move |process| {
+                let _ = name; // a stand-in for a per-case world
+                workload(process)
+            });
+            (setup(), workload)
+        });
+        assert_eq!(report.outcomes.len(), 3);
+        assert_eq!(report.crashes().count(), 1);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_run_campaign_still_works() {
+        let report = run_campaign(&standard_cases(), setup, workload);
+        assert_eq!(report.outcomes.len(), 3);
+        assert_eq!(report.crashes().count(), 1);
     }
 }

@@ -119,10 +119,8 @@ impl Injector {
         let observed = self.observed_returns();
         let mut findings = Vec::new();
         for (function, values) in observed {
-            let profiled: Option<std::collections::BTreeSet<i64>> = profiles
-                .iter()
-                .find_map(|p| p.function(&function))
-                .map(|f| f.error_values());
+            let profiled: Option<std::collections::BTreeSet<i64>> =
+                profiles.iter().find_map(|p| p.function(&function)).map(|f| f.error_values());
             for (value, occurrences) in values {
                 if value >= 0 {
                     continue;
@@ -238,12 +236,7 @@ impl Injector {
                 errno,
                 side_effects,
                 call_original: entry.action.call_original,
-                arg_modifications: entry
-                    .action
-                    .arg_modifications
-                    .iter()
-                    .map(|m| (m.argument, m.op, m.value))
-                    .collect(),
+                arg_modifications: entry.action.arg_modifications.iter().map(|m| (m.argument, m.op, m.value)).collect(),
                 call_number,
             });
             break;

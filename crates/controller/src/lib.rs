@@ -11,8 +11,11 @@
 //! * [`Injector`] — trigger evaluation and injection engine, plus interceptor
 //!   synthesis.
 //! * [`TestLog`] / [`InjectionRecord`] — the §5.2 log and its replay plan.
-//! * [`run_campaign`] — the driver that runs a workload under each test case
-//!   and collects outcomes.
+//! * [`Campaign`] — the fluent campaign builder: test cases (hand-made or
+//!   from a [`lfi_scenario::generator::ScenarioGenerator`]),
+//!   [`CampaignObserver`] hooks, an [`ExecutionPolicy`], and parallel
+//!   test-case execution over independent processes.  The pre-builder
+//!   [`run_campaign`] free function survives as a deprecated shim.
 //! * [`stubsrc`] — the generated C stub text, for parity with the paper's
 //!   Figure 3 pipeline.
 #![forbid(unsafe_code)]
@@ -23,7 +26,9 @@ mod injector;
 mod log;
 pub mod stubsrc;
 
-pub use campaign::{run_campaign, CampaignReport, TestCase, TestOutcome};
+#[allow(deprecated)]
+pub use campaign::run_campaign;
+pub use campaign::{Campaign, CampaignObserver, CampaignReport, CaseWorkload, ExecutionPolicy, TestCase, TestOutcome};
 pub use injector::{Injector, RefinementFinding, INTERCEPTOR_LIBRARY_NAME};
 pub use log::{InjectionRecord, TestLog};
 
@@ -38,5 +43,7 @@ mod tests {
         assert_send_sync::<TestLog>();
         assert_send_sync::<CampaignReport>();
         assert_send_sync::<TestCase>();
+        assert_send_sync::<Campaign>();
+        assert_send_sync::<ExecutionPolicy>();
     }
 }

@@ -13,7 +13,7 @@ use lfi_apps::apache::{most_called_functions, ApacheServer, RequestKind};
 use lfi_apps::mysql::sysbench::{run_oltp, OltpMode};
 use lfi_apps::mysql::MysqlServer;
 use lfi_apps::{base_process, new_world, PidginApp};
-use lfi_controller::Injector;
+use lfi_controller::{Campaign, ExecutionPolicy, Injector, TestCase};
 use lfi_corpus::survey::{DetailChannel, SurveyConfig, TABLE1_EXPECTED};
 use lfi_corpus::{
     build_kernel, build_libc_scaled, build_libpcre, build_table2_corpus, libc_errno_documentation, Table2Entry,
@@ -25,7 +25,7 @@ use lfi_objfile::ReturnType;
 use lfi_profile::{FaultProfile, SideEffectKind};
 use lfi_profiler::{score_profile, score_sets, AccuracyReport, Profiler, ProfilerOptions};
 use lfi_runtime::ExitStatus;
-use lfi_scenario::{generate, ready_made};
+use lfi_scenario::generator::{Random, ReadyMade, ScenarioGenerator, TriggerLoad};
 
 // ---------------------------------------------------------------------------
 // Table 1 — how libraries expose error details
@@ -330,8 +330,9 @@ pub fn combined_accuracy(seed: u64) -> CombinedAccuracyResult {
                 StylePolicy::realistic(),
                 seed.wrapping_add(index as u64),
             );
-            let mut parsed =
-                DocParser::new().parse_set(library.name(), &manual.render()).expect("generated manual parses");
+            let mut parsed = DocParser::new()
+                .parse_set(library.name(), &manual.render())
+                .expect("generated manual parses");
             parsed.resolve_cross_references().expect("generated manuals have resolvable references");
 
             let combined_profile = CombinedProfile::combine(&report.profile, &parsed);
@@ -484,7 +485,11 @@ impl ArgDependenceResult {
             }
         );
         for example in &self.examples {
-            let _ = writeln!(out, "  e.g. {} returns {} only when {}", example.function, example.value, example.constraints);
+            let _ = writeln!(
+                out,
+                "  e.g. {} returns {} only when {}",
+                example.function, example.value, example.constraints
+            );
         }
         out
     }
@@ -504,7 +509,9 @@ pub fn argument_dependence(exports: usize) -> ArgDependenceResult {
     let mut constrained_values = 0usize;
     let mut examples = Vec::new();
     for function in &report.profile.functions {
-        let Some(per_value) = constraints.get(&function.name) else { continue };
+        let Some(per_value) = constraints.get(&function.name) else {
+            continue;
+        };
         for value in function.error_values() {
             if let Some(gates) = per_value.get(&value) {
                 constrained_values += 1;
@@ -569,7 +576,11 @@ impl OverheadResult {
         let rows = self.series.first().map_or(0, |(_, rows)| rows.len());
         for index in 0..rows {
             let triggers = self.series[0].1[index].triggers;
-            let label = if triggers == 0 { "Baseline (no LFI)".to_owned() } else { format!("{triggers} triggers") };
+            let label = if triggers == 0 {
+                "Baseline (no LFI)".to_owned()
+            } else {
+                format!("{triggers} triggers")
+            };
             let mut line = format!("{label:<18}");
             for (_, series) in &self.series {
                 line.push_str(&format!("{:>16.3}", series[index].value));
@@ -584,7 +595,9 @@ impl OverheadResult {
     pub fn max_overhead_percent(&self) -> f64 {
         let mut worst: f64 = 0.0;
         for (_, rows) in &self.series {
-            let Some(baseline) = rows.iter().find(|r| r.triggers == 0) else { continue };
+            let Some(baseline) = rows.iter().find(|r| r.triggers == 0) else {
+                continue;
+            };
             for row in rows {
                 let overhead = if self.metric.contains("txns") {
                     (baseline.value - row.value) / baseline.value
@@ -642,7 +655,7 @@ pub fn table3_apache_overhead(requests: u64, seed: u64) -> OverheadResult {
                 let mut process = base_process(&world, true);
                 if triggers > 0 {
                     let top = most_called_functions(triggers.min(300));
-                    let plan = generate::trigger_load(&profiles, &top, triggers, true, seed);
+                    let plan = TriggerLoad::new(top, triggers, seed).generate(&profiles);
                     let injector = Injector::new(plan);
                     process.preload(injector.synthesize_interceptor());
                 }
@@ -692,7 +705,7 @@ pub fn table4_mysql_overhead(transactions: u64, seed: u64) -> OverheadResult {
                 let world = new_world();
                 let mut process = base_process(&world, false);
                 if triggers > 0 {
-                    let plan = generate::trigger_load(&profiles, &top, triggers, true, seed);
+                    let plan = TriggerLoad::new(top.iter().copied(), triggers, seed).generate(&profiles);
                     let injector = Injector::new(plan);
                     process.preload(injector.synthesize_interceptor());
                 }
@@ -831,9 +844,25 @@ impl PidginHuntResult {
     }
 }
 
+/// Runs Pidgin login test cases under a stop-on-first-crash policy and
+/// returns the report (each case builds its own simulated world).
+fn pidgin_campaign(cases: Vec<TestCase>) -> lfi_controller::CampaignReport {
+    Campaign::new()
+        .cases(cases)
+        .policy(ExecutionPolicy::run_all().stop_on_first_crash())
+        .run_per_case(|_case| {
+            let world = new_world();
+            let process = base_process(&world, false);
+            let workload: lfi_controller::CaseWorkload =
+                Box::new(move |process| PidginApp::new().login(process, &world));
+            (process, workload)
+        })
+}
+
 /// Hunts for the Pidgin DNS-resolver bug with the §6.1 configuration: a
-/// random fault scenario over the I/O functions of libc with 10% injection
-/// probability, repeated until the client crashes (bounded by `max_attempts`).
+/// campaign of random I/O fault scenarios over libc with 10% injection
+/// probability, stopped at the first crash (bounded by `max_attempts` test
+/// cases).
 pub fn pidgin_bug_hunt(max_attempts: usize, seed: u64) -> PidginHuntResult {
     let platform = Platform::LinuxX86;
     let mut profiler = Profiler::with_options(ProfilerOptions::with_heuristics());
@@ -841,31 +870,45 @@ pub fn pidgin_bug_hunt(max_attempts: usize, seed: u64) -> PidginHuntResult {
     profiler.set_kernel(build_kernel(platform));
     let libc_profile = profiler.profile_library("libc.so.6").expect("libc profiles").profile;
 
-    for attempt in 0..max_attempts {
-        let plan = ready_made::random_io_faults(&libc_profile, 0.10, seed.wrapping_add(attempt as u64));
-        let world = new_world();
-        let mut process = base_process(&world, false);
-        let injector = Injector::new(plan);
-        process.preload(injector.synthesize_interceptor());
-        let status = PidginApp::new().login(&mut process, &world);
-        if status.is_crash() {
+    // One test case per seed, as an automated campaign would generate them.
+    // Faultloads are generated in batches so a crash found early (the
+    // common outcome) does not pay for plans the stop-on-first-crash policy
+    // would only discard.
+    const BATCH: usize = 16;
+    let probability = 0.10;
+    let mut attempts_run = 0usize;
+    for batch_start in (0..max_attempts).step_by(BATCH) {
+        let cases: Vec<TestCase> = (batch_start..(batch_start + BATCH).min(max_attempts))
+            .map(|attempt| {
+                let generator = ReadyMade::random_io(probability, seed.wrapping_add(attempt as u64))
+                    .expect("0.10 is a valid probability");
+                TestCase::new(
+                    format!("random-io-{attempt:03}"),
+                    generator.generate(std::slice::from_ref(&libc_profile)),
+                )
+            })
+            .collect();
+        let report = pidgin_campaign(cases);
+        attempts_run += report.outcomes.len();
+        let crash = report.crashes().next().cloned();
+        if let Some(crash) = crash {
             // Reproduce with the replay script, as the paper does before
             // attaching gdb.
-            let replay = injector.replay_plan();
-            let world = new_world();
-            let mut process = base_process(&world, false);
-            let replay_injector = Injector::new(replay);
-            process.preload(replay_injector.synthesize_interceptor());
-            let replay_status = PidginApp::new().login(&mut process, &world);
+            let replay_report = pidgin_campaign(vec![TestCase::new("replay", crash.replay.clone())]);
             return PidginHuntResult {
-                attempts_until_crash: Some(attempt + 1),
-                crash_status: Some(status),
-                replay_reproduced: replay_status == status,
-                injections_in_crash: injector.log().injection_count(),
+                attempts_until_crash: Some(attempts_run),
+                crash_status: Some(crash.status),
+                replay_reproduced: replay_report.outcomes.first().is_some_and(|o| o.status == crash.status),
+                injections_in_crash: crash.injection_count(),
             };
         }
     }
-    PidginHuntResult { attempts_until_crash: None, crash_status: None, replay_reproduced: false, injections_in_crash: 0 }
+    PidginHuntResult {
+        attempts_until_crash: None,
+        crash_status: None,
+        replay_reproduced: false,
+        injections_in_crash: 0,
+    }
 }
 
 /// The result of the MySQL coverage experiment.
@@ -912,7 +955,7 @@ pub fn mysql_coverage(cases: usize, seed: u64) -> MysqlCoverageResult {
     let baseline = server.run_test_suite(&mut process, cases);
 
     // Injected run: random scenario over all of libc, fully automatic.
-    let plan = generate::random(&[libc_profile], 0.05, seed);
+    let plan = Random::new(0.05, seed).expect("0.05 is a valid probability").generate(&[libc_profile]);
     let world = new_world();
     let mut process = base_process(&world, false);
     let injector = Injector::new(plan);
@@ -938,7 +981,9 @@ pub fn indirect_statistics(config: SurveyConfig) -> CodeStats {
     let corpus = lfi_corpus::survey_corpus(config);
     let mut stats = CodeStats::default();
     for library in &corpus {
-        let disassembly = Disassembler::new().disassemble_object(&library.object).expect("survey library disassembles");
+        let disassembly = Disassembler::new()
+            .disassemble_object(&library.object)
+            .expect("survey library disassembles");
         stats += disassembly.stats();
     }
     stats
@@ -980,7 +1025,9 @@ pub fn doc_mismatches(seed: u64) -> Vec<DocMismatch> {
 
     let mut findings = Vec::new();
     for function in ["close", "modify_ldt"] {
-        let Some(profile) = libc_profile.function(function) else { continue };
+        let Some(profile) = libc_profile.function(function) else {
+            continue;
+        };
         let Some(documented) = docs.get(function) else { continue };
         let found: Vec<i64> = profile
             .error_returns
@@ -1029,9 +1076,7 @@ pub fn figure2_cfg_dot() -> String {
     let object = &library.compiled.object;
     let (_, symbol) = object.exported_symbols().next().expect("libdmx has exports");
     let name = symbol.name.clone();
-    let function = Disassembler::new()
-        .disassemble_function(object, &name)
-        .expect("function disassembles");
+    let function = Disassembler::new().disassemble_function(object, &name).expect("function disassembles");
     function.cfg.to_dot(&name)
 }
 
@@ -1077,10 +1122,7 @@ mod tests {
         // The extra values are success returns and boolean predicates, which
         // the documentation does not list as faults, so accuracy against
         // documentation improves when the heuristics are on.
-        assert!(
-            result.with_heuristics.vs_documentation.accuracy()
-                >= result.conservative.vs_documentation.accuracy()
-        );
+        assert!(result.with_heuristics.vs_documentation.accuracy() >= result.conservative.vs_documentation.accuracy());
         assert!(result.render().contains("conservative"));
     }
 

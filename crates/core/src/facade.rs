@@ -1,31 +1,100 @@
+use std::error::Error;
+use std::fmt;
+
+use lfi_controller::Campaign;
 use lfi_objfile::SharedObject;
 use lfi_profile::FaultProfile;
 use lfi_profiler::{LibraryProfileReport, Profiler, ProfilerError, ProfilerOptions};
-use lfi_scenario::{generate, Plan};
+use lfi_scenario::generator::{Exhaustive, Random, ScenarioGenerator};
+use lfi_scenario::{Plan, ScenarioError};
+
+/// Errors surfaced by the [`Lfi`] facade: profiling failures and scenario
+/// generator misconfiguration.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum LfiError {
+    /// Profiling a registered library failed.
+    Profiler(ProfilerError),
+    /// A scenario generator rejected its configuration.
+    Scenario(ScenarioError),
+}
+
+impl fmt::Display for LfiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LfiError::Profiler(e) => write!(f, "profiling failed: {e}"),
+            LfiError::Scenario(e) => write!(f, "scenario generation failed: {e}"),
+        }
+    }
+}
+
+impl Error for LfiError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            LfiError::Profiler(e) => Some(e),
+            LfiError::Scenario(e) => Some(e),
+        }
+    }
+}
+
+impl From<ProfilerError> for LfiError {
+    fn from(value: ProfilerError) -> Self {
+        LfiError::Profiler(value)
+    }
+}
+
+impl From<ScenarioError> for LfiError {
+    fn from(value: ScenarioError) -> Self {
+        LfiError::Scenario(value)
+    }
+}
 
 /// The top-level LFI facade: "profile the target application's shared
 /// libraries … then conduct fault injection experiments using various fault
 /// scenarios" (§2).
 ///
-/// `Lfi` owns a [`Profiler`]; the controller side is exposed through
-/// [`lfi_controller::Injector`] and [`lfi_controller::run_campaign`], which
-/// take the plans this facade generates.
+/// `Lfi` owns a [`Profiler`]; scenario generation is pluggable through
+/// [`ScenarioGenerator`] ([`Lfi::scenario`]), and [`Lfi::campaign`] hands the
+/// generated faultload straight to a fluent [`Campaign`] builder, so the
+/// whole Figure 1 pipeline — profile → scenario → campaign → report — is one
+/// chain:
 ///
 /// ```
 /// use lfi_asm::{FaultSpec, FunctionSpec, LibraryCompiler, LibrarySpec};
 /// use lfi_core::Lfi;
 /// use lfi_isa::Platform;
+/// use lfi_profiler::ProfilerOptions;
+/// use lfi_runtime::{ExitStatus, NativeLibrary, Process};
+/// use lfi_scenario::generator::Exhaustive;
 ///
+/// // The target application's shared library...
 /// let lib = LibraryCompiler::new().compile(
 ///     &LibrarySpec::new("libdemo.so", Platform::LinuxX86)
 ///         .function(FunctionSpec::scalar("demo_read", 3).success(0).fault(FaultSpec::returning(-1).with_errno(5))),
 /// );
-/// let mut lfi = Lfi::new();
+/// // ...and its runtime behaviour, as the dynamic linker would load it.
+/// let runtime = NativeLibrary::builder("libdemo.so").function("demo_read", |ctx| ctx.arg(2)).build();
+///
+/// let mut lfi = Lfi::with_options(ProfilerOptions::with_heuristics());
 /// lfi.add_library(lib.object);
-/// let report = lfi.profile("libdemo.so").unwrap();
-/// let plan = lfi.exhaustive_scenario(&["libdemo.so"]).unwrap();
-/// assert_eq!(report.profile.function_count(), 1);
-/// assert!(!plan.is_empty());
+/// let report = lfi
+///     .campaign(&Exhaustive, &["libdemo.so"])     // profile + generate + build
+///     .unwrap()
+///     .parallelism(2)                             // independent processes per case
+///     .run(
+///         move || {
+///             let mut process = Process::new();
+///             process.load(runtime.clone());
+///             process
+///         },
+///         |process| match process.call("demo_read", &[3, 0, 8]) {
+///             Ok(n) if n >= 0 => ExitStatus::Exited(0),
+///             _ => ExitStatus::Exited(1),
+///         },
+///     );
+/// assert_eq!(report.outcomes.len(), 1);
+/// assert_eq!(report.failures().count(), 1);
+/// assert_eq!(report.total_injections(), 1);
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct Lfi {
@@ -77,34 +146,62 @@ impl Lfi {
         self.profiler.profile_all()
     }
 
-    fn profiles_of(&self, libraries: &[&str]) -> Result<Vec<FaultProfile>, ProfilerError> {
-        libraries
-            .iter()
-            .map(|name| self.profile(name).map(|report| report.profile))
-            .collect()
-    }
-
-    /// Generates the exhaustive scenario over the given libraries (§4).
+    /// The fault profiles of the named libraries, profiling on demand.
     ///
     /// # Errors
     ///
     /// Fails when any named library is unknown or cannot be disassembled.
-    pub fn exhaustive_scenario(&self, libraries: &[&str]) -> Result<Plan, ProfilerError> {
-        Ok(generate::exhaustive(&self.profiles_of(libraries)?))
+    pub fn profiles_of(&self, libraries: &[&str]) -> Result<Vec<FaultProfile>, ProfilerError> {
+        libraries.iter().map(|name| self.profile(name).map(|report| report.profile)).collect()
     }
 
-    /// Generates the random scenario over the given libraries (§4).
+    /// Profiles the named libraries and runs any [`ScenarioGenerator`] over
+    /// the result (§4's pluggable faultload generation).
     ///
     /// # Errors
     ///
     /// Fails when any named library is unknown or cannot be disassembled.
-    pub fn random_scenario(
-        &self,
-        libraries: &[&str],
-        probability: f64,
-        seed: u64,
-    ) -> Result<Plan, ProfilerError> {
-        Ok(generate::random(&self.profiles_of(libraries)?, probability, seed))
+    pub fn scenario<G>(&self, generator: &G, libraries: &[&str]) -> Result<Plan, LfiError>
+    where
+        G: ScenarioGenerator + ?Sized,
+    {
+        Ok(generator.generate(&self.profiles_of(libraries)?))
+    }
+
+    /// Profiles the named libraries, runs the generator, and returns a
+    /// [`Campaign`] pre-populated with one test case per generated plan
+    /// entry — attach observers, an execution policy and a parallelism
+    /// degree, then call [`Campaign::run`].
+    ///
+    /// # Errors
+    ///
+    /// Fails when any named library is unknown or cannot be disassembled.
+    pub fn campaign<G>(&self, generator: &G, libraries: &[&str]) -> Result<Campaign, LfiError>
+    where
+        G: ScenarioGenerator + ?Sized,
+    {
+        Ok(Campaign::from_generator(generator, &self.profiles_of(libraries)?))
+    }
+
+    /// Generates the exhaustive scenario over the given libraries (§4);
+    /// shorthand for [`Lfi::scenario`] with [`Exhaustive`].
+    ///
+    /// # Errors
+    ///
+    /// Fails when any named library is unknown or cannot be disassembled.
+    pub fn exhaustive_scenario(&self, libraries: &[&str]) -> Result<Plan, LfiError> {
+        self.scenario(&Exhaustive, libraries)
+    }
+
+    /// Generates the random scenario over the given libraries (§4);
+    /// shorthand for [`Lfi::scenario`] with [`Random`].
+    ///
+    /// # Errors
+    ///
+    /// Fails when the probability is NaN or outside `[0, 1]`, or when any
+    /// named library is unknown or cannot be disassembled.
+    pub fn random_scenario(&self, libraries: &[&str], probability: f64, seed: u64) -> Result<Plan, LfiError> {
+        self.scenario(&Random::new(probability, seed)?, libraries)
     }
 }
 
@@ -113,13 +210,20 @@ mod tests {
     use super::*;
     use lfi_asm::{FaultSpec, FunctionSpec, LibraryCompiler, LibrarySpec};
     use lfi_isa::Platform;
+    use lfi_runtime::{ExitStatus, NativeLibrary, Process};
+    use lfi_scenario::generator::Filtered;
 
     fn demo() -> SharedObject {
         LibraryCompiler::new()
             .compile(
                 &LibrarySpec::new("libdemo.so", Platform::LinuxX86)
                     .function(FunctionSpec::scalar("a", 1).success(0).fault(FaultSpec::returning(-1)))
-                    .function(FunctionSpec::scalar("b", 1).success(0).fault(FaultSpec::returning(-2)).fault(FaultSpec::returning(-3))),
+                    .function(
+                        FunctionSpec::scalar("b", 1)
+                            .success(0)
+                            .fault(FaultSpec::returning(-2))
+                            .fault(FaultSpec::returning(-3)),
+                    ),
             )
             .object
     }
@@ -138,5 +242,64 @@ mod tests {
         assert!(lfi.profile_all().is_ok());
         assert!(lfi.profile("libmissing.so").is_err());
         assert!(lfi.profiler().library("libdemo.so").is_some());
+    }
+
+    #[test]
+    fn facade_accepts_any_generator_and_reports_typed_errors() {
+        let mut lfi = Lfi::new();
+        lfi.add_library(demo());
+
+        // A combinator generator through the same entry point.
+        let narrowed = lfi
+            .scenario(&Filtered::new(Exhaustive).allow(["b"]).max_entries(1), &["libdemo.so"])
+            .unwrap();
+        assert_eq!(narrowed.intercepted_functions(), vec!["b"]);
+        assert_eq!(narrowed.len(), 1);
+
+        // Unknown libraries and invalid probabilities map to distinct
+        // LfiError variants (and both render a message).
+        let missing = lfi.scenario(&Exhaustive, &["libmissing.so"]).unwrap_err();
+        assert!(matches!(missing, LfiError::Profiler(_)));
+        assert!(missing.to_string().contains("profiling failed"));
+        assert!(missing.source().is_some());
+        let invalid = lfi.random_scenario(&["libdemo.so"], f64::NAN, 1).unwrap_err();
+        assert!(matches!(invalid, LfiError::Scenario(ScenarioError::InvalidProbability { .. })));
+        assert!(invalid.source().is_some());
+    }
+
+    #[test]
+    fn facade_campaign_runs_end_to_end() {
+        // Heuristics on: the profile lists exactly the fault values (-1, -2,
+        // -3), so the exhaustive campaign has one case per fault.
+        let mut lfi = Lfi::with_options(ProfilerOptions::with_heuristics());
+        lfi.add_library(demo());
+        let runtime = NativeLibrary::builder("libdemo.so").function("a", |_| 0).function("b", |_| 0).build();
+        let campaign = lfi.campaign(&Exhaustive, &["libdemo.so"]).unwrap();
+        assert_eq!(campaign.case_list().len(), 3);
+        let report = campaign.parallelism(3).run(
+            move || {
+                let mut process = Process::new();
+                process.load(runtime.clone());
+                process
+            },
+            |process| {
+                // Call both functions a few times so every trigger ordinal
+                // in the per-entry cases can fire.
+                let mut worst = 0i64;
+                for _ in 0..3 {
+                    worst = worst.min(process.call("a", &[1]).unwrap_or(0));
+                    worst = worst.min(process.call("b", &[1]).unwrap_or(0));
+                }
+                if worst < 0 {
+                    ExitStatus::Exited(1)
+                } else {
+                    ExitStatus::Exited(0)
+                }
+            },
+        );
+        assert_eq!(report.outcomes.len(), 3);
+        assert_eq!(report.failures().count(), 3);
+        assert_eq!(report.total_injections(), 3);
+        assert!(lfi.campaign(&Exhaustive, &["libmissing.so"]).is_err());
     }
 }

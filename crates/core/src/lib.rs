@@ -3,14 +3,16 @@
 //! This crate ties the reproduction together.  [`Lfi`] is the user-facing
 //! entry point mirroring the tool's two-step workflow (§2): register the
 //! target application's libraries (and optionally a kernel image), profile
-//! them, and generate fault scenarios to hand to the controller
-//! (`lfi-controller`).  The [`experiments`] module contains the drivers that
-//! regenerate every table and figure of the paper's evaluation; they are
-//! shared by the `repro` binary and the Criterion benches in `lfi-bench`.
+//! them, and drive the whole pipeline — any
+//! [`ScenarioGenerator`](lfi_scenario::generator::ScenarioGenerator) through
+//! [`Lfi::scenario`], or a ready-to-run campaign through [`Lfi::campaign`].
+//! The [`experiments`] module contains the drivers that regenerate every
+//! table and figure of the paper's evaluation; they are shared by the
+//! `repro` binary and the Criterion benches in `lfi-bench`.
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;
 mod facade;
 
-pub use facade::Lfi;
+pub use facade::{Lfi, LfiError};

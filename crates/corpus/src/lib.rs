@@ -2,9 +2,9 @@
 //!
 //! The paper's evaluation runs over real binaries: GNU libc, libxml2,
 //! libpcre, the Apache Portable Runtime, a Linux kernel image, and the
-//! >20,000-function sweep over Ubuntu development packages.  Those binaries
-//! are not available here, so this crate *generates* a corpus with the same
-//! shape (see DESIGN.md §2 for the substitution argument):
+//! sweep over more than 20,000 functions from Ubuntu development packages.
+//! Those binaries are not available here, so this crate *generates* a corpus
+//! with the same shape (see DESIGN.md §2 for the substitution argument):
 //!
 //! * [`kernel`] — the kernel image whose `sys_<n>` handlers produce the
 //!   negative errno constants libc propagates (§3.1);

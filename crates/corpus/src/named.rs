@@ -57,24 +57,168 @@ impl Table2Entry {
 
 /// The 18 libraries of Table 2 with the paper's TP/FN/FP counts.
 pub const TABLE2: &[Table2Entry] = &[
-    Table2Entry { name: "libssl", platform: Platform::WindowsX86, exports: 320, true_positives: 164, false_negatives: 18, false_positives: 6, code_kb: 310 },
-    Table2Entry { name: "libxml2", platform: Platform::SolarisSparc, exports: 1612, true_positives: 1003, false_negatives: 138, false_positives: 88, code_kb: 905 },
-    Table2Entry { name: "libpanel", platform: Platform::SolarisSparc, exports: 28, true_positives: 23, false_negatives: 0, false_positives: 0, code_kb: 14 },
-    Table2Entry { name: "libpctx", platform: Platform::SolarisSparc, exports: 15, true_positives: 10, false_negatives: 0, false_positives: 2, code_kb: 18 },
-    Table2Entry { name: "libldap", platform: Platform::LinuxX86, exports: 410, true_positives: 368, false_negatives: 45, false_positives: 21, code_kb: 330 },
-    Table2Entry { name: "libxml2", platform: Platform::LinuxX86, exports: 1612, true_positives: 989, false_negatives: 152, false_positives: 102, code_kb: 897 },
-    Table2Entry { name: "libXss", platform: Platform::LinuxX86, exports: 14, true_positives: 12, false_negatives: 1, false_positives: 0, code_kb: 9 },
-    Table2Entry { name: "libgtkspell", platform: Platform::LinuxX86, exports: 12, true_positives: 7, false_negatives: 0, false_positives: 0, code_kb: 21 },
-    Table2Entry { name: "libpanel", platform: Platform::LinuxX86, exports: 28, true_positives: 21, false_negatives: 2, false_positives: 0, code_kb: 15 },
-    Table2Entry { name: "libdmx", platform: Platform::LinuxX86, exports: 18, true_positives: 26, false_negatives: 8, false_positives: 0, code_kb: 8 },
-    Table2Entry { name: "libao", platform: Platform::LinuxX86, exports: 32, true_positives: 12, false_negatives: 3, false_positives: 0, code_kb: 33 },
-    Table2Entry { name: "libhesiod", platform: Platform::LinuxX86, exports: 22, true_positives: 10, false_negatives: 0, false_positives: 0, code_kb: 26 },
-    Table2Entry { name: "libnetfilter_q", platform: Platform::LinuxX86, exports: 42, true_positives: 24, false_negatives: 2, false_positives: 0, code_kb: 30 },
-    Table2Entry { name: "libcdt", platform: Platform::LinuxX86, exports: 29, true_positives: 15, false_negatives: 0, false_positives: 0, code_kb: 25 },
-    Table2Entry { name: "libdaemon", platform: Platform::LinuxX86, exports: 38, true_positives: 30, false_negatives: 3, false_positives: 0, code_kb: 29 },
-    Table2Entry { name: "libdns_sd", platform: Platform::LinuxX86, exports: 64, true_positives: 50, false_negatives: 4, false_positives: 2, code_kb: 71 },
-    Table2Entry { name: "libgimpthumb", platform: Platform::LinuxX86, exports: 45, true_positives: 31, false_negatives: 3, false_positives: 3, code_kb: 38 },
-    Table2Entry { name: "libvorbisfile", platform: Platform::LinuxX86, exports: 35, true_positives: 133, false_negatives: 4, false_positives: 39, code_kb: 49 },
+    Table2Entry {
+        name: "libssl",
+        platform: Platform::WindowsX86,
+        exports: 320,
+        true_positives: 164,
+        false_negatives: 18,
+        false_positives: 6,
+        code_kb: 310,
+    },
+    Table2Entry {
+        name: "libxml2",
+        platform: Platform::SolarisSparc,
+        exports: 1612,
+        true_positives: 1003,
+        false_negatives: 138,
+        false_positives: 88,
+        code_kb: 905,
+    },
+    Table2Entry {
+        name: "libpanel",
+        platform: Platform::SolarisSparc,
+        exports: 28,
+        true_positives: 23,
+        false_negatives: 0,
+        false_positives: 0,
+        code_kb: 14,
+    },
+    Table2Entry {
+        name: "libpctx",
+        platform: Platform::SolarisSparc,
+        exports: 15,
+        true_positives: 10,
+        false_negatives: 0,
+        false_positives: 2,
+        code_kb: 18,
+    },
+    Table2Entry {
+        name: "libldap",
+        platform: Platform::LinuxX86,
+        exports: 410,
+        true_positives: 368,
+        false_negatives: 45,
+        false_positives: 21,
+        code_kb: 330,
+    },
+    Table2Entry {
+        name: "libxml2",
+        platform: Platform::LinuxX86,
+        exports: 1612,
+        true_positives: 989,
+        false_negatives: 152,
+        false_positives: 102,
+        code_kb: 897,
+    },
+    Table2Entry {
+        name: "libXss",
+        platform: Platform::LinuxX86,
+        exports: 14,
+        true_positives: 12,
+        false_negatives: 1,
+        false_positives: 0,
+        code_kb: 9,
+    },
+    Table2Entry {
+        name: "libgtkspell",
+        platform: Platform::LinuxX86,
+        exports: 12,
+        true_positives: 7,
+        false_negatives: 0,
+        false_positives: 0,
+        code_kb: 21,
+    },
+    Table2Entry {
+        name: "libpanel",
+        platform: Platform::LinuxX86,
+        exports: 28,
+        true_positives: 21,
+        false_negatives: 2,
+        false_positives: 0,
+        code_kb: 15,
+    },
+    Table2Entry {
+        name: "libdmx",
+        platform: Platform::LinuxX86,
+        exports: 18,
+        true_positives: 26,
+        false_negatives: 8,
+        false_positives: 0,
+        code_kb: 8,
+    },
+    Table2Entry {
+        name: "libao",
+        platform: Platform::LinuxX86,
+        exports: 32,
+        true_positives: 12,
+        false_negatives: 3,
+        false_positives: 0,
+        code_kb: 33,
+    },
+    Table2Entry {
+        name: "libhesiod",
+        platform: Platform::LinuxX86,
+        exports: 22,
+        true_positives: 10,
+        false_negatives: 0,
+        false_positives: 0,
+        code_kb: 26,
+    },
+    Table2Entry {
+        name: "libnetfilter_q",
+        platform: Platform::LinuxX86,
+        exports: 42,
+        true_positives: 24,
+        false_negatives: 2,
+        false_positives: 0,
+        code_kb: 30,
+    },
+    Table2Entry {
+        name: "libcdt",
+        platform: Platform::LinuxX86,
+        exports: 29,
+        true_positives: 15,
+        false_negatives: 0,
+        false_positives: 0,
+        code_kb: 25,
+    },
+    Table2Entry {
+        name: "libdaemon",
+        platform: Platform::LinuxX86,
+        exports: 38,
+        true_positives: 30,
+        false_negatives: 3,
+        false_positives: 0,
+        code_kb: 29,
+    },
+    Table2Entry {
+        name: "libdns_sd",
+        platform: Platform::LinuxX86,
+        exports: 64,
+        true_positives: 50,
+        false_negatives: 4,
+        false_positives: 2,
+        code_kb: 71,
+    },
+    Table2Entry {
+        name: "libgimpthumb",
+        platform: Platform::LinuxX86,
+        exports: 45,
+        true_positives: 31,
+        false_negatives: 3,
+        false_positives: 3,
+        code_kb: 38,
+    },
+    Table2Entry {
+        name: "libvorbisfile",
+        platform: Platform::LinuxX86,
+        exports: 35,
+        true_positives: 133,
+        false_negatives: 4,
+        false_positives: 39,
+        code_kb: 49,
+    },
 ];
 
 /// The libdmx entry (the smallest library in §6.2's profiling-time range).

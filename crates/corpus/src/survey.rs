@@ -90,8 +90,8 @@ pub fn survey_corpus(config: SurveyConfig) -> Vec<CompiledLibrary> {
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut libraries = Vec::with_capacity(config.libraries);
     for lib_index in 0..config.libraries {
-        let mut spec = LibrarySpec::new(format!("libsurvey{lib_index:02}.so"), Platform::LinuxX86)
-            .import("svy_helper", None);
+        let mut spec =
+            LibrarySpec::new(format!("libsurvey{lib_index:02}.so"), Platform::LinuxX86).import("svy_helper", None);
         for fn_index in 0..config.functions_per_library {
             let cell = draw_cell(&mut rng);
             let name = format!("svy{lib_index:02}_fn_{fn_index:04}");

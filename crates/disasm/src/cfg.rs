@@ -81,10 +81,8 @@ impl Cfg {
                         leaders.insert(i + 1);
                     }
                 }
-                Inst::JmpIndirect { .. } | Inst::Ret => {
-                    if i + 1 < len {
-                        leaders.insert(i + 1);
-                    }
+                Inst::JmpIndirect { .. } | Inst::Ret if i + 1 < len => {
+                    leaders.insert(i + 1);
                 }
                 _ => {}
             }
@@ -118,7 +116,10 @@ impl Cfg {
         }
 
         // Successor edges, derived from each block's final instruction.
+        // Indexing (not iterating) because the loop reads neighbouring
+        // blocks while mutating the current one.
         let mut predecessors: Vec<Vec<BlockId>> = vec![Vec::new(); blocks.len()];
+        #[allow(clippy::needless_range_loop)]
         for bi in 0..blocks.len() {
             let last_index = blocks[bi].end - 1;
             let last = insts[last_index];

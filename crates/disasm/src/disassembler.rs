@@ -85,7 +85,9 @@ impl Disassembler {
         object.validate()?;
         let mut functions = Vec::new();
         for (index, symbol) in object.symbols().iter().enumerate() {
-            let SymbolDef::Defined { exported, .. } = symbol.def else { continue };
+            let SymbolDef::Defined { exported, .. } = symbol.def else {
+                continue;
+            };
             let id = SymbolId(index as u32);
             let code = object.code_for(id)?;
             let insts = encode::decode_function(&code.code)
@@ -210,9 +212,7 @@ mod tests {
         let bad = {
             // Build an object whose function bytes are invalid by constructing
             // a valid object and then feeding garbage code through from_bytes.
-            let good = ObjectBuilder::new("libbad.so", Platform::LinuxX86)
-                .export("f", vec![Inst::Ret])
-                .build();
+            let good = ObjectBuilder::new("libbad.so", Platform::LinuxX86).export("f", vec![Inst::Ret]).build();
             let mut raw = good.to_bytes();
             // The final sections are symbols; the code byte for `Ret` (0x0f)
             // appears exactly once — replace it with an invalid opcode.

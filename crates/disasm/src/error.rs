@@ -35,10 +35,9 @@ impl fmt::Display for DisasmError {
             DisasmError::Decode { function, source } => {
                 write!(f, "failed to decode function `{function}`: {source}")
             }
-            DisasmError::BranchOutOfRange { function, target, len } => write!(
-                f,
-                "branch target {target} out of range in function `{function}` ({len} instructions)"
-            ),
+            DisasmError::BranchOutOfRange { function, target, len } => {
+                write!(f, "branch target {target} out of range in function `{function}` ({len} instructions)")
+            }
         }
     }
 }

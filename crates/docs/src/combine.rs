@@ -92,10 +92,8 @@ impl CombinedProfile {
         for (name, values) in &self.functions {
             let mut function = FunctionProfile::new(name.clone());
             let existing = static_profile.function(name);
-            for (&value, _) in values {
-                let from_static = existing
-                    .and_then(|f| f.error_returns.iter().find(|r| r.retval == value))
-                    .cloned();
+            for &value in values.keys() {
+                let from_static = existing.and_then(|f| f.error_returns.iter().find(|r| r.retval == value)).cloned();
                 function.error_returns.push(from_static.unwrap_or_else(|| ErrorReturn::bare(value)));
             }
             out.push_function(function);
@@ -138,10 +136,7 @@ mod tests {
                 side_effects: vec![SideEffect::tls("libc.so.6", 0x12fff4, 9)],
             }],
         });
-        profile.push_function(FunctionProfile {
-            name: "read".into(),
-            error_returns: vec![ErrorReturn::bare(-1)],
-        });
+        profile.push_function(FunctionProfile { name: "read".into(), error_returns: vec![ErrorReturn::bare(-1)] });
         profile
     }
 

@@ -79,11 +79,7 @@ mod proptests {
     use crate::{DocParser, DocumentationSet, StylePolicy};
 
     fn error_map_strategy() -> impl Strategy<Value = BTreeMap<String, BTreeSet<i64>>> {
-        prop::collection::btree_map(
-            "[a-z][a-z0-9_]{1,12}",
-            prop::collection::btree_set(-5000i64..-1, 1..6),
-            1..20,
-        )
+        prop::collection::btree_map("[a-z][a-z0-9_]{1,12}", prop::collection::btree_set(-5000i64..-1, 1..6), 1..20)
     }
 
     proptest! {

@@ -115,10 +115,7 @@ impl ManPage {
                 }
             }
             ReturnValueStyle::Vague => {
-                out.push_str(&format!(
-                    "       On failure, {}() returns a negative error code.\n",
-                    self.function
-                ));
+                out.push_str(&format!("       On failure, {}() returns a negative error code.\n", self.function));
             }
             ReturnValueStyle::CrossReference(target) => {
                 out.push_str(&format!(
@@ -262,10 +259,7 @@ mod tests {
 
     #[test]
     fn enumerated_page_lists_every_value() {
-        let page = ManPage::new("libc.so.6", "close")
-            .with_error_return(-1)
-            .with_errno(9)
-            .with_errno(5);
+        let page = ManPage::new("libc.so.6", "close").with_error_return(-1).with_errno(9).with_errno(5);
         let text = page.render();
         assert!(text.contains("On error, close() returns -1."));
         assert!(text.contains("EBADF"));
@@ -286,8 +280,7 @@ mod tests {
 
     #[test]
     fn cross_reference_page_names_the_target() {
-        let page = ManPage::new("libc.so.6", "linkat")
-            .with_style(ReturnValueStyle::CrossReference("link".into()));
+        let page = ManPage::new("libc.so.6", "linkat").with_style(ReturnValueStyle::CrossReference("link".into()));
         let text = page.render();
         assert!(text.contains("The same errors that occur for link()"));
     }
@@ -348,11 +341,7 @@ mod tests {
         let b = DocumentationSet::from_error_map("libx.so", &map, StylePolicy::realistic(), 7);
         assert_eq!(a, b, "same seed must give the same manual");
         let vague = a.pages.iter().filter(|p| p.style == ReturnValueStyle::Vague).count();
-        let refs = a
-            .pages
-            .iter()
-            .filter(|p| matches!(p.style, ReturnValueStyle::CrossReference(_)))
-            .count();
+        let refs = a.pages.iter().filter(|p| matches!(p.style, ReturnValueStyle::CrossReference(_))).count();
         assert!(vague > 0, "some pages should be vague");
         assert!(refs > 0, "some pages should cross-reference");
         assert!(vague + refs < a.len(), "most pages remain enumerated");

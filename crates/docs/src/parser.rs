@@ -181,11 +181,9 @@ impl DocParser {
                 continue;
             }
             match section {
-                "NAME" => {
-                    if page.function.is_empty() {
-                        if let Some((name, _)) = trimmed.split_once(" - ") {
-                            page.function = name.trim().to_owned();
-                        }
+                "NAME" if page.function.is_empty() => {
+                    if let Some((name, _)) = trimmed.split_once(" - ") {
+                        page.function = name.trim().to_owned();
                     }
                 }
                 "RETURN VALUE" => self.parse_return_value_line(trimmed, &mut page),
@@ -236,7 +234,9 @@ impl DocParser {
     }
 
     fn parse_errors_line(&self, line: &str, page: &mut ParsedPage) -> Result<(), DocError> {
-        let Some(first) = line.split_whitespace().next() else { return Ok(()) };
+        let Some(first) = line.split_whitespace().next() else {
+            return Ok(());
+        };
         if !first.starts_with('E') || !first.chars().all(|c| c.is_ascii_uppercase() || c.is_ascii_digit()) {
             return Ok(());
         }
@@ -249,10 +249,7 @@ impl DocParser {
                 if let Ok(value) = first[1..].parse::<i64>() {
                     page.errnos.insert(value);
                 } else if self.strict_errno {
-                    return Err(DocError::UnknownErrno {
-                        function: page.function.clone(),
-                        name: first.to_owned(),
-                    });
+                    return Err(DocError::UnknownErrno { function: page.function.clone(), name: first.to_owned() });
                 }
             }
         }
@@ -261,9 +258,7 @@ impl DocParser {
 }
 
 fn is_section_header(line: &str) -> bool {
-    !line.starts_with(' ')
-        && !line.trim().is_empty()
-        && line.trim().chars().all(|c| c.is_ascii_uppercase() || c == ' ')
+    !line.starts_with(' ') && !line.trim().is_empty() && line.trim().chars().all(|c| c.is_ascii_uppercase() || c == ' ')
 }
 
 #[cfg(test)]
@@ -305,9 +300,7 @@ mod tests {
     fn cross_references_are_recorded_and_resolved() {
         let mut set = DocumentationSet::new("libc.so.6");
         set.push(ManPage::new("libc.so.6", "link").with_error_return(-1).with_errno(13));
-        set.push(
-            ManPage::new("libc.so.6", "linkat").with_style(ReturnValueStyle::CrossReference("link".into())),
-        );
+        set.push(ManPage::new("libc.so.6", "linkat").with_style(ReturnValueStyle::CrossReference("link".into())));
         let mut parsed = DocParser::new().parse_set("libc.so.6", &set.render()).unwrap();
         assert_eq!(parsed.page("linkat").unwrap().cross_references, vec!["link".to_owned()]);
         parsed.resolve_cross_references().unwrap();

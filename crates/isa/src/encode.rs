@@ -185,20 +185,14 @@ struct Cursor<'a> {
 
 impl<'a> Cursor<'a> {
     fn u8(&mut self) -> Result<u8, IsaError> {
-        let b = *self
-            .bytes
-            .get(self.pos)
-            .ok_or(IsaError::TruncatedInstruction { offset: self.pos })?;
+        let b = *self.bytes.get(self.pos).ok_or(IsaError::TruncatedInstruction { offset: self.pos })?;
         self.pos += 1;
         Ok(b)
     }
 
     fn u32(&mut self) -> Result<u32, IsaError> {
         let end = self.pos + 4;
-        let slice = self
-            .bytes
-            .get(self.pos..end)
-            .ok_or(IsaError::TruncatedInstruction { offset: self.pos })?;
+        let slice = self.bytes.get(self.pos..end).ok_or(IsaError::TruncatedInstruction { offset: self.pos })?;
         self.pos = end;
         Ok(u32::from_le_bytes(slice.try_into().expect("slice is 4 bytes")))
     }
@@ -209,10 +203,7 @@ impl<'a> Cursor<'a> {
 
     fn i64(&mut self) -> Result<i64, IsaError> {
         let end = self.pos + 8;
-        let slice = self
-            .bytes
-            .get(self.pos..end)
-            .ok_or(IsaError::TruncatedInstruction { offset: self.pos })?;
+        let slice = self.bytes.get(self.pos..end).ok_or(IsaError::TruncatedInstruction { offset: self.pos })?;
         self.pos = end;
         Ok(i64::from_le_bytes(slice.try_into().expect("slice is 8 bytes")))
     }
@@ -284,11 +275,7 @@ pub fn decode_function(bytes: &[u8]) -> Result<Vec<Inst>, IsaError> {
             OP_ALU => {
                 let code_offset = cur.pos;
                 let code = cur.u8()?;
-                Inst::Alu {
-                    op: decode_alu(code, code_offset)?,
-                    dst: cur.loc()?,
-                    src: cur.operand()?,
-                }
+                Inst::Alu { op: decode_alu(code, code_offset)?, dst: cur.loc()?, src: cur.operand()? }
             }
             OP_NEG => Inst::Neg { dst: cur.loc()? },
             OP_CMP => Inst::Cmp { a: cur.loc()?, b: cur.operand()? },

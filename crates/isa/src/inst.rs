@@ -245,13 +245,7 @@ pub enum Inst {
 impl Inst {
     /// Returns true if this instruction ends a basic block.
     pub fn is_terminator(&self) -> bool {
-        matches!(
-            self,
-            Inst::Jmp { .. }
-                | Inst::JmpCond { .. }
-                | Inst::JmpIndirect { .. }
-                | Inst::Ret
-        )
+        matches!(self, Inst::Jmp { .. } | Inst::JmpCond { .. } | Inst::JmpIndirect { .. } | Inst::Ret)
     }
 
     /// Returns true if this instruction transfers control to another function.
@@ -322,10 +316,7 @@ mod tests {
         let dst = Loc::Reg(Reg(0));
         assert_eq!(Inst::MovImm { dst, imm: -1 }.written_loc(), Some(dst));
         assert_eq!(Inst::Mov { dst, src: Loc::Arg(0) }.written_loc(), Some(dst));
-        assert_eq!(
-            Inst::Alu { op: BinAluOp::Add, dst, src: Operand::Imm(1) }.written_loc(),
-            Some(dst)
-        );
+        assert_eq!(Inst::Alu { op: BinAluOp::Add, dst, src: Operand::Imm(1) }.written_loc(), Some(dst));
         assert_eq!(Inst::Load { dst: Reg(2), base: Reg(3), offset: 4 }.written_loc(), Some(Loc::Reg(Reg(2))));
         assert_eq!(Inst::LeaPicBase { dst: Reg(3) }.written_loc(), Some(Loc::Reg(Reg(3))));
         assert_eq!(Inst::Store { base: Reg(1), offset: 0, src: Operand::Imm(0) }.written_loc(), None);

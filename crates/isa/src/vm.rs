@@ -78,18 +78,12 @@ where
 
 /// An environment in which every call returns a fixed value and every syscall
 /// returns another fixed value.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct ConstEnv {
     /// Value returned by every direct and indirect call.
     pub call_result: i64,
     /// Value returned by every system call.
     pub syscall_result: i64,
-}
-
-impl Default for ConstEnv {
-    fn default() -> Self {
-        Self { call_result: 0, syscall_result: 0 }
-    }
 }
 
 impl CallEnv for ConstEnv {
@@ -204,7 +198,8 @@ impl Vm {
                     regs: &[i64; Reg::COUNT as usize],
                     stack: &HashMap<i32, i64>,
                     tls: &HashMap<u32, i64>,
-                    globals: &HashMap<u32, i64>| -> i64 {
+                    globals: &HashMap<u32, i64>|
+         -> i64 {
             match loc {
                 Loc::Reg(Reg(r)) => regs[r as usize % Reg::COUNT as usize],
                 Loc::Stack(off) => *stack.get(&off).unwrap_or(&0),
@@ -471,11 +466,7 @@ mod tests {
             (BinAluOp::Mul, 6, 7, 42),
         ];
         for (op, a, b, expected) in cases {
-            let body = vec![
-                Inst::MovImm { dst: r, imm: a },
-                Inst::Alu { op, dst: r, src: Operand::Imm(b) },
-                Inst::Ret,
-            ];
+            let body = vec![Inst::MovImm { dst: r, imm: a }, Inst::Alu { op, dst: r, src: Operand::Imm(b) }, Inst::Ret];
             let out = Vm::new(Platform::LinuxX86).run(&body, &[], &mut ConstEnv::default()).unwrap();
             assert_eq!(out.return_value, expected, "{op:?}");
         }

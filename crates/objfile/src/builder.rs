@@ -85,11 +85,8 @@ impl ObjectBuilder {
         signature: Option<FunctionSig>,
     ) -> Self {
         let func_index = self.add_function(&body);
-        self.symbols.push(Symbol {
-            name: name.into(),
-            def: SymbolDef::Defined { func_index, exported },
-            signature,
-        });
+        self.symbols
+            .push(Symbol { name: name.into(), def: SymbolDef::Defined { func_index, exported }, signature });
         self
     }
 
@@ -111,10 +108,7 @@ impl ObjectBuilder {
 
     /// The symbol id of a previously added symbol, by name.
     pub fn symbol_id(&self, name: &str) -> Option<SymbolId> {
-        self.symbols
-            .iter()
-            .position(|s| s.name == name)
-            .map(|i| SymbolId(i as u32))
+        self.symbols.iter().position(|s| s.name == name).map(|i| SymbolId(i as u32))
     }
 
     /// Finishes the object.
@@ -153,9 +147,7 @@ mod tests {
     #[test]
     fn built_object_round_trips_code() {
         let body = vec![Inst::MovImm { dst: Loc::Reg(Reg(0)), imm: 7 }, Inst::Ret];
-        let obj = ObjectBuilder::new("lib.so", Platform::LinuxX86)
-            .export("seven", body.clone())
-            .build();
+        let obj = ObjectBuilder::new("lib.so", Platform::LinuxX86).export("seven", body.clone()).build();
         let code = obj.code_for_name("seven").unwrap();
         assert_eq!(encode::decode_function(&code.code).unwrap(), body);
     }

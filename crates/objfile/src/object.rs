@@ -107,12 +107,10 @@ impl SharedObject {
         let symbol = self.symbol(id).ok_or_else(|| ObjError::UnknownSymbol { name: id.to_string() })?;
         match symbol.def {
             SymbolDef::Import { .. } => Err(ObjError::SymbolIsImport { name: symbol.name.clone() }),
-            SymbolDef::Defined { func_index, .. } => {
-                self.functions.get(func_index as usize).ok_or_else(|| ObjError::DanglingFunctionIndex {
-                    symbol: symbol.name.clone(),
-                    index: func_index,
-                })
-            }
+            SymbolDef::Defined { func_index, .. } => self
+                .functions
+                .get(func_index as usize)
+                .ok_or_else(|| ObjError::DanglingFunctionIndex { symbol: symbol.name.clone(), index: func_index }),
         }
     }
 
@@ -185,10 +183,7 @@ impl SharedObject {
         for symbol in &self.symbols {
             if let SymbolDef::Defined { func_index, exported } = symbol.def {
                 if self.functions.get(func_index as usize).is_none() {
-                    return Err(ObjError::DanglingFunctionIndex {
-                        symbol: symbol.name.clone(),
-                        index: func_index,
-                    });
+                    return Err(ObjError::DanglingFunctionIndex { symbol: symbol.name.clone(), index: func_index });
                 }
                 if exported && symbol.name.is_empty() {
                     return Err(ObjError::UnknownSymbol { name: "<unnamed export>".to_owned() });

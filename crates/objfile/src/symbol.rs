@@ -171,17 +171,10 @@ mod tests {
 
     #[test]
     fn display_forms() {
-        let s = Symbol {
-            name: "close".into(),
-            def: SymbolDef::Defined { func_index: 2, exported: true },
-            signature: None,
-        };
+        let s =
+            Symbol { name: "close".into(), def: SymbolDef::Defined { func_index: 2, exported: true }, signature: None };
         assert_eq!(s.to_string(), "close (export)");
-        let i = Symbol {
-            name: "free".into(),
-            def: SymbolDef::Import { library_hint: None },
-            signature: None,
-        };
+        let i = Symbol { name: "free".into(), def: SymbolDef::Import { library_hint: None }, signature: None };
         assert_eq!(i.to_string(), "free (import)");
         assert_eq!(SymbolId(4).to_string(), "sym#4");
         assert_eq!(ReturnType::Pointer.to_string(), "pointer");

@@ -128,10 +128,7 @@ impl FunctionProfile {
     /// Number of injectable faults: one per (return value, side-effect
     /// alternative) pair, or one per bare return value.
     pub fn fault_count(&self) -> usize {
-        self.error_returns
-            .iter()
-            .map(|e| e.side_effects.len().max(1))
-            .sum()
+        self.error_returns.iter().map(|e| e.side_effects.len().max(1)).sum()
     }
 }
 
@@ -317,7 +314,14 @@ mod tests {
         let close = profile.function("close").unwrap();
         assert_eq!(close.fault_count(), 3);
         assert_eq!(close.error_values().into_iter().collect::<Vec<_>>(), vec![-1]);
-        assert_eq!(close.error_returns[0].errno_values(), vec![-9, -5, -4].into_iter().collect::<std::collections::BTreeSet<_>>().into_iter().collect::<Vec<_>>());
+        assert_eq!(
+            close.error_returns[0].errno_values(),
+            vec![-9, -5, -4]
+                .into_iter()
+                .collect::<std::collections::BTreeSet<_>>()
+                .into_iter()
+                .collect::<Vec<_>>()
+        );
         assert!(profile.function("getpid").unwrap().is_empty());
         assert!(profile.function("missing").is_none());
         assert!(profile.to_string().contains("libc.so.6"));
@@ -334,10 +338,7 @@ mod tests {
     #[test]
     fn schema_violations_are_reported() {
         assert!(matches!(FaultProfile::from_xml("<plan />"), Err(ProfileError::Schema { .. })));
-        assert!(matches!(
-            FaultProfile::from_xml("<profile><function /></profile>"),
-            Err(ProfileError::Schema { .. })
-        ));
+        assert!(matches!(FaultProfile::from_xml("<profile><function /></profile>"), Err(ProfileError::Schema { .. })));
         assert!(matches!(
             FaultProfile::from_xml("<profile><function name=\"f\"><error-codes /></function></profile>"),
             Err(ProfileError::Schema { .. })

@@ -112,7 +112,9 @@ fn constraints_gating_block(cfg: &Cfg, target: BlockId) -> BTreeSet<ArgConstrain
             continue;
         }
         let insts = cfg.block_insts(block.id);
-        let Some(&Inst::JmpCond { cond, target: jump_target }) = insts.last() else { continue };
+        let Some(&Inst::JmpCond { cond, target: jump_target }) = insts.last() else {
+            continue;
+        };
         // The comparison feeding the branch: the last `cmp` in the block.
         let Some(&Inst::Cmp { a: Loc::Arg(argument), b: Operand::Imm(value) }) =
             insts.iter().rev().find(|inst| matches!(inst, Inst::Cmp { .. }))
@@ -121,8 +123,7 @@ fn constraints_gating_block(cfg: &Cfg, target: BlockId) -> BTreeSet<ArgConstrain
         };
 
         let taken = cfg.block_containing(jump_target as usize);
-        let fallthrough =
-            if block.end < cfg.insts().len() { cfg.block_containing(block.end) } else { None };
+        let fallthrough = if block.end < cfg.insts().len() { cfg.block_containing(block.end) } else { None };
 
         let via_taken = taken.is_some_and(|s| reaches(cfg, s, target, block.id));
         let via_fallthrough = fallthrough.is_some_and(|s| reaches(cfg, s, target, block.id));

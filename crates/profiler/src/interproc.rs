@@ -147,16 +147,15 @@ impl Profiler {
     pub fn profile_many(&self, names: &[&str]) -> Result<Vec<LibraryProfileReport>, ProfilerError> {
         let mut results: Vec<Option<Result<LibraryProfileReport, ProfilerError>>> = Vec::new();
         results.resize_with(names.len(), || None);
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for (index, name) in names.iter().enumerate() {
-                handles.push((index, scope.spawn(move |_| self.profile_library(name))));
+                handles.push((index, scope.spawn(move || self.profile_library(name))));
             }
             for (index, handle) in handles {
                 results[index] = Some(handle.join().expect("profiling thread panicked"));
             }
-        })
-        .expect("profiling scope panicked");
+        });
         results.into_iter().map(|r| r.expect("slot filled")).collect()
     }
 
@@ -300,7 +299,9 @@ impl<'a> Resolver<'a> {
     }
 
     fn compute_kernel_errors(&self, num: u32) -> Vec<i64> {
-        let Some(kernel) = &self.profiler.kernel else { return Vec::new() };
+        let Some(kernel) = &self.profiler.kernel else {
+            return Vec::new();
+        };
         if self.kernel_disassembly.borrow().is_none() {
             let Ok(disassembly) = Disassembler::new().disassemble_object(kernel) else {
                 return Vec::new();
@@ -310,7 +311,9 @@ impl<'a> Resolver<'a> {
         let borrowed = self.kernel_disassembly.borrow();
         let disassembly = borrowed.as_ref().expect("kernel disassembly cached");
         let name = format!("sys_{num}");
-        let Some(function) = disassembly.function(&name) else { return Vec::new() };
+        let Some(function) = disassembly.function(&name) else {
+            return Vec::new();
+        };
         let analysis = analyze_returns(&function.cfg, &kernel.platform().abi());
         analysis.constants().into_iter().filter(|v| *v < 0).collect()
     }
@@ -435,8 +438,12 @@ impl<'a> Resolver<'a> {
             candidates.push(lib.as_str());
         }
         for candidate in candidates {
-            let Some(target) = self.profiler.libraries.get(candidate) else { continue };
-            let Some((id, target_symbol)) = target.symbol_by_name(&name) else { continue };
+            let Some(target) = self.profiler.libraries.get(candidate) else {
+                continue;
+            };
+            let Some((id, target_symbol)) = target.symbol_by_name(&name) else {
+                continue;
+            };
             if target_symbol.is_export() {
                 return self.resolve(candidate, id, in_progress, depth + 1);
             }
@@ -534,8 +541,11 @@ mod tests {
     #[test]
     fn dependent_function_errors_propagate_across_libraries() {
         let inner = compile(
-            LibrarySpec::new("libinner.so", Platform::LinuxX86)
-                .function(FunctionSpec::scalar("inner_fail", 0).success(0).fault(FaultSpec::returning(-77).with_errno(7))),
+            LibrarySpec::new("libinner.so", Platform::LinuxX86).function(
+                FunctionSpec::scalar("inner_fail", 0)
+                    .success(0)
+                    .fault(FaultSpec::returning(-77).with_errno(7)),
+            ),
         );
         let outer = compile(
             LibrarySpec::new("libouter.so", Platform::LinuxX86)
@@ -612,10 +622,7 @@ mod tests {
         let mut tuned = Profiler::with_options(ProfilerOptions::with_heuristics());
         tuned.add_library(lib);
         let report = tuned.profile_library("libh.so").unwrap();
-        assert_eq!(
-            report.profile.function("f").unwrap().error_values().into_iter().collect::<Vec<_>>(),
-            vec![-1]
-        );
+        assert_eq!(report.profile.function("f").unwrap().error_values().into_iter().collect::<Vec<_>>(), vec![-1]);
         assert!(report.profile.function("is_file").unwrap().is_empty());
     }
 
@@ -636,10 +643,7 @@ mod tests {
     #[test]
     fn unknown_library_is_an_error() {
         let profiler = Profiler::new();
-        assert!(matches!(
-            profiler.profile_library("libmissing.so"),
-            Err(ProfilerError::UnknownLibrary { .. })
-        ));
+        assert!(matches!(profiler.profile_library("libmissing.so"), Err(ProfilerError::UnknownLibrary { .. })));
     }
 
     #[test]
@@ -702,6 +706,9 @@ mod tests {
         let report = profiler.profile_library("libout.so").unwrap();
         let f = report.profile.function("getaddr").unwrap();
         let minus_one = f.error_returns.iter().find(|r| r.retval == -1).unwrap();
-        assert!(minus_one.side_effects.iter().any(|s| s.kind == SideEffectKind::OutputArg && s.offset == 1));
+        assert!(minus_one
+            .side_effects
+            .iter()
+            .any(|s| s.kind == SideEffectKind::OutputArg && s.offset == 1));
     }
 }

@@ -90,10 +90,7 @@ impl ReturnAnalysis {
     /// source.
     pub fn has_unresolved(&self) -> bool {
         self.origins.iter().any(|o| {
-            matches!(
-                o,
-                ValueOrigin::IndirectCallReturn { .. } | ValueOrigin::Argument { .. } | ValueOrigin::Unknown
-            )
+            matches!(o, ValueOrigin::IndirectCallReturn { .. } | ValueOrigin::Argument { .. } | ValueOrigin::Unknown)
         })
     }
 }
@@ -114,16 +111,7 @@ pub fn analyze_returns(cfg: &Cfg, abi: &Abi) -> ReturnAnalysis {
         }
         // Trace backwards from just before the `ret`.
         let mut visited: HashSet<(BlockId, Loc)> = HashSet::new();
-        trace(
-            cfg,
-            abi,
-            block.id,
-            block.len() - 1,
-            return_loc,
-            0,
-            &mut visited,
-            &mut analysis,
-        );
+        trace(cfg, abi, block.id, block.len() - 1, return_loc, 0, &mut visited, &mut analysis);
     }
     analysis
 }
@@ -297,10 +285,7 @@ mod tests {
         let insts = vec![Inst::Call { sym: 7 }, Inst::Ret];
         let analysis = analyze(insts);
         assert!(analysis.has_callee_returns());
-        assert!(analysis
-            .origins
-            .iter()
-            .any(|o| matches!(o, ValueOrigin::CalleeReturn { sym: 7, .. })));
+        assert!(analysis.origins.iter().any(|o| matches!(o, ValueOrigin::CalleeReturn { sym: 7, .. })));
 
         let insts = vec![Inst::Syscall { num: 3 }, Inst::Ret];
         let analysis = analyze(insts);
@@ -312,10 +297,7 @@ mod tests {
         let insts = vec![Inst::CallIndirect { loc: Loc::Reg(Reg(5)) }, Inst::Ret];
         let analysis = analyze(insts);
         assert!(analysis.has_unresolved());
-        assert!(analysis
-            .origins
-            .iter()
-            .any(|o| matches!(o, ValueOrigin::IndirectCallReturn { .. })));
+        assert!(analysis.origins.iter().any(|o| matches!(o, ValueOrigin::IndirectCallReturn { .. })));
     }
 
     #[test]
@@ -341,11 +323,7 @@ mod tests {
     fn constants_behind_calls_survive_on_stack_but_not_in_registers() {
         // A constant parked in a register is clobbered by a call; the same
         // constant parked on the stack survives.
-        let reg_case = vec![
-            Inst::MovImm { dst: ret_loc(), imm: -7 },
-            Inst::Call { sym: 1 },
-            Inst::Ret,
-        ];
+        let reg_case = vec![Inst::MovImm { dst: ret_loc(), imm: -7 }, Inst::Call { sym: 1 }, Inst::Ret];
         let analysis = analyze(reg_case);
         // The call's own return value is what reaches the return location.
         assert!(analysis.has_callee_returns());

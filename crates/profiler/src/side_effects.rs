@@ -124,13 +124,9 @@ pub fn side_effects_in_block(cfg: &Cfg, block: BlockId, abi: &Abi) -> Vec<RawSid
             Inst::Store { base, offset, src } => {
                 let value = value_of(src, &states);
                 match states.get(&base) {
-                    Some(RegState::PicBase) => {
-                        if offset >= 0 {
-                            effects.push(RawSideEffect {
-                                target: RawSideTarget::ModuleData { offset: offset as u32 },
-                                value,
-                            });
-                        }
+                    Some(RegState::PicBase) if offset >= 0 => {
+                        effects
+                            .push(RawSideEffect { target: RawSideTarget::ModuleData { offset: offset as u32 }, value });
                     }
                     Some(RegState::ArgPointer(index)) => {
                         effects.push(RawSideEffect { target: RawSideTarget::OutputArg { index: *index }, value });
@@ -236,10 +232,13 @@ mod tests {
             Inst::MovImm { dst: abi.return_loc(), imm: -1 },
             Inst::Ret,
         ]);
-        assert_eq!(effects, vec![RawSideEffect {
-            target: RawSideTarget::ModuleData { offset: abi.errno_tls_offset() },
-            value: RawSideValue::Const(9),
-        }]);
+        assert_eq!(
+            effects,
+            vec![RawSideEffect {
+                target: RawSideTarget::ModuleData { offset: abi.errno_tls_offset() },
+                value: RawSideValue::Const(9),
+            }]
+        );
     }
 
     #[test]
@@ -249,10 +248,10 @@ mod tests {
             Inst::Store { base: Reg(4), offset: 0, src: Operand::Imm(77) },
             Inst::Ret,
         ]);
-        assert_eq!(effects, vec![RawSideEffect {
-            target: RawSideTarget::OutputArg { index: 2 },
-            value: RawSideValue::Const(77),
-        }]);
+        assert_eq!(
+            effects,
+            vec![RawSideEffect { target: RawSideTarget::OutputArg { index: 2 }, value: RawSideValue::Const(77) }]
+        );
     }
 
     #[test]
@@ -312,11 +311,8 @@ mod tests {
         // Three errno values + one global + one output arg; the unknown value
         // contributes nothing.
         assert_eq!(effects.len(), 5);
-        let errno_values: Vec<i64> = effects
-            .iter()
-            .filter(|e| e.kind == SideEffectKind::Tls)
-            .map(|e| e.value)
-            .collect();
+        let errno_values: Vec<i64> =
+            effects.iter().filter(|e| e.kind == SideEffectKind::Tls).map(|e| e.value).collect();
         assert_eq!(errno_values, vec![9, 5, 4]);
         assert!(effects.iter().any(|e| e.kind == SideEffectKind::Global && e.value == 2));
         assert!(effects.iter().any(|e| e.kind == SideEffectKind::OutputArg && e.offset == 1));

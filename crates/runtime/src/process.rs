@@ -99,6 +99,11 @@ const FNPTR_BASE: u64 = 0x7f00_0000_0000;
 /// [`Process::preload`] shadows later definitions exactly as `LD_PRELOAD`
 /// makes the LFI interceptor shadow the original library (§5.1); the shadowed
 /// definition remains reachable through [`CallContext::call_next`].
+///
+/// Processes are `Send + Sync + Clone`: a clone shares the (immutable)
+/// library behaviours but owns its own state, so independent clones can run
+/// concurrently on different threads — the contract parallel campaign
+/// execution (`lfi-controller`'s `Campaign::parallelism`) builds on.
 #[derive(Debug, Clone, Default)]
 pub struct Process {
     libraries: Vec<NativeLibrary>,
@@ -153,10 +158,7 @@ impl Process {
 
     /// The resolution chain for a symbol: every definition in load order.
     fn resolution_chain(&self, symbol: &str) -> Vec<NativeFn> {
-        self.libraries
-            .iter()
-            .filter_map(|lib| lib.function(symbol).cloned())
-            .collect()
+        self.libraries.iter().filter_map(|lib| lib.function(symbol).cloned()).collect()
     }
 
     /// Calls a library function by name, dispatching to the first definition
@@ -231,14 +233,8 @@ impl Process {
             self.state.call_log.push(symbol.to_owned());
         }
         self.state.stack.push(symbol.to_owned());
-        let mut context = CallContext {
-            process: self,
-            symbol: symbol.to_owned(),
-            chain,
-            chain_index: 0,
-            args: args.to_vec(),
-            depth,
-        };
+        let mut context =
+            CallContext { process: self, symbol: symbol.to_owned(), chain, chain_index: 0, args: args.to_vec(), depth };
         let result = context.invoke_current();
         self.state.stack.pop();
         result
@@ -397,10 +393,7 @@ mod tests {
         assert_eq!(process.call("getpid", &[]).unwrap(), 1234);
         assert_eq!(process.call("read", &[3, 0x1000, 64]).unwrap(), 64);
         assert_eq!(process.state().errno(), 0);
-        assert!(matches!(
-            process.call("write", &[]),
-            Err(RuntimeError::UnresolvedSymbol { .. })
-        ));
+        assert!(matches!(process.call("write", &[]), Err(RuntimeError::UnresolvedSymbol { .. })));
     }
 
     #[test]
@@ -568,6 +561,34 @@ mod tests {
         let ptr = process.fnptr("getpid").unwrap();
         assert!(ptr.raw() >= 0x7f00_0000_0000);
         assert_eq!(process.fnptr_symbol(ptr), Some("getpid"));
+    }
+
+    #[test]
+    fn cloned_processes_run_independently_on_their_own_threads() {
+        // The contract parallel campaigns rely on: clones share library
+        // behaviours but own their state, and can run on worker threads.
+        let mut template = Process::new();
+        template.load(libc());
+        template.state_mut().set_call_log_enabled(true);
+        let results: Vec<(i64, i64, usize)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|i| {
+                    let mut process = template.clone();
+                    scope.spawn(move || {
+                        let value = process.call("read", &[3, 0, 10 + i]).unwrap();
+                        (value, process.state().errno(), process.state().call_log().len())
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (i, (value, errno, calls)) in results.into_iter().enumerate() {
+            assert_eq!(value, 10 + i as i64);
+            assert_eq!(errno, 0);
+            assert_eq!(calls, 1, "each clone has its own call log");
+        }
+        // The template never ran anything.
+        assert!(template.state().call_log().is_empty());
     }
 
     #[test]

@@ -3,8 +3,9 @@ use std::fmt;
 
 use lfi_profile::xml::XmlError;
 
-/// Errors produced while reading a fault scenario from XML.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// Errors produced while reading a fault scenario from XML or constructing a
+/// scenario generator.
+#[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub enum ScenarioError {
     /// The document is not well-formed XML.
@@ -20,6 +21,12 @@ pub enum ScenarioError {
         field: String,
         /// The offending text.
         text: String,
+    },
+    /// An injection probability outside `[0, 1]` (or NaN) was supplied to a
+    /// random scenario generator.
+    InvalidProbability {
+        /// The rejected value.
+        value: f64,
     },
 }
 
@@ -42,6 +49,9 @@ impl fmt::Display for ScenarioError {
             ScenarioError::Schema { message } => write!(f, "invalid fault scenario: {message}"),
             ScenarioError::InvalidNumber { field, text } => {
                 write!(f, "invalid number {text:?} in attribute {field}")
+            }
+            ScenarioError::InvalidProbability { value } => {
+                write!(f, "invalid injection probability {value}: must be in [0, 1]")
             }
         }
     }
@@ -71,5 +81,8 @@ mod tests {
         assert!(ScenarioError::from(XmlError::NoRootElement).source().is_some());
         assert!(!ScenarioError::schema("boom").to_string().is_empty());
         assert!(!ScenarioError::invalid_number("inject", "x").to_string().is_empty());
+        let invalid = ScenarioError::InvalidProbability { value: f64::NAN };
+        assert!(invalid.to_string().contains("[0, 1]"));
+        assert!(invalid.source().is_none());
     }
 }

@@ -1,188 +1,73 @@
-//! Automatic scenario generation (§4): exhaustive and random faultloads
-//! derived from fault profiles, so that "in many cases, testers need not do
-//! any manual work".
+//! Deprecated free-function shims over the [`crate::generator`] types.
+//!
+//! Scenario generation is now pluggable through the
+//! [`ScenarioGenerator`](crate::generator::ScenarioGenerator) trait; these
+//! wrappers keep the original §4 entry points compiling for downstream code
+//! and will be removed in a future release.
 
 use lfi_profile::FaultProfile;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
 
-use crate::{FaultAction, Plan, PlanEntry, Trigger};
+use crate::generator::{Exhaustive, Random, ScenarioGenerator, TriggerLoad};
+use crate::{Plan, ScenarioError};
 
-/// Generates the *exhaustive* scenario: every exported function of every
-/// profiled library is included, and consecutive calls to a function iterate
-/// through its possible error codes (call 1 injects the first fault, call 2
-/// the second, …).
+/// Generates the *exhaustive* scenario (§4).
+#[deprecated(since = "0.1.0", note = "use lfi_scenario::generator::Exhaustive")]
 pub fn exhaustive(profiles: &[FaultProfile]) -> Plan {
-    let mut plan = Plan::new();
-    for profile in profiles {
-        for function in &profile.functions {
-            let mut call_ordinal = 1u64;
-            for error in &function.error_returns {
-                if error.side_effects.is_empty() {
-                    plan.entries.push(PlanEntry {
-                        function: function.name.clone(),
-                        trigger: Trigger::on_call(call_ordinal),
-                        action: FaultAction { retval: Some(error.retval), ..FaultAction::default() },
-                    });
-                    call_ordinal += 1;
-                } else {
-                    for effect in &error.side_effects {
-                        plan.entries.push(PlanEntry {
-                            function: function.name.clone(),
-                            trigger: Trigger::on_call(call_ordinal),
-                            action: FaultAction {
-                                retval: Some(error.retval),
-                                side_effects: vec![effect.clone()],
-                                ..FaultAction::default()
-                            },
-                        });
-                        call_ordinal += 1;
-                    }
-                }
-            }
-        }
-    }
-    plan
+    Exhaustive.generate(profiles)
 }
 
-/// Generates the *random* scenario: each profiled function gets one
-/// probability-triggered entry whose injected error is drawn uniformly from
-/// the function's fault set every time the trigger fires.
-pub fn random(profiles: &[FaultProfile], probability: f64, seed: u64) -> Plan {
-    let mut plan = Plan::new().with_seed(seed);
-    for profile in profiles {
-        for function in &profile.functions {
-            if function.error_returns.is_empty() {
-                continue;
-            }
-            plan.entries.push(PlanEntry {
-                function: function.name.clone(),
-                trigger: Trigger::with_probability(probability),
-                action: FaultAction { random_choices: function.error_returns.clone(), ..FaultAction::default() },
-            });
-        }
-    }
-    plan
+/// Generates the *random* scenario (§4).
+///
+/// # Errors
+///
+/// Returns [`ScenarioError::InvalidProbability`] when `probability` is NaN or
+/// outside `[0, 1]` — previously such values silently produced degenerate
+/// plans.
+#[deprecated(since = "0.1.0", note = "use lfi_scenario::generator::Random")]
+pub fn random(profiles: &[FaultProfile], probability: f64, seed: u64) -> Result<Plan, ScenarioError> {
+    Ok(Random::new(probability, seed)?.generate(profiles))
 }
 
 /// Generates a plan with exactly `count` call-count triggers spread over the
-/// given functions, drawing error codes from the profiles.  This is the
-/// "N triggers on the top-K most-called functions" construction used by the
-/// overhead experiments (Tables 3 and 4); `passthrough` keeps the benchmark
-/// completing by always calling the original function.
-pub fn trigger_load(
-    profiles: &[FaultProfile],
-    functions: &[&str],
-    count: usize,
-    passthrough: bool,
-    seed: u64,
-) -> Plan {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut plan = Plan::new().with_seed(seed);
-    if functions.is_empty() || count == 0 {
-        return plan;
-    }
-    // Collect the fault pool per function (empty profiles fall back to -1).
-    let pool_for = |name: &str| -> Vec<i64> {
-        for profile in profiles {
-            if let Some(function) = profile.function(name) {
-                let values: Vec<i64> = function.error_values().into_iter().collect();
-                if !values.is_empty() {
-                    return values;
-                }
-            }
-        }
-        vec![-1]
-    };
-    for i in 0..count {
-        let function = functions[i % functions.len()];
-        let pool = pool_for(function);
-        let retval = *pool.choose(&mut rng).expect("pool is never empty");
-        let inject_at = rng.gen_range(1..=1000u64);
-        let mut action = FaultAction::return_value(retval);
-        action.call_original = passthrough;
-        plan.entries.push(PlanEntry {
-            function: function.to_owned(),
-            trigger: Trigger::on_call(inject_at),
-            action,
-        });
-    }
-    plan
+/// given functions (the Tables 3/4 overhead construction).
+#[deprecated(since = "0.1.0", note = "use lfi_scenario::generator::TriggerLoad")]
+pub fn trigger_load(profiles: &[FaultProfile], functions: &[&str], count: usize, passthrough: bool, seed: u64) -> Plan {
+    TriggerLoad::new(functions.iter().copied(), count, seed)
+        .passthrough(passthrough)
+        .generate(profiles)
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
-    use lfi_profile::{ErrorReturn, FunctionProfile, SideEffect};
+    use lfi_profile::{ErrorReturn, FunctionProfile};
 
     fn demo_profile() -> FaultProfile {
         let mut profile = FaultProfile::new("libc.so.6");
         profile.push_function(FunctionProfile {
-            name: "close".into(),
-            error_returns: vec![ErrorReturn {
-                retval: -1,
-                side_effects: vec![
-                    SideEffect::tls("libc.so.6", 0x12fff4, 9),
-                    SideEffect::tls("libc.so.6", 0x12fff4, 5),
-                ],
-            }],
-        });
-        profile.push_function(FunctionProfile {
             name: "read".into(),
             error_returns: vec![ErrorReturn::bare(-1), ErrorReturn::bare(0)],
         });
-        profile.push_function(FunctionProfile::new("getpid"));
         profile
     }
 
     #[test]
-    fn exhaustive_iterates_error_codes_per_call() {
-        let plan = exhaustive(&[demo_profile()]);
-        // close: 2 errno alternatives; read: 2 bare error codes; getpid: none.
-        assert_eq!(plan.len(), 4);
-        let close_entries: Vec<_> = plan.entries_for("close").collect();
-        assert_eq!(close_entries[0].trigger.inject_at_call, Some(1));
-        assert_eq!(close_entries[1].trigger.inject_at_call, Some(2));
-        assert_eq!(close_entries[0].action.side_effects[0].value, 9);
-        assert_eq!(close_entries[1].action.side_effects[0].value, 5);
-        let read_entries: Vec<_> = plan.entries_for("read").collect();
-        assert_eq!(read_entries.len(), 2);
-        assert!(plan.entries_for("getpid").next().is_none());
-        assert!(!plan.entries.iter().any(|e| e.action.call_original));
-    }
-
-    #[test]
-    fn random_scenario_has_one_entry_per_faulty_function() {
-        let plan = random(&[demo_profile()], 0.1, 7);
-        assert_eq!(plan.len(), 2);
-        assert_eq!(plan.seed, Some(7));
-        for entry in &plan.entries {
-            assert_eq!(entry.trigger.probability, Some(0.1));
-            assert!(!entry.action.random_choices.is_empty());
-        }
-    }
-
-    #[test]
-    fn trigger_load_produces_requested_count_and_is_deterministic() {
+    fn shims_delegate_to_the_generators() {
         let profiles = [demo_profile()];
-        let a = trigger_load(&profiles, &["close", "read"], 100, true, 99);
-        let b = trigger_load(&profiles, &["close", "read"], 100, true, 99);
-        assert_eq!(a, b);
-        assert_eq!(a.len(), 100);
-        assert!(a.entries.iter().all(|e| e.action.call_original));
-        // Functions without profile data fall back to -1.
-        let c = trigger_load(&profiles, &["unknown_fn"], 3, false, 1);
-        assert!(c.entries.iter().all(|e| e.action.retval == Some(-1)));
-        assert!(trigger_load(&profiles, &[], 10, false, 1).is_empty());
-        assert!(trigger_load(&profiles, &["close"], 0, false, 1).is_empty());
+        assert_eq!(exhaustive(&profiles), Exhaustive.generate(&profiles));
+        assert_eq!(random(&profiles, 0.1, 7).unwrap(), Random::new(0.1, 7).unwrap().generate(&profiles));
+        assert_eq!(
+            trigger_load(&profiles, &["read"], 5, true, 3),
+            TriggerLoad::new(["read"], 5, 3).generate(&profiles)
+        );
     }
 
     #[test]
-    fn xml_round_trip_of_generated_plans() {
-        let plan = exhaustive(&[demo_profile()]);
-        assert_eq!(Plan::from_xml(&plan.to_xml()).unwrap(), plan);
-        let plan = random(&[demo_profile()], 0.25, 3);
-        assert_eq!(Plan::from_xml(&plan.to_xml()).unwrap(), plan);
+    fn random_shim_rejects_invalid_probabilities() {
+        let profiles = [demo_profile()];
+        assert!(matches!(random(&profiles, f64::NAN, 1), Err(ScenarioError::InvalidProbability { .. })));
+        assert!(matches!(random(&profiles, -0.5, 1), Err(ScenarioError::InvalidProbability { .. })));
+        assert!(matches!(random(&profiles, 1.5, 1), Err(ScenarioError::InvalidProbability { .. })));
     }
 }

@@ -3,14 +3,18 @@
 //! A fault injection scenario pairs *triggers* (call counts, stack traces,
 //! probabilities) with *faults* (injected return values, errno, side effects,
 //! argument modifications).  This crate defines the plan data model
-//! ([`Plan`]), its XML dialect (round-tripping the exact snippets shown in the
-//! paper), the automatic generators — [`generate::exhaustive`] and
-//! [`generate::random`] — and the ready-made libc scenarios of §4
-//! ([`ready_made`]).
+//! ([`Plan`]), its XML dialect (round-tripping the exact snippets shown in
+//! the paper), the pluggable scenario generators ([`generator`], built around
+//! the [`ScenarioGenerator`] trait), and the ready-made libc scenarios of §4
+//! ([`ready_made`]).  The pre-trait free functions survive as deprecated
+//! shims in [`generate`].
 //!
 //! ```
+//! use lfi_profile::{ErrorReturn, FaultProfile, FunctionProfile};
+//! use lfi_scenario::generator::{Exhaustive, ScenarioGenerator};
 //! use lfi_scenario::{FaultAction, Plan, PlanEntry, Trigger};
 //!
+//! // Hand-written plans and generated plans share one data model.
 //! let plan = Plan::new().entry(PlanEntry {
 //!     function: "readdir64".into(),
 //!     trigger: Trigger::on_call(5),
@@ -18,6 +22,14 @@
 //! });
 //! let xml = plan.to_xml();
 //! assert_eq!(Plan::from_xml(&xml).unwrap(), plan);
+//!
+//! let mut profile = FaultProfile::new("libdemo.so");
+//! profile.push_function(FunctionProfile {
+//!     name: "demo_read".into(),
+//!     error_returns: vec![ErrorReturn::bare(-1)],
+//! });
+//! let generated = Exhaustive.generate(std::slice::from_ref(&profile));
+//! assert_eq!(generated.len(), 1);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -26,10 +38,12 @@
 pub mod errno;
 mod error;
 pub mod generate;
+pub mod generator;
 mod plan;
 pub mod ready_made;
 
 pub use error::ScenarioError;
+pub use generator::{Composite, Exhaustive, Filtered, Random, ReadyMade, ScenarioGenerator, TriggerLoad};
 pub use plan::{ArgModification, ArgOp, FaultAction, Plan, PlanEntry, Trigger};
 
 #[cfg(test)]

@@ -103,7 +103,7 @@ impl Trigger {
 }
 
 /// The fault part of a `<trigger, fault>` tuple.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
 pub struct FaultAction {
     /// Return value to inject (`None` leaves the return value untouched,
     /// useful for pure argument-modification entries).
@@ -119,19 +119,6 @@ pub struct FaultAction {
     /// When non-empty, the injector picks one of these error returns at
     /// random each time the trigger fires (used by random scenarios).
     pub random_choices: Vec<ErrorReturn>,
-}
-
-impl Default for FaultAction {
-    fn default() -> Self {
-        Self {
-            retval: None,
-            errno: None,
-            side_effects: Vec::new(),
-            call_original: false,
-            arg_modifications: Vec::new(),
-            random_choices: Vec::new(),
-        }
-    }
 }
 
 impl FaultAction {
@@ -321,16 +308,16 @@ impl Plan {
             action.call_original = matches!(fe.attribute("calloriginal"), Some("true") | Some("1"));
             for me in fe.children_named("modify") {
                 let argument = parse_attr_u8(me, "argument")?;
-                let op_text = me
-                    .attribute("op")
-                    .ok_or_else(|| ScenarioError::schema("<modify> missing op attribute"))?;
+                let op_text =
+                    me.attribute("op").ok_or_else(|| ScenarioError::schema("<modify> missing op attribute"))?;
                 let op = ArgOp::parse(op_text)
                     .ok_or_else(|| ScenarioError::schema(format!("unknown modify op {op_text:?}")))?;
                 let value_text = me
                     .attribute("value")
                     .ok_or_else(|| ScenarioError::schema("<modify> missing value attribute"))?;
-                let value =
-                    value_text.parse::<i64>().map_err(|_| ScenarioError::invalid_number("value", value_text))?;
+                let value = value_text
+                    .parse::<i64>()
+                    .map_err(|_| ScenarioError::invalid_number("value", value_text))?;
                 action.arg_modifications.push(ArgModification { argument, op, value });
             }
             for se in fe.children_named("side-effect") {
@@ -340,8 +327,9 @@ impl Plan {
                 let retval_text = ce
                     .attribute("retval")
                     .ok_or_else(|| ScenarioError::schema("<choice> missing retval attribute"))?;
-                let retval =
-                    retval_text.parse::<i64>().map_err(|_| ScenarioError::invalid_number("retval", retval_text))?;
+                let retval = retval_text
+                    .parse::<i64>()
+                    .map_err(|_| ScenarioError::invalid_number("retval", retval_text))?;
                 let mut side_effects = Vec::new();
                 for se in ce.children_named("side-effect") {
                     side_effects.push(parse_side_effect(se)?);
@@ -371,8 +359,8 @@ fn parse_side_effect(se: &XmlElement) -> Result<SideEffect, ScenarioError> {
     };
     let module = se.attribute("module").unwrap_or("").to_owned();
     let offset_text = se.attribute("offset").unwrap_or("0");
-    let offset = u32::from_str_radix(offset_text, 16)
-        .map_err(|_| ScenarioError::invalid_number("offset", offset_text))?;
+    let offset =
+        u32::from_str_radix(offset_text, 16).map_err(|_| ScenarioError::invalid_number("offset", offset_text))?;
     let value_text = se.text_content();
     let value = value_text
         .parse::<i64>()
@@ -481,7 +469,10 @@ mod tests {
         assert!(Plan::from_xml("<plan><function /></plan>").is_err());
         assert!(Plan::from_xml("<plan><function name=\"f\" inject=\"x\" /></plan>").is_err());
         assert!(Plan::from_xml("<plan><function name=\"f\" errno=\"EWEIRD\" /></plan>").is_err());
-        assert!(Plan::from_xml("<plan><function name=\"f\"><modify argument=\"0\" op=\"frob\" value=\"1\" /></function></plan>").is_err());
+        assert!(Plan::from_xml(
+            "<plan><function name=\"f\"><modify argument=\"0\" op=\"frob\" value=\"1\" /></function></plan>"
+        )
+        .is_err());
         assert!(Plan::from_xml("not xml at all").is_err());
     }
 

@@ -4,12 +4,27 @@
 
 use lfi_profile::FaultProfile;
 
-use crate::{generate, Plan};
+use crate::generator::{ReadyMade, ScenarioGenerator};
+use crate::{Plan, ScenarioError};
 
 /// libc functions covered by the file-I/O ready-made scenario.
 pub const FILE_IO_FUNCTIONS: &[&str] = &[
-    "open", "open64", "read", "write", "close", "lseek", "fsync", "stat", "fstat", "readdir", "readdir64", "unlink",
-    "rename", "ftruncate", "pread", "pwrite",
+    "open",
+    "open64",
+    "read",
+    "write",
+    "close",
+    "lseek",
+    "fsync",
+    "stat",
+    "fstat",
+    "readdir",
+    "readdir64",
+    "unlink",
+    "rename",
+    "ftruncate",
+    "pread",
+    "pwrite",
 ];
 
 /// libc functions covered by the memory-allocation ready-made scenario.
@@ -17,39 +32,45 @@ pub const MEMORY_FUNCTIONS: &[&str] = &["malloc", "calloc", "realloc", "posix_me
 
 /// libc functions covered by the socket-I/O ready-made scenario.
 pub const SOCKET_FUNCTIONS: &[&str] = &[
-    "socket", "connect", "bind", "listen", "accept", "send", "sendto", "recv", "recvfrom", "select", "poll",
-    "getaddrinfo", "pipe",
+    "socket",
+    "connect",
+    "bind",
+    "listen",
+    "accept",
+    "send",
+    "sendto",
+    "recv",
+    "recvfrom",
+    "select",
+    "poll",
+    "getaddrinfo",
+    "pipe",
 ];
-
-/// Narrows a profile to the named functions.
-fn restricted(profile: &FaultProfile, functions: &[&str]) -> FaultProfile {
-    let mut narrowed = profile.clone();
-    narrowed.retain_functions(functions);
-    narrowed
-}
 
 /// Exhaustive injection over the file-I/O subset of a libc profile.
 pub fn file_io_faults(libc_profile: &FaultProfile) -> Plan {
-    generate::exhaustive(&[restricted(libc_profile, FILE_IO_FUNCTIONS)])
+    ReadyMade::file_io().generate(std::slice::from_ref(libc_profile))
 }
 
 /// Exhaustive injection over the memory-allocation subset of a libc profile.
 pub fn memory_faults(libc_profile: &FaultProfile) -> Plan {
-    generate::exhaustive(&[restricted(libc_profile, MEMORY_FUNCTIONS)])
+    ReadyMade::memory().generate(std::slice::from_ref(libc_profile))
 }
 
 /// Exhaustive injection over the socket-I/O subset of a libc profile.
 pub fn socket_faults(libc_profile: &FaultProfile) -> Plan {
-    generate::exhaustive(&[restricted(libc_profile, SOCKET_FUNCTIONS)])
+    ReadyMade::socket_io().generate(std::slice::from_ref(libc_profile))
 }
 
 /// Random injection with the given probability over the I/O functions
 /// (file + socket), the configuration used to find the Pidgin bug in §6.1.
-pub fn random_io_faults(libc_profile: &FaultProfile, probability: f64, seed: u64) -> Plan {
-    let mut functions: Vec<&str> = Vec::new();
-    functions.extend_from_slice(FILE_IO_FUNCTIONS);
-    functions.extend_from_slice(SOCKET_FUNCTIONS);
-    generate::random(&[restricted(libc_profile, &functions)], probability, seed)
+///
+/// # Errors
+///
+/// Returns [`ScenarioError::InvalidProbability`] when `probability` is NaN or
+/// outside `[0, 1]`.
+pub fn random_io_faults(libc_profile: &FaultProfile, probability: f64, seed: u64) -> Result<Plan, ScenarioError> {
+    Ok(ReadyMade::random_io(probability, seed)?.generate(std::slice::from_ref(libc_profile)))
 }
 
 #[cfg(test)]
@@ -60,10 +81,7 @@ mod tests {
     fn libc_profile() -> FaultProfile {
         let mut profile = FaultProfile::new("libc.so.6");
         for name in ["read", "write", "malloc", "socket", "getpid", "connect"] {
-            profile.push_function(FunctionProfile {
-                name: name.into(),
-                error_returns: vec![ErrorReturn::bare(-1)],
-            });
+            profile.push_function(FunctionProfile { name: name.into(), error_returns: vec![ErrorReturn::bare(-1)] });
         }
         profile
     }
@@ -88,9 +106,13 @@ mod tests {
 
     #[test]
     fn random_io_covers_file_and_socket_functions() {
-        let plan = random_io_faults(&libc_profile(), 0.1, 11);
+        let plan = random_io_faults(&libc_profile(), 0.1, 11).unwrap();
         assert_eq!(plan.intercepted_functions(), vec!["connect", "read", "socket", "write"]);
         assert!(plan.entries.iter().all(|e| e.trigger.probability == Some(0.1)));
+        assert!(matches!(
+            random_io_faults(&libc_profile(), f64::NAN, 11),
+            Err(ScenarioError::InvalidProbability { .. })
+        ));
     }
 
     #[test]

@@ -63,7 +63,10 @@ fn main() {
     process.push_frame("refresh_files");
     let entry = process.call("readdir", &[0x10]).unwrap();
     process.pop_frame();
-    println!("readdir call 5 inside refresh_files: {entry:#x} (0 means the injection fired), errno {}", process.state().errno());
+    println!(
+        "readdir call 5 inside refresh_files: {entry:#x} (0 means the injection fired), errno {}",
+        process.state().errno()
+    );
 
     // --- read: the 2nd call is shortened by 10 bytes and passed through ----
     let full = process.call("read", &[3, 0x2000, 64]).unwrap();

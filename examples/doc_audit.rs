@@ -37,7 +37,9 @@ fn main() {
     println!("== errno values found in the binary but missing from the documentation ==");
     let documented = lfi::corpus::libc_errno_documentation();
     for function in ["close", "modify_ldt"] {
-        let Some(found) = profile.function(function) else { continue };
+        let Some(found) = profile.function(function) else {
+            continue;
+        };
         let found_errnos: BTreeSet<i64> =
             found.error_returns.iter().flat_map(|r| r.errno_values()).map(i64::abs).collect();
         let listed = documented.get(function).cloned().unwrap_or_default();
@@ -56,12 +58,7 @@ fn main() {
     }
 
     // --- combined static + documentation profile ---------------------------
-    let manual = DocumentationSet::from_error_map(
-        libc.name(),
-        &libc.documentation,
-        StylePolicy::realistic(),
-        2009,
-    );
+    let manual = DocumentationSet::from_error_map(libc.name(), &libc.documentation, StylePolicy::realistic(), 2009);
     let mut parsed = DocParser::new().parse_set(libc.name(), &manual.render()).expect("manual parses");
     parsed.resolve_cross_references().expect("references resolve");
     println!(

@@ -6,12 +6,12 @@
 //! Run with `cargo run --example pidgin_bug_hunt`.
 
 use lfi::apps::{base_process, new_world, PidginApp};
-use lfi::controller::Injector;
+use lfi::controller::{Campaign, CaseWorkload, ExecutionPolicy, TestCase};
 use lfi::core::experiments;
 use lfi::corpus::{build_kernel, build_libc_scaled};
 use lfi::isa::Platform;
 use lfi::profiler::{Profiler, ProfilerOptions};
-use lfi::scenario::ready_made;
+use lfi::scenario::generator::{ReadyMade, ScenarioGenerator};
 
 fn main() {
     // The packaged experiment driver...
@@ -25,30 +25,46 @@ fn main() {
     profiler.set_kernel(build_kernel(platform));
     let libc_profile = profiler.profile_library("libc.so.6").expect("libc profiles").profile;
 
-    for attempt in 0..100u64 {
-        let plan = ready_made::random_io_faults(&libc_profile, 0.10, 7000 + attempt);
-        let injector = Injector::new(plan);
-        let world = new_world();
-        let mut process = base_process(&world, false);
-        process.preload(injector.synthesize_interceptor());
-
-        let status = PidginApp::new().login(&mut process, &world);
-        if status.is_crash() {
-            println!("attempt {attempt}: Pidgin login crashed: {status}");
-            println!("injection log:\n{}", injector.log().to_text());
-            let replay = injector.replay_plan();
-            println!("replay script:\n{}", replay.to_xml());
-
-            // Re-run under the replay script, as a developer would before
-            // attaching a debugger.
+    // A campaign of random I/O faultloads, one test case per seed, stopped
+    // at the first crash; every case gets a fresh simulated world.
+    // Faultloads are generated in batches so an early crash (the common
+    // outcome) does not pay for plans the policy would only discard.
+    let run_login = |cases: Vec<TestCase>, policy: ExecutionPolicy| {
+        Campaign::new().cases(cases).policy(policy).run_per_case(|_case| {
             let world = new_world();
-            let mut process = base_process(&world, false);
-            let replay_injector = Injector::new(replay);
-            process.preload(replay_injector.synthesize_interceptor());
-            let replayed = PidginApp::new().login(&mut process, &world);
-            println!("replayed run: {replayed}");
-            return;
+            let process = base_process(&world, false);
+            let workload: CaseWorkload = Box::new(move |process| PidginApp::new().login(process, &world));
+            (process, workload)
+        })
+    };
+    const BATCH: u64 = 16;
+    let mut first_crash = None;
+    for batch_start in (0..100u64).step_by(BATCH as usize) {
+        let cases: Vec<TestCase> = (batch_start..(batch_start + BATCH).min(100))
+            .map(|attempt| {
+                let generator = ReadyMade::random_io(0.10, 7000 + attempt).expect("0.10 is a valid probability");
+                TestCase::new(
+                    format!("random-io-{attempt:03}"),
+                    generator.generate(std::slice::from_ref(&libc_profile)),
+                )
+            })
+            .collect();
+        let report = run_login(cases, ExecutionPolicy::run_all().stop_on_first_crash());
+        first_crash = report.crashes().next().cloned();
+        if first_crash.is_some() {
+            break;
         }
     }
-    println!("no crash in 100 attempts (unexpected — the bug should be found quickly)");
+    let Some(crash) = first_crash else {
+        println!("no crash in 100 attempts (unexpected — the bug should be found quickly)");
+        return;
+    };
+    println!("{}: Pidgin login crashed: {}", crash.name, crash.status);
+    println!("injection log:\n{}", crash.log.to_text());
+    println!("replay script:\n{}", crash.replay.to_xml());
+
+    // Re-run under the replay script, as a developer would before attaching
+    // a debugger.
+    let replay_report = run_login(vec![TestCase::new("replay", crash.replay.clone())], ExecutionPolicy::run_all());
+    println!("replayed run: {}", replay_report.outcomes[0].status);
 }

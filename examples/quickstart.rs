@@ -4,18 +4,31 @@
 //! 2. profile its binary to discover error return values and errno side
 //!    effects;
 //! 3. auto-generate an exhaustive fault scenario;
-//! 4. synthesize an interceptor library and preload it into a simulated
-//!    process;
-//! 5. run a tiny "application" against it and print the injection log and the
-//!    replay script.
+//! 4. run a campaign — one test case per generated fault, each on its own
+//!    simulated process with a synthesized interceptor preloaded — with an
+//!    observer printing every injection as it is reported;
+//! 5. print the campaign report and a replay script.
 //!
 //! Run with `cargo run --example quickstart`.
 
 use lfi::asm::{FaultSpec, FunctionSpec, LibraryCompiler, LibrarySpec};
-use lfi::controller::Injector;
+use lfi::controller::{CampaignObserver, InjectionRecord, TestCase};
 use lfi::isa::Platform;
-use lfi::runtime::{NativeLibrary, Process};
+use lfi::runtime::{ExitStatus, NativeLibrary, Process};
+use lfi::scenario::generator::Exhaustive;
 use lfi::Lfi;
+
+/// Prints every injection the campaign reports.
+struct PrintInjections;
+
+impl CampaignObserver for PrintInjections {
+    fn on_injection(&self, case: &TestCase, record: &InjectionRecord) {
+        println!(
+            "  [{}] injected retval {:?} into {} (call #{})",
+            case.name, record.retval, record.function, record.call_number
+        );
+    }
+}
 
 fn main() {
     // --- Step 1: the "target application's shared library" -----------------
@@ -27,14 +40,22 @@ fn main() {
                     .fault(FaultSpec::returning(-1).with_errno(5))
                     .fault(FaultSpec::returning(-2).with_errno(4)),
             )
-            .function(FunctionSpec::pointer("demo_alloc", 1).success(0x4000).fault(FaultSpec::returning(0).with_errno(12))),
+            .function(
+                FunctionSpec::pointer("demo_alloc", 1)
+                    .success(0x4000)
+                    .fault(FaultSpec::returning(0).with_errno(12)),
+            ),
     );
 
     // --- Step 2: profile the binary ----------------------------------------
     let mut lfi = Lfi::new();
     lfi.add_library(compiled.object);
     let report = lfi.profile("libdemo.so").expect("profiling succeeds");
-    println!("== fault profile ({} functions, {} faults) ==", report.profile.function_count(), report.profile.total_faults());
+    println!(
+        "== fault profile ({} functions, {} faults) ==",
+        report.profile.function_count(),
+        report.profile.total_faults()
+    );
     println!("{}", report.profile.to_xml());
 
     // --- Step 3: generate a fault scenario ----------------------------------
@@ -42,31 +63,45 @@ fn main() {
     println!("== exhaustive scenario ({} triggers) ==", plan.len());
     println!("{}", plan.to_xml());
 
-    // --- Step 4: synthesize and preload the interceptor ---------------------
-    let injector = Injector::new(plan);
-    let mut process = Process::new();
+    // --- Steps 4+5: profile -> scenario -> campaign -> report, one chain ----
     // The "original library", as the dynamic linker would load it.
-    process.load(
-        NativeLibrary::builder("libdemo.so")
-            .function("demo_read", |ctx| ctx.arg(2))
-            .constant("demo_alloc", 0x4000)
-            .build(),
-    );
-    process.preload(injector.synthesize_interceptor());
+    let runtime = NativeLibrary::builder("libdemo.so")
+        .function("demo_read", |ctx| ctx.arg(2))
+        .constant("demo_alloc", 0x4000)
+        .build();
+    let report = lfi
+        .campaign(&Exhaustive, &["libdemo.so"])
+        .expect("campaign construction succeeds")
+        .observer(PrintInjections)
+        .parallelism(2)
+        .run(
+            move || {
+                let mut process = Process::new();
+                process.load(runtime.clone());
+                process
+            },
+            |process| {
+                // A tiny "application": six requests against the library.
+                let mut failures = 0;
+                for request in 0..6 {
+                    if process.call("demo_read", &[3, 0, 64 + request]).unwrap_or(-1) < 0 {
+                        failures += 1;
+                    }
+                    if process.call("demo_alloc", &[64]).unwrap_or(0) == 0 {
+                        failures += 1;
+                    }
+                }
+                if failures > 0 {
+                    ExitStatus::Exited(1)
+                } else {
+                    ExitStatus::Exited(0)
+                }
+            },
+        );
 
-    // --- Step 5: run the application under injection ------------------------
-    let mut successes = 0;
-    let mut handled_errors = 0;
-    for request in 0..6 {
-        let result = process.call("demo_read", &[3, 0, 64 + request]).expect("symbol resolves");
-        if result >= 0 {
-            successes += 1;
-        } else {
-            handled_errors += 1;
-            println!("request {request}: demo_read failed with {result}, errno {}", process.state().errno());
-        }
+    println!("== campaign report ==\n{}", report.to_text());
+    let first_failure = report.failures().next().cloned();
+    if let Some(outcome) = first_failure {
+        println!("== replay script for {} ==\n{}", outcome.name, outcome.replay.to_xml());
     }
-    println!("== workload finished: {successes} successes, {handled_errors} injected failures ==");
-    println!("== injection log ==\n{}", injector.log().to_text());
-    println!("== replay script ==\n{}", injector.replay_plan().to_xml());
 }

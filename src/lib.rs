@@ -3,33 +3,55 @@
 //! This crate is the umbrella for the reproduction's workspace.  It re-exports
 //! every component crate under a short module name and re-exports the facade
 //! type [`Lfi`] at the top level, so applications can depend on a single
-//! crate:
+//! crate.  The whole Figure 1 pipeline — profile → scenario → campaign →
+//! report — is one chain:
 //!
 //! ```
 //! use lfi::asm::{FaultSpec, FunctionSpec, LibraryCompiler, LibrarySpec};
 //! use lfi::isa::Platform;
+//! use lfi::runtime::{ExitStatus, NativeLibrary, Process};
+//! use lfi::scenario::generator::Exhaustive;
 //! use lfi::Lfi;
 //!
-//! // Build a (synthetic) shared library, profile it, generate a scenario.
+//! // Build a (synthetic) shared library and its runtime behaviour.
 //! let lib = LibraryCompiler::new().compile(
 //!     &LibrarySpec::new("libdemo.so", Platform::LinuxX86)
 //!         .function(FunctionSpec::scalar("demo_read", 3).success(0).fault(FaultSpec::returning(-1).with_errno(5))),
 //! );
-//! let mut lfi = Lfi::new();
+//! let runtime = NativeLibrary::builder("libdemo.so").function("demo_read", |ctx| ctx.arg(2)).build();
+//!
+//! // Profile it, generate an exhaustive faultload, and run the campaign.
+//! let mut lfi = Lfi::with_options(lfi::profiler::ProfilerOptions::with_heuristics());
 //! lfi.add_library(lib.object);
-//! let plan = lfi.exhaustive_scenario(&["libdemo.so"]).unwrap();
-//! assert!(!plan.is_empty());
+//! let report = lfi
+//!     .campaign(&Exhaustive, &["libdemo.so"])
+//!     .unwrap()
+//!     .parallelism(2)
+//!     .run(
+//!         move || {
+//!             let mut process = Process::new();
+//!             process.load(runtime.clone());
+//!             process
+//!         },
+//!         |process| match process.call("demo_read", &[3, 0, 8]) {
+//!             Ok(n) if n >= 0 => ExitStatus::Exited(0),
+//!             _ => ExitStatus::Exited(1),
+//!         },
+//!     );
+//! assert_eq!(report.outcomes.len(), 1);
+//! assert_eq!(report.total_injections(), 1);
 //! ```
 //!
 //! The pipeline mirrors the paper's architecture (Figure 1):
 //!
 //! | paper component | crate |
 //! |---|---|
-//! | library binaries (ELF/PE)         | [`objfile`] (+ [`isa`], [`asm`]) |
+//! | library binaries (ELF/PE)          | [`objfile`] (+ [`isa`], [`asm`]) |
 //! | disassembler / CFG recovery        | [`disasm`] |
 //! | LFI profiler                       | [`profiler`], output in [`profile`] |
-//! | fault scenarios ("faultloads")     | [`scenario`] |
-//! | LFI controller / interceptors      | [`controller`], over [`runtime`] |
+//! | structured documentation parser    | [`docs`] |
+//! | fault scenarios ("faultloads")     | [`scenario`]: the `ScenarioGenerator` trait, generators, combinators |
+//! | LFI controller / interceptors      | [`controller`]: `Injector` + the fluent `Campaign` builder, over [`runtime`] |
 //! | evaluated libraries & applications | [`corpus`], [`apps`] |
 //! | end-to-end facade & experiments    | [`core`] (re-exported as [`Lfi`]) |
 

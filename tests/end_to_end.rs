@@ -5,13 +5,14 @@
 
 use lfi::apps::{base_process, new_world, MysqlServer, PidginApp};
 use lfi::asm::{FaultSpec, FunctionSpec, LibraryCompiler, LibrarySpec};
-use lfi::controller::{run_campaign, Injector, TestCase};
+use lfi::controller::{Campaign, CaseWorkload, Injector, TestCase};
 use lfi::corpus::{build_kernel, build_libc_scaled};
 use lfi::isa::Platform;
 use lfi::profile::FaultProfile;
 use lfi::profiler::ProfilerOptions;
 use lfi::runtime::{ExitStatus, NativeLibrary, Process};
-use lfi::scenario::{generate, Plan};
+use lfi::scenario::generator::{ScenarioGenerator, TriggerLoad};
+use lfi::scenario::Plan;
 use lfi::Lfi;
 
 fn demo_library() -> lfi::objfile::SharedObject {
@@ -24,7 +25,11 @@ fn demo_library() -> lfi::objfile::SharedObject {
                         .fault(FaultSpec::returning(-1).with_errno(5))
                         .fault(FaultSpec::returning(-2).with_errno(4)),
                 )
-                .function(FunctionSpec::pointer("demo_alloc", 1).success(0x4000).fault(FaultSpec::returning(0).with_errno(12))),
+                .function(
+                    FunctionSpec::pointer("demo_alloc", 1)
+                        .success(0x4000)
+                        .fault(FaultSpec::returning(0).with_errno(12)),
+                ),
         )
         .object
 }
@@ -107,25 +112,19 @@ fn campaign_over_generated_test_cases_finds_the_pidgin_crash() {
         .map(|seed| {
             TestCase::new(
                 format!("random-io-{seed}"),
-                lfi::scenario::ready_made::random_io_faults(&profile, 0.10, seed),
+                lfi::scenario::ready_made::random_io_faults(&profile, 0.10, seed).expect("0.10 is a valid probability"),
             )
         })
         .collect();
 
-    let worlds = std::cell::RefCell::new(Vec::new());
-    let report = run_campaign(
-        &cases,
-        || {
-            let world = new_world();
-            let process = base_process(&world, false);
-            worlds.borrow_mut().push(world);
-            process
-        },
-        |process| {
-            let world = worlds.borrow().last().cloned().expect("world created in setup");
-            PidginApp::new().login(process, &world)
-        },
-    );
+    // Four worker threads; each test case gets its own world + process pair
+    // through the per-case runner.
+    let report = Campaign::new().cases(cases).parallelism(4).run_per_case(|_case| {
+        let world = new_world();
+        let process = base_process(&world, false);
+        let workload: CaseWorkload = Box::new(move |process| PidginApp::new().login(process, &world));
+        (process, workload)
+    });
     assert_eq!(report.outcomes.len(), 20);
     // The §6.1 result: at least one random scenario crashes the client.
     assert!(report.crashes().count() >= 1, "no crash found: {}", report.to_text());
@@ -142,27 +141,11 @@ fn interceptors_for_three_libraries_coexist_like_the_apache_setup() {
     let world = new_world();
     let mut process = base_process(&world, true);
 
-    let libc_plan = generate::trigger_load(
-        &[FaultProfile::new("libc.so.6")],
-        &["read", "write"],
-        4,
-        true,
-        1,
-    );
-    let apr_plan = generate::trigger_load(
-        &[FaultProfile::new("libapr-1.so.0")],
-        &["apr_file_read", "apr_socket_send"],
-        4,
-        true,
-        2,
-    );
-    let aprutil_plan = generate::trigger_load(
-        &[FaultProfile::new("libaprutil-1.so.0")],
-        &["apu_brigade_write"],
-        2,
-        true,
-        3,
-    );
+    let libc_plan = TriggerLoad::new(["read", "write"], 4, 1).generate(&[FaultProfile::new("libc.so.6")]);
+    let apr_plan =
+        TriggerLoad::new(["apr_file_read", "apr_socket_send"], 4, 2).generate(&[FaultProfile::new("libapr-1.so.0")]);
+    let aprutil_plan =
+        TriggerLoad::new(["apu_brigade_write"], 2, 3).generate(&[FaultProfile::new("libaprutil-1.so.0")]);
     let libc_injector = Injector::new(libc_plan);
     let apr_injector = Injector::new(apr_plan);
     let aprutil_injector = Injector::new(aprutil_plan);

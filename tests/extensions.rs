@@ -41,8 +41,7 @@ fn combined_profile_is_a_superset_of_the_static_profile_and_never_adds_false_neg
     profiler.add_library(library.compiled.object.clone());
     let static_profile = profiler.profile_library(library.name()).unwrap().profile;
 
-    let manual =
-        DocumentationSet::from_error_map(library.name(), &library.documentation, StylePolicy::realistic(), 5);
+    let manual = DocumentationSet::from_error_map(library.name(), &library.documentation, StylePolicy::realistic(), 5);
     let mut parsed = DocParser::new().parse_set(library.name(), &manual.render()).unwrap();
     parsed.resolve_cross_references().unwrap();
     let combined = CombinedProfile::combine(&static_profile, &parsed);
@@ -71,8 +70,7 @@ fn combined_profile_is_a_superset_of_the_static_profile_and_never_adds_false_neg
 fn perfect_documentation_confirms_every_static_value_it_lists() {
     let (profiler, library) = libc_profiler(40);
     let profile = profiler.profile_library("libc.so.6").unwrap().profile;
-    let manual =
-        DocumentationSet::from_error_map("libc.so.6", &library.documentation, StylePolicy::perfect(), 3);
+    let manual = DocumentationSet::from_error_map("libc.so.6", &library.documentation, StylePolicy::perfect(), 3);
     let parsed = DocParser::new().parse_set("libc.so.6", &manual.render()).unwrap();
     let combined = CombinedProfile::combine(&profile, &parsed);
     // Every documented function that the profiler also analyzed must have at
@@ -99,10 +97,7 @@ fn documentation_parser_failures_are_reported_not_panicked() {
             .with_style(lfi::docs::ReturnValueStyle::CrossReference("missing".into())),
     );
     let mut parsed = DocParser::new().parse_set("libx.so", &set.render()).unwrap();
-    assert!(matches!(
-        parsed.resolve_cross_references(),
-        Err(DocError::UnresolvedCrossReference { .. })
-    ));
+    assert!(matches!(parsed.resolve_cross_references(), Err(DocError::UnresolvedCrossReference { .. })));
 }
 
 // ---------------------------------------------------------------------------
@@ -176,8 +171,16 @@ fn exhaustive_scenario_injects_through_function_pointers() {
     // application then calls exclusively through a callback table.
     let compiled = LibraryCompiler::new().compile(
         &LibrarySpec::new("libcb.so", Platform::LinuxX86)
-            .function(FunctionSpec::scalar("cb_read", 3).success(0).fault(FaultSpec::returning(-1).with_errno(5)))
-            .function(FunctionSpec::scalar("cb_send", 3).success(0).fault(FaultSpec::returning(-2).with_errno(32))),
+            .function(
+                FunctionSpec::scalar("cb_read", 3)
+                    .success(0)
+                    .fault(FaultSpec::returning(-1).with_errno(5)),
+            )
+            .function(
+                FunctionSpec::scalar("cb_send", 3)
+                    .success(0)
+                    .fault(FaultSpec::returning(-2).with_errno(32)),
+            ),
     );
     let mut lfi = Lfi::new();
     lfi.add_library(compiled.object);

@@ -82,7 +82,10 @@ fn arb_side_effect() -> impl Strategy<Value = SideEffect> {
 }
 
 fn arb_profile() -> impl Strategy<Value = FaultProfile> {
-    let function = ("[a-z_][a-z0-9_]{0,12}", proptest::collection::vec((-64i64..64, proptest::collection::vec(arb_side_effect(), 0..3)), 0..4))
+    let function = (
+        "[a-z_][a-z0-9_]{0,12}",
+        proptest::collection::vec((-64i64..64, proptest::collection::vec(arb_side_effect(), 0..3)), 0..4),
+    )
         .prop_map(|(name, errors)| FunctionProfile {
             name,
             error_returns: errors
@@ -209,6 +212,49 @@ proptest! {
         let xml = plan.to_xml();
         let parsed = Plan::from_xml(&xml).unwrap();
         prop_assert_eq!(parsed, plan);
+    }
+
+    /// Filtering combinators are pure restrictions: whatever the allow/deny
+    /// lists and entry cap, and however many filtered generators a Composite
+    /// stacks, the result never contains a plan entry that the unfiltered
+    /// generators did not produce.
+    #[test]
+    fn composite_filtering_never_invents_plan_entries(
+        profile in arb_profile(),
+        allowed in proptest::collection::btree_set("[a-z_][a-z0-9_]{0,12}", 0..6),
+        denied in proptest::collection::btree_set("[a-z_][a-z0-9_]{0,12}", 0..6),
+        cap in 0usize..10,
+        seed in 0u64..100,
+    ) {
+        use lfi::scenario::generator::{Composite, Exhaustive, Filtered, Random, ScenarioGenerator};
+
+        // Make the allow-list meaningful: mix arbitrary names with real
+        // function names from the profile.
+        let mut allowed: Vec<String> = allowed.into_iter().collect();
+        allowed.extend(profile.functions.iter().take(2).map(|f| f.name.clone()));
+        let denied: Vec<String> = denied.into_iter().collect();
+        let profiles = [profile];
+
+        let exhaustive_entries = Exhaustive.generate(&profiles).entries;
+        let random_entries = Random::new(0.5, seed).unwrap().generate(&profiles).entries;
+
+        let composite = Composite::new()
+            .push(Filtered::new(Exhaustive).allow(allowed.clone()).deny(denied.clone()).max_entries(cap))
+            .push(Filtered::new(Random::new(0.5, seed).unwrap()).allow(allowed.clone()).deny(denied.clone()));
+        let plan = composite.generate(&profiles);
+
+        for entry in &plan.entries {
+            prop_assert!(
+                exhaustive_entries.contains(entry) || random_entries.contains(entry),
+                "composite invented entry {:?}",
+                entry
+            );
+            prop_assert!(allowed.contains(&entry.function));
+            prop_assert!(!denied.contains(&entry.function), "deny-list ignored for {}", entry.function);
+        }
+        // The cap bounds the filtered-exhaustive half of the composite.
+        let exhaustive_survivors = plan.entries.iter().filter(|e| e.trigger.probability.is_none()).count();
+        prop_assert!(exhaustive_survivors <= cap);
     }
 
     /// Soundness of the profiler on corpus-style functions: every error value

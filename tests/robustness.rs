@@ -8,7 +8,8 @@ use lfi::objfile::{ObjectBuilder, SharedObject};
 use lfi::profile::FaultProfile;
 use lfi::profiler::{Profiler, ProfilerError};
 use lfi::runtime::{Process, RuntimeError};
-use lfi::scenario::{generate, FaultAction, Plan, PlanEntry, ScenarioError, Trigger};
+use lfi::scenario::generator::{Random, ScenarioGenerator, TriggerLoad};
+use lfi::scenario::{FaultAction, Plan, PlanEntry, ScenarioError, Trigger};
 use lfi::Lfi;
 
 #[test]
@@ -40,7 +41,13 @@ fn malformed_plan_xml_is_rejected_not_panicked() {
     ];
     for case in cases {
         let result = Plan::from_xml(case);
-        assert!(matches!(result, Err(ScenarioError::Xml(_) | ScenarioError::Schema { .. } | ScenarioError::InvalidNumber { .. })), "case {case:?}");
+        assert!(
+            matches!(
+                result,
+                Err(ScenarioError::Xml(_) | ScenarioError::Schema { .. } | ScenarioError::InvalidNumber { .. })
+            ),
+            "case {case:?}"
+        );
     }
 }
 
@@ -81,10 +88,7 @@ fn profiling_unknown_or_empty_libraries_degrades_gracefully() {
 #[test]
 fn calls_to_missing_symbols_are_reported() {
     let mut process = Process::new();
-    assert!(matches!(
-        process.call("read", &[]),
-        Err(RuntimeError::UnresolvedSymbol { .. })
-    ));
+    assert!(matches!(process.call("read", &[]), Err(RuntimeError::UnresolvedSymbol { .. })));
 }
 
 #[test]
@@ -115,8 +119,24 @@ fn empty_and_degenerate_plans_are_harmless() {
     assert!(injector.replay_plan().is_empty());
 
     // Trigger-load generation with no functions or no triggers is empty.
-    assert!(generate::trigger_load(&[], &[], 100, true, 1).is_empty());
-    assert!(generate::trigger_load(&[], &["read"], 0, true, 1).is_empty());
+    assert!(TriggerLoad::new(Vec::<String>::new(), 100, 1).generate(&[]).is_empty());
+    assert!(TriggerLoad::new(["read"], 0, 1).generate(&[]).is_empty());
+}
+
+#[test]
+fn invalid_probabilities_are_rejected_with_typed_errors() {
+    // The random generator rejects NaN and out-of-range probabilities up
+    // front instead of silently producing degenerate plans.
+    for bad in [f64::NAN, -0.01, 1.01, f64::INFINITY] {
+        assert!(
+            matches!(Random::new(bad, 1), Err(ScenarioError::InvalidProbability { .. })),
+            "probability {bad} was accepted"
+        );
+    }
+    // The facade surfaces the same error through its one-chain API.
+    let mut lfi = Lfi::new();
+    lfi.add_library(ObjectBuilder::new("libempty.so", Platform::LinuxX86).build());
+    assert!(lfi.random_scenario(&["libempty.so"], f64::NAN, 1).is_err());
 }
 
 #[test]

@@ -1,0 +1,208 @@
+//! Offline API-compatible shim of the `criterion` crate (see
+//! `vendor/README.md`): a minimal timing harness with the group / bencher /
+//! id surface this workspace's benches use.  No statistics, plots or
+//! baselines — each benchmark runs a warm-up pass and a small number of
+//! timed samples and prints the mean time per iteration.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { label: format!("{}/{}", name.into(), parameter) }
+    }
+
+    /// An id made of a parameter value only.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+/// Conversion accepted wherever a benchmark id is expected.
+pub trait IntoBenchmarkId {
+    /// The display label of the benchmark.
+    fn into_label(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_label(self) -> String {
+        self.label
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_label(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_label(self) -> String {
+        self
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] runs the measured code.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    elapsed: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, running one warm-up call plus the configured number
+    /// of samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let _ = routine(); // warm-up, untimed
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            let _ = routine();
+        }
+        self.elapsed = start.elapsed();
+        self.iterations = self.samples as u64;
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    samples: usize,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        // The real crate enforces a minimum of 10 *statistical* samples; the
+        // shim just runs the routine `samples.min(10)` times to keep the
+        // heavyweight experiment benches fast.
+        self.samples = samples.clamp(1, 10);
+        self
+    }
+
+    /// Accepted for API parity; the shim has a fixed measurement strategy.
+    pub fn measurement_time(&mut self, _duration: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API parity; the shim warms up with a single call.
+    pub fn warm_up_time(&mut self, _duration: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.into_label();
+        let mut bencher = Bencher { samples: self.samples, elapsed: Duration::ZERO, iterations: 0 };
+        f(&mut bencher);
+        report(&self.name, &label, &bencher);
+        self
+    }
+
+    /// Runs one benchmark parameterized by an input.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: impl IntoBenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = id.into_label();
+        let mut bencher = Bencher { samples: self.samples, elapsed: Duration::ZERO, iterations: 0 };
+        f(&mut bencher, input);
+        report(&self.name, &label, &bencher);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn report(group: &str, label: &str, bencher: &Bencher) {
+    if bencher.iterations == 0 {
+        println!("{group}/{label}: no measurement (iter was not called)");
+        return;
+    }
+    let per_iter = bencher.elapsed.as_secs_f64() / bencher.iterations as f64;
+    println!("{group}/{label}: {:.3} ms/iter ({} iterations)", per_iter * 1e3, bencher.iterations);
+}
+
+/// The top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), samples: 10, _criterion: self }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(id, f);
+        self
+    }
+}
+
+/// An opaque value barrier (prevents the optimizer from deleting the
+/// benchmarked computation).
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Declares a benchmark entry point running each target function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a benchmark binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_run_their_benchmarks() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("demo");
+        group.sample_size(10);
+        group.measurement_time(Duration::from_secs(1));
+        group.warm_up_time(Duration::from_millis(10));
+        let mut runs = 0u32;
+        group.bench_function("count", |b| b.iter(|| runs += 1));
+        group.bench_with_input(BenchmarkId::from_parameter(5), &5u64, |b, &n| b.iter(|| black_box(n) * 2));
+        group.bench_with_input(BenchmarkId::new("mul", 3), &3u64, |b, &n| b.iter(|| black_box(n) * 2));
+        group.finish();
+        // one warm-up + ten samples
+        assert_eq!(runs, 11);
+    }
+}

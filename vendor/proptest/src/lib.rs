@@ -1,0 +1,666 @@
+//! Offline API-compatible shim of the `proptest` crate (see
+//! `vendor/README.md`).
+//!
+//! Implements the subset this workspace uses: the [`proptest!`] harness
+//! macro, [`strategy::Strategy`] with `prop_map`, [`prop_oneof!`], `Just`,
+//! range and regex-subset string strategies, tuple strategies, collection /
+//! option / sample strategies, and `any::<T>()`.  Cases are sampled from a
+//! deterministic per-test RNG; there is **no shrinking** — a failing case
+//! panics with the sampled values left to `assert!` messages.
+
+#![forbid(unsafe_code)]
+
+/// Test configuration and the deterministic case RNG.
+pub mod test_runner {
+    /// Configuration accepted by `#![proptest_config(..)]`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct ProptestConfig {
+        /// Number of cases each property runs.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Deterministic per-case RNG (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct TestRng(u64);
+
+    impl TestRng {
+        /// RNG for one case of one property, derived from the test path and
+        /// the case number so every property gets an independent stream.
+        pub fn for_case(test_path: &str, case: u32) -> Self {
+            let mut seed = 0xcbf2_9ce4_8422_2325u64;
+            for byte in test_path.bytes() {
+                seed ^= u64::from(byte);
+                seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng(seed ^ (u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            assert!(bound > 0, "cannot sample below 0");
+            ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+/// The [`Strategy`] trait and its combinators.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A generator of values for property tests.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Samples one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// A boxed, type-erased strategy.
+    pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn sample(&self, rng: &mut TestRng) -> V {
+            (**self).sample(rng)
+        }
+    }
+
+    /// Boxes a strategy (used by [`prop_oneof!`](crate::prop_oneof)).
+    pub fn boxed<S: Strategy + 'static>(strategy: S) -> BoxedStrategy<S::Value> {
+        Box::new(strategy)
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// The [`Strategy::prop_map`] combinator.
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// Uniform choice between boxed strategies (built by `prop_oneof!`).
+    pub struct OneOf<V> {
+        branches: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> OneOf<V> {
+        /// A strategy choosing uniformly among `branches`.
+        pub fn new(branches: Vec<BoxedStrategy<V>>) -> Self {
+            assert!(!branches.is_empty(), "prop_oneof! needs at least one branch");
+            OneOf { branches }
+        }
+    }
+
+    impl<V> Strategy for OneOf<V> {
+        type Value = V;
+        fn sample(&self, rng: &mut TestRng) -> V {
+            let index = rng.below(self.branches.len() as u64) as usize;
+            self.branches[index].sample(rng)
+        }
+    }
+
+    macro_rules! impl_int_range_strategy {
+        ($($t:ty => $wide:ty),* $(,)?) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as $wide).wrapping_sub(self.start as $wide) as u64;
+                    (self.start as $wide).wrapping_add(rng.below(span) as $wide) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range strategy");
+                    let span = (end as $wide).wrapping_sub(start as $wide) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    (start as $wide).wrapping_add(rng.below(span + 1) as $wide) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_int_range_strategy!(u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+                             i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    // ----- regex-subset string strategies --------------------------------
+
+    /// One piece of a parsed pattern: a fixed set of candidate characters
+    /// plus a repetition count range.
+    #[derive(Debug, Clone)]
+    struct Piece {
+        chars: Vec<char>,
+        min: usize,
+        max: usize,
+    }
+
+    /// Parses the regex subset used as string strategies: literals, `\x`
+    /// escapes, `[..]` classes with ranges, and `{m}` / `{m,n}` quantifiers.
+    fn parse_pattern(pattern: &str) -> Vec<Piece> {
+        let mut pieces = Vec::new();
+        let mut chars = pattern.chars().peekable();
+        while let Some(c) = chars.next() {
+            let set: Vec<char> = match c {
+                '\\' => vec![chars.next().unwrap_or('\\')],
+                '[' => {
+                    let mut set = Vec::new();
+                    while let Some(&next) = chars.peek() {
+                        if next == ']' {
+                            chars.next();
+                            break;
+                        }
+                        let item = chars.next().unwrap_or(']');
+                        let item = if item == '\\' { chars.next().unwrap_or('\\') } else { item };
+                        if chars.peek() == Some(&'-') {
+                            let mut lookahead = chars.clone();
+                            lookahead.next();
+                            match lookahead.peek() {
+                                Some(&end) if end != ']' => {
+                                    chars.next();
+                                    chars.next();
+                                    for code in item as u32..=end as u32 {
+                                        if let Some(ch) = char::from_u32(code) {
+                                            set.push(ch);
+                                        }
+                                    }
+                                    continue;
+                                }
+                                _ => {}
+                            }
+                        }
+                        set.push(item);
+                    }
+                    set
+                }
+                other => vec![other],
+            };
+            let (min, max) = if chars.peek() == Some(&'{') {
+                chars.next();
+                let mut spec = String::new();
+                for inner in chars.by_ref() {
+                    if inner == '}' {
+                        break;
+                    }
+                    spec.push(inner);
+                }
+                match spec.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().unwrap_or(0),
+                        hi.trim().parse().unwrap_or_else(|_| lo.trim().parse().unwrap_or(0)),
+                    ),
+                    None => {
+                        let n = spec.trim().parse().unwrap_or(1);
+                        (n, n)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            assert!(!set.is_empty(), "empty character class in pattern {pattern:?}");
+            pieces.push(Piece { chars: set, min, max });
+        }
+        pieces
+    }
+
+    impl Strategy for &'static str {
+        type Value = String;
+        fn sample(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            for piece in parse_pattern(self) {
+                let count = piece.min + rng.below((piece.max - piece.min + 1) as u64) as usize;
+                for _ in 0..count {
+                    out.push(piece.chars[rng.below(piece.chars.len() as u64) as usize]);
+                }
+            }
+            out
+        }
+    }
+
+    // ----- tuple strategies ----------------------------------------------
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+    impl_tuple_strategy!(A, B, C, D, E, F, G);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+
+    /// Marker for types with a canonical strategy (`any::<T>()`).
+    pub trait Arbitrary: Sized {
+        /// Samples an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for u64 {
+        fn arbitrary(rng: &mut TestRng) -> u64 {
+            rng.next_u64()
+        }
+    }
+
+    impl Arbitrary for i64 {
+        fn arbitrary(rng: &mut TestRng) -> i64 {
+            rng.next_u64() as i64
+        }
+    }
+
+    impl Arbitrary for u32 {
+        fn arbitrary(rng: &mut TestRng) -> u32 {
+            (rng.next_u64() >> 32) as u32
+        }
+    }
+
+    impl Arbitrary for crate::sample::Index {
+        fn arbitrary(rng: &mut TestRng) -> crate::sample::Index {
+            crate::sample::Index::from_raw(rng.next_u64())
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::{BTreeMap, BTreeSet};
+    use std::ops::Range;
+
+    /// The size specification accepted by collection strategies.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    impl SizeRange {
+        fn sample(self, rng: &mut TestRng) -> usize {
+            assert!(self.min < self.max_exclusive, "empty size range");
+            self.min + rng.below((self.max_exclusive - self.min) as u64) as usize
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(range: Range<usize>) -> Self {
+            SizeRange { min: range.start, max_exclusive: range.end }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(exact: usize) -> Self {
+            SizeRange { min: exact, max_exclusive: exact + 1 }
+        }
+    }
+
+    /// Strategy for `Vec<E::Value>` of a size drawn from `size`.
+    pub struct VecStrategy<E> {
+        element: E,
+        size: SizeRange,
+    }
+
+    /// Generates vectors from an element strategy.
+    pub fn vec<E: Strategy>(element: E, size: impl Into<SizeRange>) -> VecStrategy<E> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<E: Strategy> Strategy for VecStrategy<E> {
+        type Value = Vec<E::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<E::Value> {
+            let len = self.size.sample(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet<E::Value>`.
+    pub struct BTreeSetStrategy<E> {
+        element: E,
+        size: SizeRange,
+    }
+
+    /// Generates ordered sets from an element strategy.  Sizes are
+    /// best-effort: duplicate samples are retried a bounded number of times.
+    pub fn btree_set<E>(element: E, size: impl Into<SizeRange>) -> BTreeSetStrategy<E>
+    where
+        E: Strategy,
+        E::Value: Ord,
+    {
+        BTreeSetStrategy { element, size: size.into() }
+    }
+
+    impl<E> Strategy for BTreeSetStrategy<E>
+    where
+        E: Strategy,
+        E::Value: Ord,
+    {
+        type Value = BTreeSet<E::Value>;
+        fn sample(&self, rng: &mut TestRng) -> BTreeSet<E::Value> {
+            let target = self.size.sample(rng);
+            let mut set = BTreeSet::new();
+            let mut attempts = 0usize;
+            while set.len() < target && attempts < target * 50 + 100 {
+                set.insert(self.element.sample(rng));
+                attempts += 1;
+            }
+            set
+        }
+    }
+
+    /// Strategy for `BTreeMap<K::Value, V::Value>`.
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    /// Generates ordered maps from key and value strategies.
+    pub fn btree_map<K, V>(key: K, value: V, size: impl Into<SizeRange>) -> BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        BTreeMapStrategy { key, value, size: size.into() }
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn sample(&self, rng: &mut TestRng) -> BTreeMap<K::Value, V::Value> {
+            let target = self.size.sample(rng);
+            let mut map = BTreeMap::new();
+            let mut attempts = 0usize;
+            while map.len() < target && attempts < target * 50 + 100 {
+                map.insert(self.key.sample(rng), self.value.sample(rng));
+                attempts += 1;
+            }
+            map
+        }
+    }
+}
+
+/// Option strategies.
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy yielding `Some` (3 in 4) or `None`.
+    pub struct OptionStrategy<S>(S);
+
+    /// Generates optional values from an inner strategy.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.0.sample(rng))
+            }
+        }
+    }
+}
+
+/// Index sampling (`prop::sample::Index`).
+pub mod sample {
+    /// An opaque value that projects onto any collection length.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Index(u64);
+
+    impl Index {
+        pub(crate) fn from_raw(raw: u64) -> Self {
+            Index(raw)
+        }
+
+        /// This index projected onto a collection of `len` elements
+        /// (`len` must be non-zero).
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            (self.0 % len as u64) as usize
+        }
+    }
+}
+
+/// Everything a property test needs in scope.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// The `prop::` namespace (`prop::collection`, `prop::sample`, ...).
+    pub mod prop {
+        pub use crate::{collection, option, sample};
+    }
+}
+
+/// Uniform choice between strategies yielding the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![$($crate::strategy::boxed($strategy)),+])
+    };
+}
+
+/// Property assertion (no shrinking in this shim; panics like `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { assert!($($tokens)*) };
+}
+
+/// Property equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { assert_eq!($($tokens)*) };
+}
+
+/// Property inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tokens:tt)*) => { assert_ne!($($tokens)*) };
+}
+
+/// The property-test harness macro: declares `#[test]` functions whose
+/// arguments are sampled from strategies for a configurable number of cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $config:expr; $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config = $config;
+                for __case in 0..__config.cases {
+                    let mut __rng = $crate::test_runner::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        __case,
+                    );
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strategy), &mut __rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn string_patterns_match_their_shape() {
+        let mut rng = TestRng::for_case("shape", 0);
+        for _ in 0..100 {
+            let s = Strategy::sample(&"lib[a-z]{2,8}\\.so", &mut rng);
+            assert!(s.starts_with("lib") && s.ends_with(".so"), "{s:?}");
+            let stem = &s[3..s.len() - 3];
+            assert!((2..=8).contains(&stem.len()), "{s:?}");
+            assert!(stem.chars().all(|c| c.is_ascii_lowercase()));
+
+            let t = Strategy::sample(&"[a-z_][a-z0-9_]{0,12}", &mut rng);
+            assert!(!t.is_empty() && t.len() <= 13, "{t:?}");
+        }
+    }
+
+    #[test]
+    fn oneof_and_map_compose() {
+        let strategy = prop_oneof![(0u8..4).prop_map(|v| v as i64), Just(-1i64),];
+        let mut rng = TestRng::for_case("compose", 1);
+        let mut saw_negative = false;
+        for _ in 0..200 {
+            let v = Strategy::sample(&strategy, &mut rng);
+            assert!(v == -1 || (0..4).contains(&v));
+            saw_negative |= v == -1;
+        }
+        assert!(saw_negative);
+    }
+
+    #[test]
+    fn collections_respect_sizes() {
+        let mut rng = TestRng::for_case("sizes", 2);
+        for _ in 0..50 {
+            let v = Strategy::sample(&crate::collection::vec(0i64..10, 2..5), &mut rng);
+            assert!((2..5).contains(&v.len()));
+            let s = Strategy::sample(&crate::collection::btree_set(-400i64..-1, 1..6), &mut rng);
+            assert!((1..6).contains(&s.len()));
+            let m = Strategy::sample(&crate::collection::btree_map("[a-z]{3,6}", 0u64..9, 1..4), &mut rng);
+            assert!((1..4).contains(&m.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The harness macro itself: samples land in range, config is
+        /// honored, and tuple + option strategies destructure.
+        #[test]
+        fn harness_samples_in_range(
+            x in 1u64..=1000,
+            pair in (0u32..3, prop::option::of(-64i64..64)),
+            index in any::<prop::sample::Index>(),
+        ) {
+            prop_assert!((1..=1000).contains(&x));
+            let (tag, maybe) = pair;
+            prop_assert!(tag < 3);
+            if let Some(v) = maybe {
+                prop_assert!((-64..64).contains(&v));
+            }
+            prop_assert!(index.index(7) < 7);
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! Offline API-compatible shim of the `serde` crate (see
+//! `vendor/README.md`): marker traits plus no-op derive macros.  Nothing in
+//! this workspace serializes through serde — the derives only annotate data
+//! types for API parity with the real crate.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
