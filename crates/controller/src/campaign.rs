@@ -338,7 +338,10 @@ impl Campaign {
                 observer.on_injection(case, record);
             }
         }
-        let outcome = TestOutcome { name: case.name.clone(), status, log, replay: injector.replay_plan() };
+        // Derive the replay from the snapshot already taken, rather than
+        // materializing the raw log a second time via injector.replay_plan().
+        let replay = log.replay_plan();
+        let outcome = TestOutcome { name: case.name.clone(), status, log, replay };
         for observer in &self.observers {
             observer.on_outcome(&outcome);
         }
@@ -587,6 +590,38 @@ mod tests {
         assert_eq!(serial, parallel);
         assert_eq!(serial.outcomes.len(), 24);
         assert_eq!(serial.crashes().count(), 8);
+    }
+
+    #[test]
+    fn parallel_campaigns_with_sharded_state_stay_deterministic() {
+        // Random triggers on a fixed seed: every case owns its injector (and
+        // therefore its own per-function RNG shards), so a parallelism(4)
+        // run must produce byte-for-byte the report of a parallelism(1) run.
+        let cases: Vec<TestCase> = (0..16)
+            .map(|i| {
+                TestCase::new(
+                    format!("random-{i:02}"),
+                    Plan::new().with_seed(1000 + i).entry(PlanEntry {
+                        function: "read".into(),
+                        trigger: Trigger::with_probability(0.4),
+                        action: FaultAction::return_value(-1).with_errno(5),
+                    }),
+                )
+            })
+            .collect();
+        let workload = |process: &mut Process| {
+            let mut failures = 0;
+            for _ in 0..20 {
+                if process.call("read", &[3, 0, 8]).unwrap_or(-1) < 0 {
+                    failures += 1;
+                }
+            }
+            ExitStatus::Exited(failures)
+        };
+        let serial = Campaign::new().cases(cases.clone()).parallelism(1).run(setup, workload);
+        let parallel = Campaign::new().cases(cases).parallelism(4).run(setup, workload);
+        assert_eq!(serial, parallel);
+        assert!(serial.total_injections() > 0, "the random triggers actually fired");
     }
 
     #[test]

@@ -1,51 +1,86 @@
 //! The runtime half of the LFI controller: interceptor synthesis and trigger
 //! evaluation (§5.1).
+//!
+//! The per-call dispatch path is string-free and sharded: a plan is compiled
+//! once into per-function slots ([`lfi_scenario::CompiledPlan`]), each
+//! synthesized stub captures its slot index, and per-function counters, RNG
+//! streams and observed-return tallies live behind per-slot locks.  The one
+//! injector-wide lock guards only the injection log, and is taken only when
+//! a trigger actually fires — pass-through traffic on different functions
+//! never contends.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use lfi_profile::{FaultProfile, SideEffect, SideEffectKind};
+use lfi_intern::Symbol;
+use lfi_profile::{FaultProfile, SideEffectKind};
 use lfi_runtime::{CallContext, NativeLibrary};
-use lfi_scenario::{Plan, PlanEntry};
+use lfi_scenario::{CompiledEntry, CompiledFunction, CompiledSideEffect, Plan};
 
 use crate::{InjectionRecord, TestLog};
 
 /// Name given to synthesized interceptor libraries.
 pub const INTERCEPTOR_LIBRARY_NAME: &str = "liblfi_interceptor.so";
 
-/// The injection engine: owns the fault scenario, the per-function call
-/// counters (the `call_count` static of the paper's stub), the random number
-/// generator for probabilistic triggers, and the test log.
+/// The injection engine: owns the fault scenario (compiled to symbol-keyed
+/// per-function slots), the per-function call counters (the `call_count`
+/// static of the paper's stub), per-function random number generators for
+/// probabilistic triggers, and the test log.
 ///
 /// An [`Injector`] is cheap to clone; clones share the same state, which is
 /// how every synthesized stub reaches the shared counters and log.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct Injector {
-    inner: Arc<Mutex<InjectorState>>,
+    shared: Arc<InjectorShared>,
 }
 
-#[derive(Debug)]
-struct InjectorState {
+struct InjectorShared {
+    /// The authored plan, kept for [`Injector::intercepted_functions`] and
+    /// report rendering; the hot path runs on the compiled slots below.
     plan: Plan,
-    /// Plan-entry indices grouped by intercepted function, so that trigger
-    /// evaluation touches only the entries relevant to the current call (the
-    /// overhead in §6.4 grows with the triggers *per function*, not with the
-    /// whole plan).
-    entries_by_function: HashMap<String, Vec<usize>>,
-    /// Functions with at least one stack-trace trigger; the (comparatively
-    /// expensive) backtrace snapshot is only taken for these.
-    stack_sensitive: HashMap<String, bool>,
+    seed: u64,
+    /// One slot per intercepted function, in first-appearance order; stubs
+    /// index this directly (the slot index is baked into each stub at
+    /// synthesis time, so dispatch does no lookup at all).
+    slots: Vec<FunctionSlot>,
+    /// Injections in the order they happened, in compact symbol/index form;
+    /// materialized into [`InjectionRecord`]s only when a report is taken.
+    log: Mutex<Vec<RawInjection>>,
+}
+
+/// The per-function shard: immutable compiled entries plus the mutable
+/// trigger state, each behind its own lock.
+struct FunctionSlot {
+    function: CompiledFunction,
+    state: Mutex<SlotState>,
+}
+
+struct SlotState {
+    call_count: u64,
     rng: StdRng,
-    call_counts: HashMap<String, u64>,
-    log: TestLog,
-    /// Return values observed on calls that reached the original definition
-    /// (pass-through or untriggered), per intercepted function — the raw
-    /// material for dynamic profile refinement.
-    observed: BTreeMap<String, BTreeMap<i64, u64>>,
+    /// Return values observed on calls that reached the original definition,
+    /// with occurrence counts — the raw material for dynamic profile
+    /// refinement.
+    observed: BTreeMap<i64, u64>,
+}
+
+/// One injection in compact form: slot/entry/choice indices instead of
+/// names, stack frames as symbols.  No strings are allocated when this is
+/// recorded; names are resolved when the log is materialized.
+#[derive(Clone)]
+struct RawInjection {
+    slot: u32,
+    entry: u32,
+    choice: Option<u32>,
+    call_number: u64,
+    retval: Option<i64>,
+    errno: Option<i64>,
+    call_original: bool,
+    stack: Vec<Symbol>,
 }
 
 /// An error return value observed at run time that the static fault profile
@@ -68,47 +103,64 @@ pub struct RefinementFinding {
     pub occurrences: u64,
 }
 
-/// What a stub decided to do for one intercepted call.
-#[derive(Debug, Clone, PartialEq)]
+/// What a stub decided to do for one intercepted call: indices into the
+/// slot's compiled entries plus the resolved return value/errno.  `Copy`, so
+/// carrying it out of the slot lock costs nothing.
+#[derive(Debug, Clone, Copy, PartialEq)]
 struct Decision {
+    entry_index: usize,
+    choice_index: Option<usize>,
     retval: Option<i64>,
     errno: Option<i64>,
-    side_effects: Vec<SideEffect>,
-    call_original: bool,
-    arg_modifications: Vec<(u8, lfi_scenario::ArgOp, i64)>,
     call_number: u64,
 }
 
+/// Decorrelates sibling slot RNG streams (SplitMix64 finalizer over the slot
+/// index) while keeping them a pure function of the plan seed, so runs stay
+/// reproducible.
+fn slot_seed(seed: u64, slot_index: usize) -> u64 {
+    let mut z = seed ^ (slot_index as u64).wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 impl Injector {
-    /// Creates an injection engine for a fault scenario.  The random seed is
-    /// taken from the plan (or 0 when absent) so runs are reproducible.
+    /// Creates an injection engine for a fault scenario, compiling the plan
+    /// to symbol-keyed per-function slots (the resolve-once half of the
+    /// fast path).  The random seed is taken from the plan (or 0 when
+    /// absent) so runs are reproducible.
     pub fn new(plan: Plan) -> Self {
         let seed = plan.seed.unwrap_or(0);
-        let mut entries_by_function: HashMap<String, Vec<usize>> = HashMap::new();
-        let mut stack_sensitive: HashMap<String, bool> = HashMap::new();
-        for (index, entry) in plan.entries.iter().enumerate() {
-            entries_by_function.entry(entry.function.clone()).or_default().push(index);
-            let sensitive = stack_sensitive.entry(entry.function.clone()).or_insert(false);
-            *sensitive |= !entry.trigger.stack_trace.is_empty();
-        }
-        Self {
-            inner: Arc::new(Mutex::new(InjectorState {
-                plan,
-                entries_by_function,
-                stack_sensitive,
-                rng: StdRng::seed_from_u64(seed),
-                call_counts: HashMap::new(),
-                log: TestLog::new(),
-                observed: BTreeMap::new(),
-            })),
-        }
+        let compiled = plan.compile();
+        let slots = compiled
+            .functions
+            .into_iter()
+            .enumerate()
+            .map(|(index, function)| FunctionSlot {
+                function,
+                state: Mutex::new(SlotState {
+                    call_count: 0,
+                    rng: StdRng::seed_from_u64(slot_seed(seed, index)),
+                    observed: BTreeMap::new(),
+                }),
+            })
+            .collect();
+        Self { shared: Arc::new(InjectorShared { plan, seed, slots, log: Mutex::new(Vec::new()) }) }
     }
 
     /// The return values observed on calls that reached the original library
     /// (either untriggered calls or pass-through injections), per function,
     /// with occurrence counts.
     pub fn observed_returns(&self) -> BTreeMap<String, BTreeMap<i64, u64>> {
-        self.inner.lock().observed.clone()
+        let mut result = BTreeMap::new();
+        for slot in &self.shared.slots {
+            let state = slot.state.lock();
+            if !state.observed.is_empty() {
+                result.insert(slot.function.symbol.as_str().to_owned(), state.observed.clone());
+            }
+        }
+        result
     }
 
     /// Diffs the observed behaviour against a set of static fault profiles
@@ -136,7 +188,7 @@ impl Injector {
 
     /// The functions this injector will intercept.
     pub fn intercepted_functions(&self) -> Vec<String> {
-        self.inner.lock().plan.intercepted_functions().into_iter().map(str::to_owned).collect()
+        self.shared.plan.intercepted_functions().into_iter().map(str::to_owned).collect()
     }
 
     /// Synthesizes the interceptor library: one stub per function named in the
@@ -149,122 +201,141 @@ impl Injector {
     /// Synthesizes the interceptor library under a custom name.  Interceptors
     /// for multiple plans can coexist in one process (§6.4 runs libc, libapr
     /// and libaprutil interceptors simultaneously); they do not interfere
-    /// because stubs are keyed purely by function name.
+    /// because stubs are keyed purely by function symbol.  Each stub captures
+    /// its slot index, so per-call dispatch performs no name lookup at all.
     pub fn synthesize_interceptor_named(&self, library_name: &str) -> NativeLibrary {
         let mut builder = NativeLibrary::builder(library_name);
-        for function in self.intercepted_functions() {
+        for (slot_index, slot) in self.shared.slots.iter().enumerate() {
             let engine = self.clone();
-            let symbol = function.clone();
-            builder = builder.function(function, move |ctx| engine.stub_body(&symbol, ctx));
+            builder = builder.function_sym(slot.function.symbol, move |ctx| engine.stub_body(slot_index, ctx));
         }
         builder.build()
     }
 
-    /// A snapshot of the log so far.
+    /// A snapshot of the log so far (names and side effects are resolved
+    /// here, on the report path — never per call).  The intercepted-call
+    /// total is the sum of the per-slot counters, so taking a snapshot is
+    /// the only place the shards are read together.
     pub fn log(&self) -> TestLog {
-        self.inner.lock().log.clone()
+        // Snapshot the compact records first (symbol-vec memcpys) so the log
+        // lock is not held across the string-allocating materialization —
+        // concurrently triggered stubs only ever wait for the memcpy.
+        let raw = self.shared.log.lock().clone();
+        let injections = raw.iter().map(|record| self.materialize(record)).collect();
+        let intercepted_calls = self.shared.slots.iter().map(|slot| slot.state.lock().call_count).sum();
+        TestLog { injections, intercepted_calls }
     }
 
     /// The replay script distilled from the log so far (§5.2).
     pub fn replay_plan(&self) -> Plan {
-        self.inner.lock().log.replay_plan()
+        self.log().replay_plan()
     }
 
-    /// Resets call counters, the log and the observed-return record, keeping
-    /// the plan (used between repetitions of a workload).
+    /// Resets call counters, RNG streams, the log and the observed-return
+    /// record, keeping the plan (used between repetitions of a workload).
     pub fn reset(&self) {
-        let mut state = self.inner.lock();
-        let seed = state.plan.seed.unwrap_or(0);
-        state.call_counts.clear();
-        state.log = TestLog::new();
-        state.rng = StdRng::seed_from_u64(seed);
-        state.observed.clear();
+        for (index, slot) in self.shared.slots.iter().enumerate() {
+            let mut state = slot.state.lock();
+            state.call_count = 0;
+            state.rng = StdRng::seed_from_u64(slot_seed(self.shared.seed, index));
+            state.observed.clear();
+        }
+        self.shared.log.lock().clear();
     }
 
     /// Records a return value that came back from the original definition.
-    fn record_observed(&self, symbol: &str, value: i64) {
-        let mut state = self.inner.lock();
-        *state.observed.entry(symbol.to_owned()).or_default().entry(value).or_insert(0) += 1;
+    fn record_observed(&self, slot_index: usize, value: i64) {
+        let mut state = self.shared.slots[slot_index].state.lock();
+        *state.observed.entry(value).or_insert(0) += 1;
     }
 
-    /// The body shared by every synthesized stub.
-    fn stub_body(&self, symbol: &str, ctx: &mut CallContext<'_>) -> i64 {
-        let decision = self.decide(symbol, ctx);
+    /// Resolves one compact log record into the user-facing form.
+    fn materialize(&self, record: &RawInjection) -> InjectionRecord {
+        let slot = &self.shared.slots[record.slot as usize];
+        let entry = &slot.function.entries[record.entry as usize];
+        let side_effects = entry.side_effects_for(record.choice.map(|c| c as usize));
+        InjectionRecord {
+            function: slot.function.symbol,
+            call_number: record.call_number,
+            retval: record.retval,
+            errno: record.errno,
+            side_effects: side_effects.iter().copied().map(CompiledSideEffect::to_side_effect).collect(),
+            call_original: record.call_original,
+            stack: record.stack.clone(),
+        }
+    }
+
+    /// The body shared by every synthesized stub.  Touches no state shared
+    /// across functions: the slot's own lock covers the call count (from
+    /// which the log's intercepted-call total is derived at snapshot time).
+    fn stub_body(&self, slot_index: usize, ctx: &mut CallContext<'_>) -> i64 {
+        let decision = self.decide(slot_index, ctx);
         match decision {
             None => {
                 // No trigger fired: clean up and jump to the original, as the
                 // paper's stub does.  If there is no original definition the
                 // call degenerates to a no-op success.
                 let result = ctx.call_next().unwrap_or(0);
-                self.record_observed(symbol, result);
+                self.record_observed(slot_index, result);
                 result
             }
-            Some(decision) => self.apply(symbol, decision, ctx),
+            Some(decision) => self.apply(slot_index, decision, ctx),
         }
     }
 
-    /// Evaluates the plan's triggers for one intercepted call.
-    fn decide(&self, symbol: &str, ctx: &CallContext<'_>) -> Option<Decision> {
-        let mut state = self.inner.lock();
-        let count = state.call_counts.entry(symbol.to_owned()).or_insert(0);
-        *count += 1;
-        let call_number = *count;
-        state.log.intercepted_calls += 1;
+    /// Evaluates the slot's triggers for one intercepted call.  Holds only
+    /// the slot's own lock; calls to other functions proceed in parallel.
+    fn decide(&self, slot_index: usize, ctx: &CallContext<'_>) -> Option<Decision> {
+        let slot = &self.shared.slots[slot_index];
+        let mut state = slot.state.lock();
+        state.call_count += 1;
+        let call_number = state.call_count;
 
         // The stack excluding the frame of the intercepted call itself: what
-        // the paper's `<stacktrace>` frames are matched against.  Snapshotting
-        // it costs an allocation, so it is only taken when some trigger for
-        // this function actually inspects the stack.
-        let caller_stack: Vec<&str> = if state.stack_sensitive.get(symbol).copied().unwrap_or(false) {
-            ctx.stack().iter().rev().skip(1).map(String::as_str).collect()
+        // the paper's `<stacktrace>` frames are matched against.  Inspected
+        // in place — no snapshot, no allocation — and only when some trigger
+        // for this function actually looks at the stack.
+        let caller_stack: &[Symbol] = if slot.function.stack_sensitive {
+            let stack = ctx.stack();
+            &stack[..stack.len().saturating_sub(1)]
         } else {
-            Vec::new()
+            &[]
         };
 
-        let mut chosen: Option<Decision> = None;
-        // Split borrows: iterate over the plan while using the RNG.
-        let InjectorState { plan, entries_by_function, rng, .. } = &mut *state;
-        let candidate_indices = entries_by_function.get(symbol).map(Vec::as_slice).unwrap_or(&[]);
-        for &entry_index in candidate_indices {
-            let entry = &plan.entries[entry_index];
-            if !trigger_matches(entry, call_number, &caller_stack, rng) {
+        for (entry_index, entry) in slot.function.entries.iter().enumerate() {
+            if !trigger_matches(entry, call_number, caller_stack, &mut state.rng) {
                 continue;
             }
-            let (retval, errno, side_effects) = resolve_action(entry, rng);
-            chosen = Some(Decision {
-                retval,
-                errno,
-                side_effects,
-                call_original: entry.action.call_original,
-                arg_modifications: entry.action.arg_modifications.iter().map(|m| (m.argument, m.op, m.value)).collect(),
-                call_number,
-            });
-            break;
+            let (choice_index, retval, errno) = resolve_action(entry, &mut state.rng);
+            return Some(Decision { entry_index, choice_index, retval, errno, call_number });
         }
-        chosen
+        None
     }
 
-    /// Applies a decision: argument rewrites, errno, side effects, pass-through
-    /// and the injected return value; then logs the injection.
-    fn apply(&self, symbol: &str, decision: Decision, ctx: &mut CallContext<'_>) -> i64 {
-        for (argument, op, value) in &decision.arg_modifications {
-            let current = ctx.arg(*argument as usize);
-            ctx.set_arg(*argument as usize, op.apply(current, *value));
+    /// Applies a decision: argument rewrites, errno, side effects,
+    /// pass-through and the injected return value; then logs the injection.
+    /// The injector-wide lock is taken only for the log append.
+    fn apply(&self, slot_index: usize, decision: Decision, ctx: &mut CallContext<'_>) -> i64 {
+        let slot = &self.shared.slots[slot_index];
+        let entry = &slot.function.entries[decision.entry_index];
+        for modification in &entry.arg_modifications {
+            let current = ctx.arg(modification.argument as usize);
+            ctx.set_arg(modification.argument as usize, modification.op.apply(current, modification.value));
         }
         if let Some(errno) = decision.errno {
             ctx.set_errno(errno);
         }
-        for effect in &decision.side_effects {
+        for effect in entry.side_effects_for(decision.choice_index) {
             match effect.kind {
                 SideEffectKind::Tls => {
-                    ctx.state().set_tls(&effect.module.clone(), effect.offset, effect.value);
+                    ctx.state().set_tls_sym(effect.module, effect.offset, effect.value);
                     // errno lives in TLS; reflect the canonical value too so
                     // programs that read errno through the process state see
                     // the injected error.
                     ctx.set_errno(effect.value);
                 }
                 SideEffectKind::Global => {
-                    ctx.state().set_global(&effect.module.clone(), effect.offset, effect.value);
+                    ctx.state().set_global_sym(effect.module, effect.offset, effect.value);
                 }
                 SideEffectKind::OutputArg => {
                     // The simulated process has no byte-addressable memory, so
@@ -274,26 +345,24 @@ impl Injector {
         }
 
         let stack = ctx.stack().to_vec();
-        let passthrough_result = if decision.call_original { ctx.call_next().ok() } else { None };
+        let passthrough_result = if entry.call_original { ctx.call_next().ok() } else { None };
 
-        {
-            let mut state = self.inner.lock();
-            state.log.injections.push(InjectionRecord {
-                function: symbol.to_owned(),
-                call_number: decision.call_number,
-                retval: if decision.call_original { None } else { decision.retval },
-                errno: decision.errno,
-                side_effects: decision.side_effects.clone(),
-                call_original: decision.call_original,
-                stack,
-            });
-        }
+        self.shared.log.lock().push(RawInjection {
+            slot: slot_index as u32,
+            entry: decision.entry_index as u32,
+            choice: decision.choice_index.map(|c| c as u32),
+            call_number: decision.call_number,
+            retval: if entry.call_original { None } else { decision.retval },
+            errno: decision.errno,
+            call_original: entry.call_original,
+            stack,
+        });
 
-        if decision.call_original {
+        if entry.call_original {
             // Pass-through entries (argument modification, overhead runs)
             // return whatever the original returned.
             if let Some(result) = passthrough_result {
-                self.record_observed(symbol, result);
+                self.record_observed(slot_index, result);
             }
             passthrough_result.unwrap_or_else(|| decision.retval.unwrap_or(0))
         } else {
@@ -302,50 +371,59 @@ impl Injector {
     }
 }
 
-fn trigger_matches(entry: &PlanEntry, call_number: u64, caller_stack: &[&str], rng: &mut StdRng) -> bool {
-    if let Some(n) = entry.trigger.inject_at_call {
+impl std::fmt::Debug for Injector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Injector")
+            .field("functions", &self.shared.slots.len())
+            .field("entries", &self.shared.plan.len())
+            .field("seed", &self.shared.seed)
+            .finish()
+    }
+}
+
+fn trigger_matches(entry: &CompiledEntry, call_number: u64, caller_stack: &[Symbol], rng: &mut StdRng) -> bool {
+    if let Some(n) = entry.inject_at_call {
         if n != call_number {
             return false;
         }
     }
-    if let Some(p) = entry.trigger.probability {
+    if let Some(p) = entry.probability {
         if !rng.gen_bool(p.clamp(0.0, 1.0)) {
             return false;
         }
     }
-    if !entry.trigger.stack_trace.is_empty() {
-        // Frame i of the trigger must equal the i-th innermost caller frame.
-        for (i, frame) in entry.trigger.stack_trace.iter().enumerate() {
-            match caller_stack.get(i) {
-                Some(actual) if *actual == frame => {}
-                _ => return false,
-            }
+    // Frame i of the trigger must equal the i-th innermost caller frame —
+    // compared by symbol id, in place.
+    for (i, &frame) in entry.stack_trace.iter().enumerate() {
+        match caller_stack.len().checked_sub(1 + i).map(|index| caller_stack[index]) {
+            Some(actual) if actual == frame => {}
+            _ => return false,
         }
     }
     true
 }
 
-fn resolve_action(entry: &PlanEntry, rng: &mut StdRng) -> (Option<i64>, Option<i64>, Vec<SideEffect>) {
-    if entry.action.random_choices.is_empty() {
-        return (entry.action.retval, entry.action.errno, entry.action.side_effects.clone());
+fn resolve_action(entry: &CompiledEntry, rng: &mut StdRng) -> (Option<usize>, Option<i64>, Option<i64>) {
+    if entry.random_choices.is_empty() {
+        return (None, entry.retval, entry.errno);
     }
-    let index = rng.gen_range(0..entry.action.random_choices.len());
-    let choice = &entry.action.random_choices[index];
+    let index = rng.gen_range(0..entry.random_choices.len());
+    let choice = &entry.random_choices[index];
     let errno = choice
         .side_effects
         .iter()
         .find(|s| s.kind == SideEffectKind::Tls)
         .map(|s| s.value)
-        .or(entry.action.errno);
-    (Some(choice.retval), errno, choice.side_effects.clone())
+        .or(entry.errno);
+    (Some(index), Some(choice.retval), errno)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lfi_profile::ErrorReturn;
+    use lfi_profile::{ErrorReturn, SideEffect};
     use lfi_runtime::Process;
-    use lfi_scenario::{ArgOp, FaultAction, Trigger};
+    use lfi_scenario::{ArgOp, FaultAction, Plan, PlanEntry, Trigger};
 
     fn libc() -> NativeLibrary {
         NativeLibrary::builder("libc.so.6")
@@ -414,7 +492,7 @@ mod tests {
         assert_eq!(process.call("read", &[3, 0, 8]).unwrap(), 0);
         process.pop_frame();
         assert_eq!(injector.log().injection_count(), 1);
-        assert_eq!(injector.log().injections[0].stack, vec!["refresh_files".to_owned(), "read".to_owned()]);
+        assert_eq!(injector.log().injections[0].stack, vec!["refresh_files", "read"]);
     }
 
     #[test]
@@ -645,8 +723,8 @@ mod tests {
         });
         let libc_injector = Injector::new(libc_plan);
         let apr_injector = Injector::new(apr_plan);
-        process.preload(libc_injector.synthesize_interceptor_named("liblfi_libc.so"));
-        process.preload(apr_injector.synthesize_interceptor_named("liblfi_apr.so"));
+        process.preload(libc_injector.synthesize_interceptor_named("lfi_libc.so"));
+        process.preload(apr_injector.synthesize_interceptor_named("lfi_apr.so"));
         assert_eq!(process.call("read", &[3, 0, 8]).unwrap(), -1);
         assert_eq!(process.call("apr_read", &[0, 16]).unwrap(), -2);
         assert_eq!(process.call("read", &[3, 0, 8]).unwrap(), 8);
@@ -682,5 +760,71 @@ mod tests {
         process.preload(injector.synthesize_interceptor());
         assert_eq!(process.call("only_in_profile", &[]).unwrap(), 0);
         assert_eq!(process.call("only_in_profile", &[]).unwrap(), -1);
+    }
+
+    #[test]
+    fn plan_entries_for_unknown_functions_pass_through_for_the_rest() {
+        // A plan that names a function no library defines does not disturb
+        // injection (or pass-through) on the functions that do exist.
+        let plan = Plan::new()
+            .entry(PlanEntry {
+                function: "no_such_function_anywhere".into(),
+                trigger: Trigger::on_call(1),
+                action: FaultAction::return_value(-1),
+            })
+            .entry(PlanEntry {
+                function: "read".into(),
+                trigger: Trigger::on_call(2),
+                action: FaultAction::return_value(-9),
+            });
+        let (mut process, injector) = process_with(plan);
+        assert_eq!(process.call("read", &[3, 0, 8]).unwrap(), 8);
+        assert_eq!(process.call("read", &[3, 0, 8]).unwrap(), -9);
+        assert_eq!(injector.log().injection_count(), 1);
+    }
+
+    #[test]
+    fn sharded_state_keeps_per_function_counters_independent_under_threads() {
+        // Two functions hammered from two threads: each slot counts its own
+        // calls, and the call-count triggers fire at exactly the right
+        // ordinal on both, no matter how the threads interleave.
+        let plan = Plan::new()
+            .entry(PlanEntry {
+                function: "read".into(),
+                trigger: Trigger::on_call(500),
+                action: FaultAction::return_value(-1),
+            })
+            .entry(PlanEntry {
+                function: "write".into(),
+                trigger: Trigger::on_call(300),
+                action: FaultAction::return_value(-2),
+            });
+        let injector = Injector::new(plan);
+        let interceptor = injector.synthesize_interceptor();
+        let mut template = Process::new();
+        template.load(libc());
+        template.preload(interceptor);
+
+        std::thread::scope(|scope| {
+            let mut read_process = template.clone();
+            let mut write_process = template.clone();
+            scope.spawn(move || {
+                for _ in 0..1000 {
+                    let _ = read_process.call("read", &[3, 0, 8]);
+                }
+            });
+            scope.spawn(move || {
+                for _ in 0..1000 {
+                    let _ = write_process.call("write", &[1, 0, 8]);
+                }
+            });
+        });
+
+        let log = injector.log();
+        assert_eq!(log.intercepted_calls, 2000);
+        assert_eq!(log.injection_count(), 2);
+        let mut fired: Vec<(&str, u64)> = log.injections.iter().map(|r| (r.function.as_str(), r.call_number)).collect();
+        fired.sort_unstable();
+        assert_eq!(fired, vec![("read", 500), ("write", 300)]);
     }
 }

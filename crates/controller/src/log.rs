@@ -1,5 +1,6 @@
 use std::fmt;
 
+use lfi_intern::Symbol;
 use lfi_profile::SideEffect;
 use serde::{Deserialize, Serialize};
 
@@ -8,10 +9,15 @@ use lfi_scenario::{FaultAction, Plan, PlanEntry, Trigger};
 /// One injection performed by the controller, as recorded in the LFI log
 /// (§5.2: "a text file that records each injection, the applied side effects,
 /// and the events that triggered that injection").
+///
+/// Function and stack-frame names are stored as interned [`Symbol`]s — the
+/// hot path that records them never allocates a string; names are resolved
+/// when a report is rendered ([`TestLog::to_text`]) or via
+/// [`InjectionRecord::function_name`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct InjectionRecord {
     /// Intercepted function.
-    pub function: String,
+    pub function: Symbol,
     /// Which call to the function this was (1-based).
     pub call_number: u64,
     /// Return value injected, if the call was not passed through.
@@ -23,7 +29,19 @@ pub struct InjectionRecord {
     /// Whether the original function was still invoked.
     pub call_original: bool,
     /// The call stack at injection time, innermost frame last.
-    pub stack: Vec<String>,
+    pub stack: Vec<Symbol>,
+}
+
+impl InjectionRecord {
+    /// The intercepted function's name.
+    pub fn function_name(&self) -> &'static str {
+        self.function.as_str()
+    }
+
+    /// The call stack resolved to names, innermost frame last.
+    pub fn stack_names(&self) -> Vec<&'static str> {
+        self.stack.iter().map(|frame| frame.as_str()).collect()
+    }
 }
 
 /// The log produced by one fault-injection run.
@@ -47,11 +65,13 @@ impl TestLog {
     }
 
     /// The injections performed on one function.
-    pub fn injections_for<'a>(&'a self, function: &'a str) -> impl Iterator<Item = &'a InjectionRecord> + 'a {
-        self.injections.iter().filter(move |r| r.function == function)
+    pub fn injections_for<'a>(&'a self, function: &str) -> impl Iterator<Item = &'a InjectionRecord> + 'a {
+        let symbol = Symbol::lookup(function);
+        self.injections.iter().filter(move |r| Some(r.function) == symbol)
     }
 
-    /// Renders the log as the human-readable text file the paper describes.
+    /// Renders the log as the human-readable text file the paper describes
+    /// (names are resolved here, on the report path).
     pub fn to_text(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
@@ -62,7 +82,7 @@ impl TestLog {
         for (index, record) in self.injections.iter().enumerate() {
             out.push_str(&format!(
                 "[{index}] {} call #{}: retval={} errno={} calloriginal={}\n",
-                record.function,
+                record.function_name(),
                 record.call_number,
                 record.retval.map_or_else(|| "-".to_owned(), |v| v.to_string()),
                 record.errno.map_or_else(|| "-".to_owned(), |v| v.to_string()),
@@ -77,7 +97,7 @@ impl TestLog {
                 }
             }
             if !record.stack.is_empty() {
-                out.push_str(&format!("      stack: {}\n", record.stack.join(" <- ")));
+                out.push_str(&format!("      stack: {}\n", record.stack_names().join(" <- ")));
             }
         }
         out
@@ -91,7 +111,7 @@ impl TestLog {
         let mut plan = Plan::new();
         for record in &self.injections {
             plan.entries.push(PlanEntry {
-                function: record.function.clone(),
+                function: record.function_name().to_owned(),
                 trigger: Trigger::on_call(record.call_number),
                 action: FaultAction {
                     retval: record.retval,
@@ -122,16 +142,16 @@ mod tests {
         TestLog {
             injections: vec![
                 InjectionRecord {
-                    function: "read".into(),
+                    function: Symbol::intern("read"),
                     call_number: 5,
                     retval: Some(-1),
                     errno: Some(4),
                     side_effects: vec![SideEffect::tls("libc.so.6", 0x12fff4, 4)],
                     call_original: false,
-                    stack: vec!["resolver_child".into(), "read".into()],
+                    stack: vec![Symbol::intern("resolver_child"), Symbol::intern("read")],
                 },
                 InjectionRecord {
-                    function: "write".into(),
+                    function: Symbol::intern("write"),
                     call_number: 2,
                     retval: None,
                     errno: None,
@@ -153,6 +173,8 @@ mod tests {
         assert!(text.contains("side-effect"));
         assert!(text.contains("resolver_child <- read"));
         assert!(log.to_string().contains("2 injections"));
+        assert_eq!(log.injections[0].function_name(), "read");
+        assert_eq!(log.injections[0].stack_names(), vec!["resolver_child", "read"]);
     }
 
     #[test]
@@ -174,7 +196,7 @@ mod tests {
     fn per_function_filtering() {
         let log = sample_log();
         assert_eq!(log.injections_for("read").count(), 1);
-        assert_eq!(log.injections_for("close").count(), 0);
+        assert_eq!(log.injections_for("close_never_seen").count(), 0);
         assert_eq!(log.injection_count(), 2);
     }
 }

@@ -28,8 +28,9 @@ mod process;
 mod status;
 
 pub use error::RuntimeError;
+pub use lfi_intern::{Symbol, SymbolTable};
 pub use library::{NativeFn, NativeLibrary, NativeLibraryBuilder};
-pub use process::{CallContext, FnPtr, Process, ProcessState};
+pub use process::{CallContext, FnPtr, Process, ProcessState, DEFAULT_CALL_LOG_CAPACITY};
 pub use status::{ExitStatus, Signal};
 
 #[cfg(test)]

@@ -2,6 +2,8 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
+use lfi_intern::Symbol;
+
 use crate::CallContext;
 
 /// The run-time behaviour of one library function, analogous to the machine
@@ -18,10 +20,14 @@ pub type NativeFn = Arc<dyn Fn(&mut CallContext<'_>) -> i64 + Send + Sync>;
 /// Interceptor libraries synthesized by the LFI controller and the "original"
 /// libraries from the corpus are both [`NativeLibrary`] values; interposition
 /// is purely a matter of load order (see [`crate::Process::preload`]).
+///
+/// Symbol names are interned into the shared [`lfi_intern`] table when the
+/// library is built, so per-call dispatch looks behaviours up by [`Symbol`]
+/// id and never hashes a string.
 #[derive(Clone)]
 pub struct NativeLibrary {
     name: String,
-    functions: HashMap<String, NativeFn>,
+    functions: HashMap<Symbol, NativeFn>,
 }
 
 impl NativeLibrary {
@@ -37,12 +43,23 @@ impl NativeLibrary {
 
     /// The behaviour registered for `symbol`, if any.
     pub fn function(&self, symbol: &str) -> Option<&NativeFn> {
-        self.functions.get(symbol)
+        self.functions.get(&Symbol::lookup(symbol)?)
+    }
+
+    /// The behaviour registered for an interned symbol, if any — the
+    /// string-free lookup the per-call dispatch path uses.
+    pub fn function_sym(&self, symbol: Symbol) -> Option<&NativeFn> {
+        self.functions.get(&symbol)
     }
 
     /// Names of the symbols this library defines, in arbitrary order.
     pub fn symbols(&self) -> impl Iterator<Item = &str> {
-        self.functions.keys().map(String::as_str)
+        self.functions.keys().map(|symbol| symbol.as_str())
+    }
+
+    /// Interned ids of the symbols this library defines, in arbitrary order.
+    pub fn symbol_ids(&self) -> impl Iterator<Item = Symbol> + '_ {
+        self.functions.keys().copied()
     }
 
     /// Number of defined symbols.
@@ -66,19 +83,27 @@ pub struct NativeLibraryBuilder {
 }
 
 impl NativeLibraryBuilder {
-    /// Registers a behaviour for a symbol.  Registering the same symbol twice
-    /// replaces the earlier behaviour.
-    pub fn function<F>(mut self, symbol: impl Into<String>, behaviour: F) -> Self
+    /// Registers a behaviour for a symbol (interning its name).  Registering
+    /// the same symbol twice replaces the earlier behaviour.
+    pub fn function<F>(self, symbol: impl AsRef<str>, behaviour: F) -> Self
     where
         F: Fn(&mut CallContext<'_>) -> i64 + Send + Sync + 'static,
     {
-        self.library.functions.insert(symbol.into(), Arc::new(behaviour));
+        self.function_sym(Symbol::intern(symbol.as_ref()), behaviour)
+    }
+
+    /// Registers a behaviour for an already-interned symbol.
+    pub fn function_sym<F>(mut self, symbol: Symbol, behaviour: F) -> Self
+    where
+        F: Fn(&mut CallContext<'_>) -> i64 + Send + Sync + 'static,
+    {
+        self.library.functions.insert(symbol, Arc::new(behaviour));
         self
     }
 
     /// Registers a behaviour that ignores its context and returns a constant.
-    pub fn constant(self, symbol: impl Into<String>, value: i64) -> Self {
-        self.function(symbol, move |_| value)
+    pub fn constant(self, symbol: impl AsRef<str>, value: i64) -> Self {
+        self.function(symbol.as_ref(), move |_| value)
     }
 
     /// Finishes the library.
@@ -107,10 +132,12 @@ mod tests {
         assert_eq!(lib.name(), "libc.so.6");
         assert_eq!(lib.symbol_count(), 2);
         assert!(lib.function("read").is_some());
-        assert!(lib.function("write").is_none());
+        assert!(lib.function("write_never_interned_here").is_none());
+        assert!(lib.function_sym(Symbol::intern("read")).is_some());
         let mut symbols: Vec<&str> = lib.symbols().collect();
         symbols.sort_unstable();
         assert_eq!(symbols, vec!["getpid", "read"]);
+        assert_eq!(lib.symbol_ids().count(), 2);
         assert!(format!("{lib:?}").contains("libc.so.6"));
     }
 }

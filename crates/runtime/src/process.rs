@@ -1,18 +1,49 @@
 use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use lfi_intern::Symbol;
 
 use crate::{NativeFn, NativeLibrary, RuntimeError};
+
+/// Default bound on the recorded call log (see
+/// [`ProcessState::set_call_log_capacity`]): generous enough for every
+/// workload in this repo, small enough that a long overhead campaign cannot
+/// grow memory without limit.
+pub const DEFAULT_CALL_LOG_CAPACITY: usize = 1 << 20;
 
 /// The mutable state of a simulated process that library behaviours can
 /// observe and modify: `errno`, per-module TLS and global data, and the call
 /// stack used by stack-trace triggers.
-#[derive(Debug, Clone, Default)]
+///
+/// Module names and stack frames are stored as interned [`Symbol`]s; the
+/// string-keyed accessors intern (writes) or look up (reads) once at the
+/// call boundary, and symbol-keyed twins skip even that.
+#[derive(Debug, Clone)]
 pub struct ProcessState {
     errno: i64,
-    tls: HashMap<(String, u32), i64>,
-    globals: HashMap<(String, u32), i64>,
-    stack: Vec<String>,
-    call_log: Vec<String>,
+    tls: HashMap<(Symbol, u32), i64>,
+    globals: HashMap<(Symbol, u32), i64>,
+    stack: Vec<Symbol>,
+    call_log: Vec<Symbol>,
     call_log_enabled: bool,
+    call_log_capacity: usize,
+    call_log_dropped: u64,
+}
+
+impl Default for ProcessState {
+    fn default() -> Self {
+        Self {
+            errno: 0,
+            tls: HashMap::new(),
+            globals: HashMap::new(),
+            stack: Vec::new(),
+            call_log: Vec::new(),
+            call_log_enabled: false,
+            call_log_capacity: DEFAULT_CALL_LOG_CAPACITY,
+            call_log_dropped: 0,
+        }
+    }
 }
 
 impl ProcessState {
@@ -28,27 +59,53 @@ impl ProcessState {
 
     /// Reads a TLS slot of a module (0 if never written).
     pub fn tls(&self, module: &str, offset: u32) -> i64 {
-        *self.tls.get(&(module.to_owned(), offset)).unwrap_or(&0)
+        Symbol::lookup(module).map_or(0, |module| self.tls_sym(module, offset))
+    }
+
+    /// Reads a TLS slot of an interned module (0 if never written).
+    pub fn tls_sym(&self, module: Symbol, offset: u32) -> i64 {
+        *self.tls.get(&(module, offset)).unwrap_or(&0)
     }
 
     /// Writes a TLS slot of a module.
     pub fn set_tls(&mut self, module: &str, offset: u32, value: i64) {
-        self.tls.insert((module.to_owned(), offset), value);
+        self.set_tls_sym(Symbol::intern(module), offset, value);
+    }
+
+    /// Writes a TLS slot of an interned module — the allocation-free path
+    /// fault side effects use per call.
+    pub fn set_tls_sym(&mut self, module: Symbol, offset: u32, value: i64) {
+        self.tls.insert((module, offset), value);
     }
 
     /// Reads a global slot of a module (0 if never written).
     pub fn global(&self, module: &str, offset: u32) -> i64 {
-        *self.globals.get(&(module.to_owned(), offset)).unwrap_or(&0)
+        Symbol::lookup(module).map_or(0, |module| self.global_sym(module, offset))
+    }
+
+    /// Reads a global slot of an interned module (0 if never written).
+    pub fn global_sym(&self, module: Symbol, offset: u32) -> i64 {
+        *self.globals.get(&(module, offset)).unwrap_or(&0)
     }
 
     /// Writes a global slot of a module.
     pub fn set_global(&mut self, module: &str, offset: u32, value: i64) {
-        self.globals.insert((module.to_owned(), offset), value);
+        self.set_global_sym(Symbol::intern(module), offset, value);
+    }
+
+    /// Writes a global slot of an interned module.
+    pub fn set_global_sym(&mut self, module: Symbol, offset: u32, value: i64) {
+        self.globals.insert((module, offset), value);
     }
 
     /// The current call stack, innermost frame last.
-    pub fn stack(&self) -> &[String] {
+    pub fn stack(&self) -> &[Symbol] {
         &self.stack
+    }
+
+    /// The current call stack resolved to names, innermost frame last.
+    pub fn stack_names(&self) -> Vec<&'static str> {
+        self.stack.iter().map(|frame| frame.as_str()).collect()
     }
 
     /// When enabled, every dispatched library call is appended to
@@ -58,14 +115,60 @@ impl ProcessState {
         self.call_log_enabled = enabled;
     }
 
+    /// Bounds the call log at `capacity` entries.  Once full, further calls
+    /// are counted in [`ProcessState::call_log_dropped`] instead of recorded,
+    /// so long overhead campaigns cannot grow memory without limit; drain
+    /// periodically with [`ProcessState::drain_call_log`] if you need the
+    /// full stream.  The default is [`DEFAULT_CALL_LOG_CAPACITY`].
+    pub fn set_call_log_capacity(&mut self, capacity: usize) {
+        self.call_log_capacity = capacity;
+        if self.call_log.len() > capacity {
+            // Shrinking discards the newest recorded entries; count them as
+            // dropped so `len() + dropped()` keeps reflecting total volume.
+            self.call_log_dropped += (self.call_log.len() - capacity) as u64;
+            self.call_log.truncate(capacity);
+        }
+    }
+
+    /// The configured call-log bound.
+    pub fn call_log_capacity(&self) -> usize {
+        self.call_log_capacity
+    }
+
+    /// Number of calls dropped because the log was at capacity.
+    pub fn call_log_dropped(&self) -> u64 {
+        self.call_log_dropped
+    }
+
     /// The recorded library calls, in order.
-    pub fn call_log(&self) -> &[String] {
+    pub fn call_log(&self) -> &[Symbol] {
         &self.call_log
+    }
+
+    /// The recorded library calls resolved to names, in order.
+    pub fn call_log_names(&self) -> Vec<&'static str> {
+        self.call_log.iter().map(|symbol| symbol.as_str()).collect()
+    }
+
+    /// Takes the recorded calls out of the log, resetting it (and the
+    /// dropped-call counter) so recording can continue from a clean slate.
+    pub fn drain_call_log(&mut self) -> Vec<Symbol> {
+        self.call_log_dropped = 0;
+        std::mem::take(&mut self.call_log)
     }
 
     /// Clears the recorded library calls.
     pub fn clear_call_log(&mut self) {
         self.call_log.clear();
+        self.call_log_dropped = 0;
+    }
+
+    fn record_call(&mut self, symbol: Symbol) {
+        if self.call_log.len() < self.call_log_capacity {
+            self.call_log.push(symbol);
+        } else {
+            self.call_log_dropped += 1;
+        }
     }
 }
 
@@ -100,34 +203,72 @@ const FNPTR_BASE: u64 = 0x7f00_0000_0000;
 /// makes the LFI interceptor shadow the original library (§5.1); the shadowed
 /// definition remains reachable through [`CallContext::call_next`].
 ///
+/// Dispatch is keyed by interned [`Symbol`] ids end to end: the string-taking
+/// [`Process::call`] looks its argument up once at the boundary (a name no
+/// library ever defined resolves to nothing without growing the symbol
+/// table), and [`Process::call_sym`] lets callers that resolved the symbol at
+/// setup time (benches, interceptor stubs, tight workload loops) skip even
+/// that hash.  Resolution chains are cached per symbol and invalidated when
+/// the library list changes, so a repeated call allocates nothing for
+/// resolution.
+///
 /// Processes are `Send + Sync + Clone`: a clone shares the (immutable)
 /// library behaviours but owns its own state, so independent clones can run
 /// concurrently on different threads — the contract parallel campaign
 /// execution (`lfi-controller`'s `Campaign::parallelism`) builds on.
-#[derive(Debug, Clone, Default)]
+#[derive(Clone, Default)]
 pub struct Process {
     libraries: Vec<NativeLibrary>,
     state: ProcessState,
     max_call_depth: usize,
-    fnptrs: Vec<String>,
+    fnptrs: Vec<Symbol>,
+    /// Memoized resolution chains, rebuilt lazily after every load/preload.
+    chain_cache: HashMap<Symbol, Arc<[NativeFn]>>,
+    /// Memoized name→symbol resolutions, so string-keyed calls hash only a
+    /// process-local map instead of taking the global table's lock.  Never
+    /// needs invalidation: interning is append-only, so a hit can't go stale.
+    name_cache: HashMap<String, Symbol>,
 }
 
 impl Process {
     /// Creates an empty process.
     pub fn new() -> Self {
-        Self { libraries: Vec::new(), state: ProcessState::default(), max_call_depth: 256, fnptrs: Vec::new() }
+        Self {
+            libraries: Vec::new(),
+            state: ProcessState::default(),
+            max_call_depth: 256,
+            fnptrs: Vec::new(),
+            chain_cache: HashMap::new(),
+            name_cache: HashMap::new(),
+        }
+    }
+
+    /// Resolves a caller-supplied name to its symbol without growing the
+    /// global table (a miss proves no library defines it, since every
+    /// definable name was interned at library build time).  Hits are
+    /// memoized per process so the global table's lock stays off the
+    /// call path.
+    fn lookup_name(&mut self, name: &str) -> Option<Symbol> {
+        if let Some(&symbol) = self.name_cache.get(name) {
+            return Some(symbol);
+        }
+        let symbol = Symbol::lookup(name)?;
+        self.name_cache.insert(name.to_owned(), symbol);
+        Some(symbol)
     }
 
     /// Loads a library at the *end* of the resolution order (a normal
     /// `DT_NEEDED` dependency).
     pub fn load(&mut self, library: NativeLibrary) {
         self.libraries.push(library);
+        self.chain_cache.clear();
     }
 
     /// Loads a library at the *front* of the resolution order
     /// (the `LD_PRELOAD` slot used by interceptor libraries).
     pub fn preload(&mut self, library: NativeLibrary) {
         self.libraries.insert(0, library);
+        self.chain_cache.clear();
     }
 
     /// The libraries currently loaded, in resolution order.
@@ -147,8 +288,8 @@ impl Process {
 
     /// Pushes an application-level stack frame (e.g. `refresh_files`), so that
     /// stack-trace triggers can match application call sites.
-    pub fn push_frame(&mut self, frame: impl Into<String>) {
-        self.state.stack.push(frame.into());
+    pub fn push_frame(&mut self, frame: impl AsRef<str>) {
+        self.state.stack.push(Symbol::intern(frame.as_ref()));
     }
 
     /// Pops the innermost application-level stack frame.
@@ -156,13 +297,23 @@ impl Process {
         self.state.stack.pop();
     }
 
-    /// The resolution chain for a symbol: every definition in load order.
-    fn resolution_chain(&self, symbol: &str) -> Vec<NativeFn> {
-        self.libraries.iter().filter_map(|lib| lib.function(symbol).cloned()).collect()
+    /// The resolution chain for a symbol: every definition in load order,
+    /// memoized per symbol (libraries are immutable between loads, so the
+    /// cached chain stays valid until the next load/preload).
+    fn resolution_chain(&mut self, symbol: Symbol) -> Arc<[NativeFn]> {
+        if let Some(chain) = self.chain_cache.get(&symbol) {
+            return Arc::clone(chain);
+        }
+        let chain: Arc<[NativeFn]> =
+            self.libraries.iter().filter_map(|lib| lib.function_sym(symbol).cloned()).collect();
+        self.chain_cache.insert(symbol, Arc::clone(&chain));
+        chain
     }
 
     /// Calls a library function by name, dispatching to the first definition
-    /// in load order (interceptors first).
+    /// in load order (interceptors first).  The name is looked up (never
+    /// interned) once here; everything downstream operates on the [`Symbol`]
+    /// id.
     ///
     /// # Errors
     ///
@@ -170,6 +321,19 @@ impl Process {
     /// defines the symbol, and [`RuntimeError::CallDepthExceeded`] on runaway
     /// recursion.
     pub fn call(&mut self, symbol: &str, args: &[i64]) -> Result<i64, RuntimeError> {
+        match self.lookup_name(symbol) {
+            Some(symbol) => self.call_at_depth(symbol, args, 0),
+            None => Err(RuntimeError::UnresolvedSymbol { name: symbol.to_owned() }),
+        }
+    }
+
+    /// Calls a library function by interned symbol — the string-free
+    /// entry point for callers that resolved the name at setup time.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Process::call`].
+    pub fn call_sym(&mut self, symbol: Symbol, args: &[i64]) -> Result<i64, RuntimeError> {
         self.call_at_depth(symbol, args, 0)
     }
 
@@ -182,21 +346,39 @@ impl Process {
     /// Returns [`RuntimeError::UnresolvedSymbol`] when no loaded library
     /// defines the symbol at resolution time.
     pub fn fnptr(&mut self, symbol: &str) -> Result<FnPtr, RuntimeError> {
-        if self.resolution_chain(symbol).is_empty() {
-            return Err(RuntimeError::UnresolvedSymbol { name: symbol.to_owned() });
+        match self.lookup_name(symbol) {
+            Some(symbol) => self.fnptr_sym(symbol),
+            None => Err(RuntimeError::UnresolvedSymbol { name: symbol.to_owned() }),
         }
-        if let Some(existing) = self.fnptrs.iter().position(|s| s == symbol) {
+    }
+
+    /// Resolves an interned symbol to an opaque function pointer.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Process::fnptr`].
+    pub fn fnptr_sym(&mut self, symbol: Symbol) -> Result<FnPtr, RuntimeError> {
+        if self.resolution_chain(symbol).is_empty() {
+            return Err(RuntimeError::UnresolvedSymbol { name: symbol.as_str().to_owned() });
+        }
+        if let Some(existing) = self.fnptrs.iter().position(|&s| s == symbol) {
             return Ok(FnPtr(FNPTR_BASE + existing as u64 * 16));
         }
-        self.fnptrs.push(symbol.to_owned());
+        self.fnptrs.push(symbol);
         Ok(FnPtr(FNPTR_BASE + (self.fnptrs.len() as u64 - 1) * 16))
     }
 
     /// The symbol a function pointer refers to, if it was produced by
     /// [`Process::fnptr`].
-    pub fn fnptr_symbol(&self, ptr: FnPtr) -> Option<&str> {
+    pub fn fnptr_symbol(&self, ptr: FnPtr) -> Option<&'static str> {
+        self.fnptr_symbol_id(ptr).map(Symbol::as_str)
+    }
+
+    /// The interned symbol a function pointer refers to, if it was produced
+    /// by [`Process::fnptr`].
+    pub fn fnptr_symbol_id(&self, ptr: FnPtr) -> Option<Symbol> {
         let index = ptr.0.checked_sub(FNPTR_BASE)? / 16;
-        self.fnptrs.get(index as usize).map(String::as_str)
+        self.fnptrs.get(index as usize).copied()
     }
 
     /// Calls through a function pointer.  The pointer is resolved back to its
@@ -215,37 +397,48 @@ impl Process {
     }
 
     fn call_ptr_at_depth(&mut self, ptr: FnPtr, args: &[i64], depth: usize) -> Result<i64, RuntimeError> {
-        let Some(symbol) = self.fnptr_symbol(ptr).map(str::to_owned) else {
+        let Some(symbol) = self.fnptr_symbol_id(ptr) else {
             return Err(RuntimeError::InvalidFunctionPointer { value: ptr.0 });
         };
-        self.call_at_depth(&symbol, args, depth)
+        self.call_at_depth(symbol, args, depth)
     }
 
-    fn call_at_depth(&mut self, symbol: &str, args: &[i64], depth: usize) -> Result<i64, RuntimeError> {
+    fn call_at_depth(&mut self, symbol: Symbol, args: &[i64], depth: usize) -> Result<i64, RuntimeError> {
         if depth > self.max_call_depth {
             return Err(RuntimeError::CallDepthExceeded { limit: self.max_call_depth });
         }
         let chain = self.resolution_chain(symbol);
         if chain.is_empty() {
-            return Err(RuntimeError::UnresolvedSymbol { name: symbol.to_owned() });
+            return Err(RuntimeError::UnresolvedSymbol { name: symbol.as_str().to_owned() });
         }
         if self.state.call_log_enabled {
-            self.state.call_log.push(symbol.to_owned());
+            self.state.record_call(symbol);
         }
-        self.state.stack.push(symbol.to_owned());
-        let mut context =
-            CallContext { process: self, symbol: symbol.to_owned(), chain, chain_index: 0, args: args.to_vec(), depth };
+        self.state.stack.push(symbol);
+        let mut context = CallContext { process: self, symbol, chain, chain_index: 0, args: args.to_vec(), depth };
         let result = context.invoke_current();
         self.state.stack.pop();
         result
     }
 }
 
+impl fmt::Debug for Process {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Process")
+            .field("libraries", &self.libraries)
+            .field("state", &self.state)
+            .field("max_call_depth", &self.max_call_depth)
+            .field("fnptrs", &self.fnptrs)
+            .field("cached_chains", &self.chain_cache.len())
+            .finish()
+    }
+}
+
 /// The view a library behaviour gets of the call it is servicing.
 pub struct CallContext<'p> {
     process: &'p mut Process,
-    symbol: String,
-    chain: Vec<NativeFn>,
+    symbol: Symbol,
+    chain: Arc<[NativeFn]>,
     chain_index: usize,
     args: Vec<i64>,
     depth: usize,
@@ -258,8 +451,13 @@ impl CallContext<'_> {
     }
 
     /// The name of the intercepted symbol.
-    pub fn symbol(&self) -> &str {
-        &self.symbol
+    pub fn symbol(&self) -> &'static str {
+        self.symbol.as_str()
+    }
+
+    /// The interned id of the intercepted symbol.
+    pub fn symbol_id(&self) -> Symbol {
+        self.symbol
     }
 
     /// The call arguments (possibly already modified by an interceptor).
@@ -297,7 +495,7 @@ impl CallContext<'_> {
     }
 
     /// The current call stack, innermost frame last (includes this call).
-    pub fn stack(&self) -> &[String] {
+    pub fn stack(&self) -> &[Symbol] {
         self.process.state.stack()
     }
 
@@ -311,7 +509,7 @@ impl CallContext<'_> {
     /// definition (the interceptor was loaded without the original library).
     pub fn call_next(&mut self) -> Result<i64, RuntimeError> {
         if self.chain_index + 1 >= self.chain.len() {
-            return Err(RuntimeError::ChainExhausted { name: self.symbol.clone() });
+            return Err(RuntimeError::ChainExhausted { name: self.symbol.as_str().to_owned() });
         }
         self.chain_index += 1;
         let result = self.invoke_current();
@@ -326,6 +524,18 @@ impl CallContext<'_> {
     ///
     /// Propagates resolution and recursion errors from the nested call.
     pub fn call(&mut self, symbol: &str, args: &[i64]) -> Result<i64, RuntimeError> {
+        match self.process.lookup_name(symbol) {
+            Some(symbol) => self.process.call_at_depth(symbol, args, self.depth + 1),
+            None => Err(RuntimeError::UnresolvedSymbol { name: symbol.to_owned() }),
+        }
+    }
+
+    /// Makes a fresh call to another library function by interned symbol.
+    ///
+    /// # Errors
+    ///
+    /// As for [`CallContext::call`].
+    pub fn call_sym(&mut self, symbol: Symbol, args: &[i64]) -> Result<i64, RuntimeError> {
         self.process.call_at_depth(symbol, args, self.depth + 1)
     }
 
@@ -397,6 +607,19 @@ mod tests {
     }
 
     #[test]
+    fn symbol_calls_match_name_calls() {
+        let mut process = Process::new();
+        process.load(libc());
+        let read = Symbol::intern("read");
+        assert_eq!(process.call_sym(read, &[3, 0, 64]).unwrap(), 64);
+        assert_eq!(process.call_sym(read, &[3, 0, 64]).unwrap(), process.call("read", &[3, 0, 64]).unwrap());
+        let missing = Symbol::intern("never_defined_anywhere");
+        assert!(
+            matches!(process.call_sym(missing, &[]), Err(RuntimeError::UnresolvedSymbol { name }) if name == "never_defined_anywhere")
+        );
+    }
+
+    #[test]
     fn preloaded_interceptor_shadows_and_chains_to_the_original() {
         let mut process = Process::new();
         process.load(libc());
@@ -439,7 +662,7 @@ mod tests {
         process.push_frame("refresh_files");
         // During the call the stack is [refresh_files, checked_read, read];
         // verify via an interceptor that captures it.
-        let seen = std::sync::Arc::new(parking_lot::Mutex::new(Vec::<String>::new()));
+        let seen = std::sync::Arc::new(parking_lot::Mutex::new(Vec::<Symbol>::new()));
         let seen_clone = std::sync::Arc::clone(&seen);
         process.preload(
             NativeLibrary::builder("spy.so")
@@ -451,8 +674,10 @@ mod tests {
         );
         assert_eq!(process.call("checked_read", &[1, 0, 8]).unwrap(), 8);
         process.pop_frame();
-        assert_eq!(*seen.lock(), vec!["refresh_files".to_owned(), "checked_read".to_owned(), "read".to_owned()]);
+        let frames: Vec<&str> = seen.lock().iter().map(|s| s.as_str()).collect();
+        assert_eq!(frames, vec!["refresh_files", "checked_read", "read"]);
         assert!(process.state().stack().is_empty());
+        assert!(process.state().stack_names().is_empty());
     }
 
     #[test]
@@ -462,9 +687,38 @@ mod tests {
         process.state_mut().set_call_log_enabled(true);
         process.call("getpid", &[]).unwrap();
         process.call("checked_read", &[1, 0, 4]).unwrap();
-        assert_eq!(process.state().call_log(), &["getpid", "checked_read", "read"]);
+        assert_eq!(process.state().call_log_names(), vec!["getpid", "checked_read", "read"]);
+        assert_eq!(process.state().call_log().len(), 3);
         process.state_mut().clear_call_log();
         assert!(process.state().call_log().is_empty());
+    }
+
+    #[test]
+    fn call_log_capacity_bounds_memory_and_drain_resets() {
+        let mut process = Process::new();
+        process.load(libc());
+        process.state_mut().set_call_log_enabled(true);
+        process.state_mut().set_call_log_capacity(2);
+        assert_eq!(process.state().call_log_capacity(), 2);
+        for _ in 0..5 {
+            process.call("getpid", &[]).unwrap();
+        }
+        assert_eq!(process.state().call_log().len(), 2, "log is capped");
+        assert_eq!(process.state().call_log_dropped(), 3, "overflow is counted, not stored");
+
+        let drained = process.state_mut().drain_call_log();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(process.state().call_log_dropped(), 0);
+        assert!(process.state().call_log().is_empty());
+        // Recording continues after a drain.
+        process.call("getpid", &[]).unwrap();
+        assert_eq!(process.state().call_log().len(), 1);
+
+        // Shrinking the capacity truncates an over-full log, and the
+        // discarded entries are counted as dropped.
+        process.state_mut().set_call_log_capacity(0);
+        assert!(process.state().call_log().is_empty());
+        assert_eq!(process.state().call_log_dropped(), 1);
     }
 
     #[test]
@@ -501,10 +755,11 @@ mod tests {
         // The program obtains the pointer *before* the interceptor is loaded,
         // the way a long-lived callback table would.
         let read_ptr = process.fnptr("read").unwrap();
-        let getpid_ptr = process.fnptr("getpid").unwrap();
+        let getpid_ptr = process.fnptr_sym(Symbol::intern("getpid")).unwrap();
         assert_ne!(read_ptr, getpid_ptr);
         assert_eq!(process.fnptr("read").unwrap(), read_ptr, "same symbol yields the same pointer");
         assert_eq!(process.fnptr_symbol(read_ptr), Some("read"));
+        assert_eq!(process.fnptr_symbol_id(read_ptr), Some(Symbol::intern("read")));
         assert_eq!(process.call_ptr(read_ptr, &[3, 0, 64]).unwrap(), 64);
 
         // Loading an interceptor afterwards still affects indirect calls,
@@ -597,8 +852,15 @@ mod tests {
         process.state_mut().set_tls("libc.so.6", 0x12fff4, 9);
         process.state_mut().set_global("libapp.so", 0x10, 3);
         assert_eq!(process.state().tls("libc.so.6", 0x12fff4), 9);
-        assert_eq!(process.state().tls("libm.so", 0x12fff4), 0);
+        assert_eq!(process.state().tls("libm_never_written.so", 0x12fff4), 0);
         assert_eq!(process.state().global("libapp.so", 0x10), 3);
         assert_eq!(process.state().global("libapp.so", 0x18), 0);
+        // The symbol-keyed twins observe the same slots.
+        let libc = Symbol::intern("libc.so.6");
+        assert_eq!(process.state().tls_sym(libc, 0x12fff4), 9);
+        process.state_mut().set_tls_sym(libc, 0x12fff4, 11);
+        assert_eq!(process.state().tls("libc.so.6", 0x12fff4), 11);
+        process.state_mut().set_global_sym(libc, 0x20, 5);
+        assert_eq!(process.state().global_sym(libc, 0x20), 5);
     }
 }

@@ -1,0 +1,229 @@
+//! The compiled, symbol-resolved form of a [`Plan`] — the resolve-once half
+//! of the interception fast path.
+//!
+//! A [`Plan`] is the XML-facing data model: function names, module names and
+//! stack frames are strings, because that is what the §4 scenario language
+//! and the fault profiles speak.  [`Plan::compile`] resolves every one of
+//! those names to an interned [`Symbol`] exactly once and groups the entries
+//! by intercepted function, producing the [`CompiledPlan`] the controller's
+//! per-call trigger evaluation runs against.  After compilation, no per-call
+//! code touches a string: stack-trace frames compare as ids, TLS/global
+//! side-effect modules are ids, and per-function state lives in dense
+//! per-function slots.
+
+use lfi_intern::Symbol;
+use lfi_profile::{SideEffect, SideEffectKind};
+
+use crate::{ArgModification, Plan};
+
+/// A side effect with its module name resolved to a [`Symbol`], applicable
+/// per call without allocating.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompiledSideEffect {
+    /// Channel used to expose the error detail.
+    pub kind: SideEffectKind,
+    /// Interned module whose data image holds the location.
+    pub module: Symbol,
+    /// Offset within the module data image (argument index for
+    /// [`SideEffectKind::OutputArg`]).
+    pub offset: u32,
+    /// Value written into the location.
+    pub value: i64,
+}
+
+impl CompiledSideEffect {
+    fn compile(effect: &SideEffect) -> Self {
+        Self { kind: effect.kind, module: Symbol::intern(&effect.module), offset: effect.offset, value: effect.value }
+    }
+
+    /// Re-materializes the string-keyed form (report/replay path only).
+    pub fn to_side_effect(self) -> SideEffect {
+        SideEffect { kind: self.kind, module: self.module.as_str().to_owned(), offset: self.offset, value: self.value }
+    }
+}
+
+/// One member of a compiled random-choice pool (an
+/// [`ErrorReturn`](lfi_profile::ErrorReturn) with resolved side effects).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledChoice {
+    /// The injected return value.
+    pub retval: i64,
+    /// Side effects accompanying this choice.
+    pub side_effects: Vec<CompiledSideEffect>,
+}
+
+/// One plan entry compiled against the symbol table: triggers and fault with
+/// every name resolved, plus the index of the source entry in the original
+/// [`Plan`] (so reports can refer back to the authored scenario).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledEntry {
+    /// Index of this entry in [`Plan::entries`].
+    pub plan_index: usize,
+    /// Fire on the n-th call (1-based), if set.
+    pub inject_at_call: Option<u64>,
+    /// Fire with this probability on each call, if set.
+    pub probability: Option<f64>,
+    /// Stack-trace frames to match, innermost first, as interned symbols.
+    pub stack_trace: Vec<Symbol>,
+    /// Return value to inject.
+    pub retval: Option<i64>,
+    /// errno to set alongside.
+    pub errno: Option<i64>,
+    /// Side effects with resolved module symbols.
+    pub side_effects: Vec<CompiledSideEffect>,
+    /// Whether the original function is still invoked.
+    pub call_original: bool,
+    /// Argument rewrites applied before a passed-through call.
+    pub arg_modifications: Vec<ArgModification>,
+    /// Random-choice pool (one picked per firing when non-empty).
+    pub random_choices: Vec<CompiledChoice>,
+}
+
+impl CompiledEntry {
+    /// The side effects a firing of this entry applies: the chosen pool
+    /// member's when a random choice was drawn, the entry's own otherwise.
+    /// Shared by live injection and log materialization so the two can
+    /// never diverge.
+    pub fn side_effects_for(&self, choice: Option<usize>) -> &[CompiledSideEffect] {
+        match choice {
+            Some(index) => &self.random_choices[index].side_effects,
+            None => &self.side_effects,
+        }
+    }
+}
+
+/// All entries of one intercepted function, grouped at compile time so the
+/// per-call path evaluates only the triggers relevant to that function
+/// (§6.4: overhead grows with the triggers *per function*, not per plan).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledFunction {
+    /// The intercepted function.
+    pub symbol: Symbol,
+    /// Whether any entry carries a stack-trace trigger; the (comparatively
+    /// expensive) stack inspection is only performed when true.
+    pub stack_sensitive: bool,
+    /// The entries, in plan order.
+    pub entries: Vec<CompiledEntry>,
+}
+
+/// A [`Plan`] with every name resolved to a [`Symbol`] and entries grouped
+/// by intercepted function — see the module docs.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CompiledPlan {
+    /// Seed for random triggers/choices, copied from the plan.
+    pub seed: Option<u64>,
+    /// One slot per intercepted function, in first-appearance order.
+    pub functions: Vec<CompiledFunction>,
+}
+
+impl CompiledPlan {
+    /// The compiled slot for `symbol`, if the plan intercepts it.
+    pub fn function(&self, symbol: Symbol) -> Option<&CompiledFunction> {
+        self.functions.iter().find(|f| f.symbol == symbol)
+    }
+}
+
+impl Plan {
+    /// Resolves every function name, stack frame and side-effect module in
+    /// this plan to interned [`Symbol`]s, grouping entries per function —
+    /// the setup-time half of the resolve-once contract (see
+    /// [`lfi_intern::Symbol`]).  Interceptor synthesis calls this for you;
+    /// call it directly when driving trigger evaluation by hand.
+    ///
+    /// Compilation *interns* — every name in the plan joins the process-wide
+    /// table for the rest of the process (that is what lets the controller
+    /// synthesize stubs even for functions no library defines).  Plans are
+    /// setup artifacts with a bounded vocabulary, so this is the intended
+    /// cost; a service compiling unbounded user-supplied names should
+    /// validate them against its fault profiles first.
+    pub fn compile(&self) -> CompiledPlan {
+        let mut functions: Vec<CompiledFunction> = Vec::new();
+        for (plan_index, entry) in self.entries.iter().enumerate() {
+            let symbol = Symbol::intern(&entry.function);
+            let compiled = CompiledEntry {
+                plan_index,
+                inject_at_call: entry.trigger.inject_at_call,
+                probability: entry.trigger.probability,
+                stack_trace: entry.trigger.stack_trace.iter().map(|frame| Symbol::intern(frame)).collect(),
+                retval: entry.action.retval,
+                errno: entry.action.errno,
+                side_effects: entry.action.side_effects.iter().map(CompiledSideEffect::compile).collect(),
+                call_original: entry.action.call_original,
+                arg_modifications: entry.action.arg_modifications.clone(),
+                random_choices: entry
+                    .action
+                    .random_choices
+                    .iter()
+                    .map(|choice| CompiledChoice {
+                        retval: choice.retval,
+                        side_effects: choice.side_effects.iter().map(CompiledSideEffect::compile).collect(),
+                    })
+                    .collect(),
+            };
+            let stack_sensitive = !compiled.stack_trace.is_empty();
+            match functions.iter_mut().find(|f| f.symbol == symbol) {
+                Some(slot) => {
+                    slot.stack_sensitive |= stack_sensitive;
+                    slot.entries.push(compiled);
+                }
+                None => functions.push(CompiledFunction { symbol, stack_sensitive, entries: vec![compiled] }),
+            }
+        }
+        CompiledPlan { seed: self.seed, functions }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ArgOp, FaultAction, PlanEntry, Trigger};
+    use lfi_profile::ErrorReturn;
+
+    #[test]
+    fn compile_groups_entries_and_resolves_names() {
+        let plan = Plan::new()
+            .with_seed(9)
+            .entry(PlanEntry {
+                function: "read".into(),
+                trigger: Trigger::on_call(3),
+                action: FaultAction::return_value(-1).with_errno(9),
+            })
+            .entry(PlanEntry {
+                function: "write".into(),
+                trigger: Trigger::with_probability(0.5).frame("flush"),
+                action: FaultAction {
+                    side_effects: vec![SideEffect::tls("libc.so.6", 0x10, 4)],
+                    random_choices: vec![ErrorReturn::bare(-2)],
+                    ..FaultAction::default()
+                },
+            })
+            .entry(PlanEntry {
+                function: "read".into(),
+                trigger: Trigger::on_call(5),
+                action: FaultAction::default().passthrough().modify_arg(2, ArgOp::Sub, 10),
+            });
+        let compiled = plan.compile();
+        assert_eq!(compiled.seed, Some(9));
+        assert_eq!(compiled.functions.len(), 2);
+
+        let read = compiled.function(Symbol::intern("read")).unwrap();
+        assert_eq!(read.entries.len(), 2);
+        assert!(!read.stack_sensitive);
+        assert_eq!(read.entries[0].plan_index, 0);
+        assert_eq!(read.entries[1].plan_index, 2);
+        assert_eq!(read.entries[0].inject_at_call, Some(3));
+        assert!(read.entries[1].call_original);
+        assert_eq!(read.entries[1].arg_modifications.len(), 1);
+
+        let write = compiled.function(Symbol::intern("write")).unwrap();
+        assert!(write.stack_sensitive);
+        assert_eq!(write.entries[0].stack_trace, vec![Symbol::intern("flush")]);
+        assert_eq!(write.entries[0].side_effects[0].module, Symbol::intern("libc.so.6"));
+        assert_eq!(write.entries[0].random_choices[0].retval, -2);
+        // The compiled side effect round-trips to its string-keyed form.
+        assert_eq!(write.entries[0].side_effects[0].to_side_effect(), SideEffect::tls("libc.so.6", 0x10, 4));
+
+        assert!(compiled.function(Symbol::intern("close_not_in_plan")).is_none());
+        assert_eq!(CompiledPlan::default().functions.len(), 0);
+    }
+}

@@ -35,6 +35,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod compiled;
 pub mod errno;
 mod error;
 pub mod generate;
@@ -42,8 +43,10 @@ pub mod generator;
 mod plan;
 pub mod ready_made;
 
+pub use compiled::{CompiledChoice, CompiledEntry, CompiledFunction, CompiledPlan, CompiledSideEffect};
 pub use error::ScenarioError;
 pub use generator::{Composite, Exhaustive, Filtered, Random, ReadyMade, ScenarioGenerator, TriggerLoad};
+pub use lfi_intern::Symbol;
 pub use plan::{ArgModification, ArgOp, FaultAction, Plan, PlanEntry, Trigger};
 
 #[cfg(test)]

@@ -9,6 +9,7 @@
 //! Run with `cargo run --example custom_scenario`.
 
 use lfi::controller::Injector;
+use lfi::intern::Symbol;
 use lfi::runtime::{NativeLibrary, Process};
 use lfi::scenario::Plan;
 
@@ -31,6 +32,14 @@ fn main() {
     let plan = Plan::from_xml(SCENARIO).expect("the scenario is well-formed");
     println!("== parsed scenario: {} triggers ==\n{}", plan.len(), plan.to_xml());
 
+    // The resolve-once-at-setup contract: names are interned to copyable
+    // `Symbol` ids here, once; every per-call structure downstream (library
+    // dispatch, trigger slots, the call stack) compares these ids and never
+    // hashes a string.  `Injector::new` compiles the plan the same way.
+    let readdir64 = Symbol::intern("readdir64");
+    let readdir = Symbol::intern("readdir");
+    let read = Symbol::intern("read");
+
     // The "original" library the application links against.
     let mut process = Process::new();
     process.load(
@@ -46,8 +55,11 @@ fn main() {
     process.preload(injector.synthesize_interceptor());
 
     // --- readdir64: the 5th call fails with a null pointer + EBADF ---------
+    // Dispatch by pre-resolved symbol: the workload's tight loop does no
+    // string work at all (`Process::call` with a `&str` works too and
+    // interns once at the boundary).
     for call in 1..=6 {
-        let entry = process.call("readdir64", &[0x10]).unwrap();
+        let entry = process.call_sym(readdir64, &[0x10]).unwrap();
         if entry == 0 {
             println!("readdir64 call {call}: NULL, errno {}", process.state().errno());
         }
@@ -55,13 +67,13 @@ fn main() {
 
     // --- readdir: the 5th call fails, but only inside refresh_files --------
     for call in 1..=4 {
-        let entry = process.call("readdir", &[0x10]).unwrap();
+        let entry = process.call_sym(readdir, &[0x10]).unwrap();
         assert_ne!(entry, 0, "call {call} must succeed (trigger is armed for call 5)");
     }
     // The 5th call arrives from inside the application's refresh_files
     // routine, so both the call-count and the stack-trace condition match.
     process.push_frame("refresh_files");
-    let entry = process.call("readdir", &[0x10]).unwrap();
+    let entry = process.call_sym(readdir, &[0x10]).unwrap();
     process.pop_frame();
     println!(
         "readdir call 5 inside refresh_files: {entry:#x} (0 means the injection fired), errno {}",
@@ -69,8 +81,8 @@ fn main() {
     );
 
     // --- read: the 2nd call is shortened by 10 bytes and passed through ----
-    let full = process.call("read", &[3, 0x2000, 64]).unwrap();
-    let short = process.call("read", &[3, 0x2000, 64]).unwrap();
+    let full = process.call_sym(read, &[3, 0x2000, 64]).unwrap();
+    let short = process.call_sym(read, &[3, 0x2000, 64]).unwrap();
     println!("read returned {full} then {short} (argument modified in flight)");
 
     println!("\n== injection log ==\n{}", injector.log().to_text());

@@ -65,6 +65,11 @@ pub mod core {
     pub use lfi_core::*;
 }
 
+/// Interned symbols: the shared symbol table behind the dispatch fast path.
+pub mod intern {
+    pub use lfi_intern::*;
+}
+
 /// SimISA: the synthetic instruction set, platform ABIs and interpreter.
 pub mod isa {
     pub use lfi_isa::*;

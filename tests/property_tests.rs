@@ -214,6 +214,63 @@ proptest! {
         prop_assert_eq!(parsed, plan);
     }
 
+    /// Interning is a bijection on the names seen so far: every name resolves
+    /// back to itself, re-interning is stable, and distinct names get
+    /// distinct symbols.
+    #[test]
+    fn symbols_round_trip_arbitrary_names(
+        names in proptest::collection::btree_set("[a-zA-Z_][a-zA-Z0-9_.$@-]{0,20}", 1..16),
+    ) {
+        use lfi::intern::Symbol;
+        let symbols: Vec<Symbol> = names.iter().map(|name| Symbol::intern(name)).collect();
+        for (name, &symbol) in names.iter().zip(&symbols) {
+            prop_assert_eq!(symbol.as_str(), name.as_str());
+            prop_assert_eq!(Symbol::lookup(name), Some(symbol));
+            prop_assert_eq!(Symbol::intern(name), symbol, "re-interning must be stable");
+        }
+        let distinct: BTreeSet<lfi::intern::Symbol> = symbols.iter().copied().collect();
+        prop_assert_eq!(distinct.len(), names.len(), "distinct names must get distinct symbols");
+    }
+
+    /// Plans that reference functions no library defines never disturb the
+    /// functions that do exist: armed triggers on phantom functions leave
+    /// real calls passing through (and injecting) exactly as planned.
+    #[test]
+    fn plans_with_unknown_functions_execute_as_passthrough(
+        unknown in proptest::collection::btree_set("zz_[a-z0-9_]{1,12}", 1..8),
+        fire_at in 1u64..5,
+    ) {
+        use lfi::controller::Injector;
+        use lfi::runtime::{NativeLibrary, Process};
+
+        let mut plan = Plan::new();
+        for name in &unknown {
+            plan = plan.entry(PlanEntry {
+                function: name.clone(),
+                trigger: Trigger::on_call(1),
+                action: FaultAction::return_value(-1),
+            });
+        }
+        plan = plan.entry(PlanEntry {
+            function: "read".into(),
+            trigger: Trigger::on_call(fire_at),
+            action: FaultAction::return_value(-1).with_errno(9),
+        });
+
+        let mut process = Process::new();
+        process.load(NativeLibrary::builder("libc.so.6").function("read", |ctx| ctx.arg(2)).build());
+        let injector = Injector::new(plan);
+        process.preload(injector.synthesize_interceptor());
+
+        for call in 1..=6u64 {
+            let expected = if call == fire_at { -1 } else { 8 };
+            prop_assert_eq!(process.call("read", &[3, 0, 8]).unwrap(), expected);
+        }
+        let log = injector.log();
+        prop_assert_eq!(log.injection_count(), 1);
+        prop_assert_eq!(log.injections[0].function_name(), "read");
+    }
+
     /// Filtering combinators are pure restrictions: whatever the allow/deny
     /// lists and entry cap, and however many filtered generators a Composite
     /// stacks, the result never contains a plan entry that the unfiltered
