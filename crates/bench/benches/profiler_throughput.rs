@@ -1,0 +1,100 @@
+//! Profiling throughput over the shared analysis cache (`AnalysisDb`) and
+//! the facade's `ProfileStore`:
+//!
+//! * `cold`  — a fresh profiler per iteration: full disassembly + analysis;
+//! * `warm`  — one shared profiler: repeat profiling replays memoized
+//!   resolutions and `Arc`'d disassemblies;
+//! * `store` — the `Lfi` facade replays the whole profile from its
+//!   `ProfileStore` without touching the analyzer;
+//! * `profile_all-{cold,warm}` — the §6.2 "profile the whole system"
+//!   workflow over a corpus whose libraries share libc and the kernel image.
+//!
+//! Before/after figures for the shared-cache refactor are recorded in
+//! CHANGES.md; the acceptance bar is warm ≥ 5× faster than cold.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use lfi_asm::{FaultSpec, FunctionSpec, LibraryCompiler, LibrarySpec};
+use lfi_core::Lfi;
+use lfi_corpus::{build_kernel, build_libc_scaled};
+use lfi_isa::Platform;
+use lfi_objfile::SharedObject;
+use lfi_profiler::Profiler;
+
+const LIBC_EXPORTS: usize = 120;
+
+fn corpus() -> Vec<SharedObject> {
+    let mut libraries = vec![build_libc_scaled(Platform::LinuxX86, LIBC_EXPORTS).compiled.object];
+    // Three dependent app libraries that resolve into the shared libc.
+    for (name, ret) in [("libapp.so", -11), ("libnet.so", -12), ("libui.so", -13)] {
+        let spec = LibrarySpec::new(name, Platform::LinuxX86)
+            .dependency("libc.so.6")
+            .import("close", Some("libc.so.6"))
+            .function(FunctionSpec::scalar("api_entry", 2).success(0).fault(FaultSpec::via_callee("close")))
+            .function(FunctionSpec::scalar("api_fail", 1).success(0).fault(FaultSpec::returning(ret)));
+        libraries.push(LibraryCompiler::new().compile(&spec).object);
+    }
+    libraries
+}
+
+fn profiler_over(libraries: &[SharedObject]) -> Profiler {
+    let mut profiler = Profiler::new();
+    for library in libraries {
+        profiler.add_library(library.clone());
+    }
+    profiler.set_kernel(build_kernel(Platform::LinuxX86));
+    profiler
+}
+
+fn bench_profiler_throughput(c: &mut Criterion) {
+    let libraries = corpus();
+    let mut group = c.benchmark_group("profiler_throughput");
+    group.sample_size(10);
+
+    group.bench_function("libc-cold", |b| {
+        b.iter(|| {
+            let profiler = profiler_over(&libraries);
+            black_box(profiler.profile_library("libc.so.6").unwrap())
+        })
+    });
+
+    let warm_profiler = profiler_over(&libraries);
+    warm_profiler.profile_library("libc.so.6").unwrap();
+    group.bench_function("libc-warm", |b| b.iter(|| black_box(warm_profiler.profile_library("libc.so.6").unwrap())));
+
+    let mut warm_lfi = Lfi::new();
+    for library in &libraries {
+        warm_lfi.add_library(library.clone());
+    }
+    warm_lfi.set_kernel(build_kernel(Platform::LinuxX86));
+    warm_lfi.profile("libc.so.6").unwrap();
+    group.bench_function("libc-store", |b| b.iter(|| black_box(warm_lfi.profile("libc.so.6").unwrap())));
+
+    group.bench_function("profile_all-cold", |b| {
+        b.iter(|| {
+            let profiler = profiler_over(&libraries);
+            black_box(profiler.profile_all().unwrap())
+        })
+    });
+
+    let warm_all = profiler_over(&libraries);
+    warm_all.profile_all().unwrap();
+    group.bench_function("profile_all-warm", |b| b.iter(|| black_box(warm_all.profile_all().unwrap())));
+
+    group.finish();
+
+    // The acceptance assertion behind the numbers: a warm profile_all never
+    // re-disassembles shared dependencies.
+    let checked = profiler_over(&libraries);
+    checked.profile_all().unwrap();
+    let warm_reports = checked.profile_all().unwrap();
+    let warm_misses: u64 = warm_reports.iter().map(|r| r.stats.disasm_cache_misses).sum();
+    assert_eq!(warm_misses, 0, "warm profile_all must not re-disassemble anything");
+    println!(
+        "profile_all warm: {} resolution hits, 0 disassemblies, {} libraries",
+        warm_reports.iter().map(|r| r.stats.resolution_cache_hits).sum::<u64>(),
+        warm_reports.len(),
+    );
+}
+
+criterion_group!(benches, bench_profiler_throughput);
+criterion_main!(benches);

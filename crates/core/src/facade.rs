@@ -3,8 +3,8 @@ use std::fmt;
 
 use lfi_controller::Campaign;
 use lfi_objfile::SharedObject;
-use lfi_profile::FaultProfile;
-use lfi_profiler::{LibraryProfileReport, Profiler, ProfilerError, ProfilerOptions};
+use lfi_profile::{FaultProfile, ProfileKey, ProfileStore};
+use lfi_profiler::{LibraryProfileReport, Profiler, ProfilerError, ProfilerOptions, ProfilingStats};
 use lfi_scenario::generator::{Exhaustive, Random, ScenarioGenerator};
 use lfi_scenario::{Plan, ScenarioError};
 
@@ -53,7 +53,12 @@ impl From<ScenarioError> for LfiError {
 /// libraries … then conduct fault injection experiments using various fault
 /// scenarios" (§2).
 ///
-/// `Lfi` owns a [`Profiler`]; scenario generation is pluggable through
+/// `Lfi` owns a [`Profiler`] and a [`ProfileStore`]: every generated profile
+/// is stored under a key derived from the whole profiling configuration —
+/// every registered library's content fingerprint, the profiler options and
+/// the kernel image — so campaigns and repeated
+/// [`Lfi::profile`]/[`Lfi::profiles_of`] calls replay prior results instead
+/// of re-analyzing.  Scenario generation is pluggable through
 /// [`ScenarioGenerator`] ([`Lfi::scenario`]), and [`Lfi::campaign`] hands the
 /// generated faultload straight to a fluent [`Campaign`] builder, so the
 /// whole Figure 1 pipeline — profile → scenario → campaign → report — is one
@@ -99,28 +104,39 @@ impl From<ScenarioError> for LfiError {
 #[derive(Debug, Clone, Default)]
 pub struct Lfi {
     profiler: Profiler,
+    store: ProfileStore,
 }
 
 impl Lfi {
     /// Creates a facade with the paper's default (conservative) profiler
     /// options.
     pub fn new() -> Self {
-        Self { profiler: Profiler::new() }
+        Self::default()
     }
 
     /// Creates a facade with explicit profiler options.
     pub fn with_options(options: ProfilerOptions) -> Self {
-        Self { profiler: Profiler::with_options(options) }
+        Self { profiler: Profiler::with_options(options), store: ProfileStore::new() }
     }
 
     /// Registers a library binary of the target application.
+    ///
+    /// Registering a new or modified object invalidates the whole
+    /// [`ProfileStore`]: import resolution may consult *any* registered
+    /// library, so a changed library set can change any stored profile.
+    /// Re-registering a byte-identical object keeps the store warm.
     pub fn add_library(&mut self, object: SharedObject) {
-        self.profiler.add_library(object);
+        if self.profiler.add_library(object) {
+            self.store.clear();
+        }
     }
 
     /// Registers the kernel image used to resolve syscall error codes.
+    /// Registering a different image invalidates the [`ProfileStore`].
     pub fn set_kernel(&mut self, object: SharedObject) {
-        self.profiler.set_kernel(object);
+        if self.profiler.set_kernel(object) {
+            self.store.clear();
+        }
     }
 
     /// Access to the underlying profiler.
@@ -128,25 +144,105 @@ impl Lfi {
         &self.profiler
     }
 
-    /// Profiles one registered library.
+    /// The store of previously generated profiles — export it with
+    /// [`ProfileStore::to_xml`] to persist profiling work across runs.
+    pub fn profile_store(&self) -> &ProfileStore {
+        &self.store
+    }
+
+    /// Replaces the profile store, e.g. with one restored through
+    /// [`ProfileStore::from_xml`].  Entries only replay when their key —
+    /// library name, platform, and a hash folding *every* registered
+    /// library's content fingerprint with the profiler options and kernel
+    /// image — matches the current configuration, so loading a stale store
+    /// is safe: any changed dependency misses.
+    pub fn load_profile_store(&mut self, store: ProfileStore) {
+        self.store = store;
+    }
+
+    /// The store key under which `library`'s profile is (or would be)
+    /// cached, when the library is registered.
+    ///
+    /// The hash folds the *entire* profiling configuration — every registered
+    /// library's name and content fingerprint (import resolution may route
+    /// through any of them), the profiler options and the kernel image — with
+    /// the stable FNV-1a from [`lfi_objfile::stable_hash`], *not*
+    /// `DefaultHasher`: a changed dependency must miss even through
+    /// [`Lfi::load_profile_store`], and a persisted store must keep replaying
+    /// across toolchain upgrades.
+    fn profile_key(&self, library: &str) -> Option<ProfileKey> {
+        use lfi_objfile::stable_hash::{fold, fold_u64, OFFSET_BASIS};
+        let object = self.profiler.library(library)?;
+        let mut hash = OFFSET_BASIS;
+        for name in self.profiler.library_names() {
+            hash = fold(hash, name.as_bytes());
+            hash = fold_u64(hash, self.profiler.library_fingerprint(name).unwrap_or(0));
+        }
+        hash = fold_u64(hash, self.profiler.options().stable_hash());
+        hash = fold_u64(hash, u64::from(self.profiler.kernel_fingerprint().is_some()));
+        hash = fold_u64(hash, self.profiler.kernel_fingerprint().unwrap_or(0));
+        Some(ProfileKey::new(library, Some(object.platform().to_string()), hash))
+    }
+
+    /// A report replayed from the store: the stored profile with stats that
+    /// say so (`served_from_store`, zero analysis time).
+    fn replay_report(&self, library: &str, profile: &FaultProfile) -> LibraryProfileReport {
+        let stats = ProfilingStats {
+            functions_analyzed: profile.function_count(),
+            code_size_bytes: self.profiler.library(library).map_or(0, SharedObject::code_size),
+            served_from_store: true,
+            ..ProfilingStats::default()
+        };
+        LibraryProfileReport { profile: profile.clone(), stats }
+    }
+
+    /// Profiles one registered library, replaying the [`ProfileStore`] when
+    /// it already holds a profile for this exact binary, options and kernel.
     ///
     /// # Errors
     ///
     /// See [`Profiler::profile_library`].
     pub fn profile(&self, library: &str) -> Result<LibraryProfileReport, ProfilerError> {
-        self.profiler.profile_library(library)
+        let Some(key) = self.profile_key(library) else {
+            return Err(ProfilerError::UnknownLibrary { name: library.to_owned() });
+        };
+        if let Some(stored) = self.store.get(&key) {
+            return Ok(self.replay_report(library, &stored));
+        }
+        let report = self.profiler.profile_library(library)?;
+        self.store.insert(key, report.profile.clone());
+        Ok(report)
     }
 
-    /// Profiles every registered library in parallel.
+    /// Profiles every registered library: stored profiles replay instantly,
+    /// the rest run through the profiler's worker pool as one batch.
     ///
     /// # Errors
     ///
     /// See [`Profiler::profile_all`].
     pub fn profile_all(&self) -> Result<Vec<LibraryProfileReport>, ProfilerError> {
-        self.profiler.profile_all()
+        let names: Vec<String> = self.profiler.library_names().map(str::to_owned).collect();
+        let mut reports: Vec<Option<LibraryProfileReport>> = names.iter().map(|_| None).collect();
+        let mut missing: Vec<&str> = Vec::new();
+        let mut missing_slots: Vec<(usize, ProfileKey)> = Vec::new();
+        for (slot, name) in names.iter().enumerate() {
+            let key = self.profile_key(name).expect("library_names() yields registered libraries");
+            if let Some(stored) = self.store.get(&key) {
+                reports[slot] = Some(self.replay_report(name, &stored));
+            } else {
+                missing.push(name);
+                missing_slots.push((slot, key));
+            }
+        }
+        for ((slot, key), report) in missing_slots.into_iter().zip(self.profiler.profile_many(&missing)?) {
+            self.store.insert(key, report.profile.clone());
+            reports[slot] = Some(report);
+        }
+        Ok(reports.into_iter().map(|r| r.expect("every slot filled")).collect())
     }
 
-    /// The fault profiles of the named libraries, profiling on demand.
+    /// The fault profiles of the named libraries, profiling on demand (and
+    /// replaying the [`ProfileStore`] where possible).
     ///
     /// # Errors
     ///
@@ -265,6 +361,123 @@ mod tests {
         let invalid = lfi.random_scenario(&["libdemo.so"], f64::NAN, 1).unwrap_err();
         assert!(matches!(invalid, LfiError::Scenario(ScenarioError::InvalidProbability { .. })));
         assert!(invalid.source().is_some());
+    }
+
+    #[test]
+    fn profile_store_replays_and_invalidates() {
+        let mut lfi = Lfi::new();
+        lfi.add_library(demo());
+        let cold = lfi.profile("libdemo.so").unwrap();
+        assert!(!cold.stats.served_from_store);
+        assert_eq!(lfi.profile_store().len(), 1);
+
+        // Second call replays the stored profile, byte for byte.
+        let warm = lfi.profile("libdemo.so").unwrap();
+        assert!(warm.stats.served_from_store);
+        assert_eq!(warm.profile, cold.profile);
+        assert_eq!(warm.stats.functions_analyzed, cold.stats.functions_analyzed);
+
+        // profile_all mixes replayed and fresh work transparently.
+        let all = lfi.profile_all().unwrap();
+        assert_eq!(all.len(), 1);
+        assert!(all[0].stats.served_from_store);
+
+        // The XML round-trip reloads into a store the facade accepts.
+        let exported = lfi.profile_store().to_xml();
+        let mut restored = Lfi::new();
+        restored.add_library(demo());
+        restored.load_profile_store(lfi_profile::ProfileStore::from_xml(&exported).unwrap());
+        let replayed = restored.profile("libdemo.so").unwrap();
+        assert!(replayed.stats.served_from_store);
+        assert_eq!(replayed.profile, cold.profile);
+
+        // Re-registering identical content keeps the store; new content
+        // clears it.
+        lfi.add_library(demo());
+        assert_eq!(lfi.profile_store().len(), 1);
+        let modified = LibraryCompiler::new()
+            .compile(
+                &LibrarySpec::new("libdemo.so", Platform::LinuxX86)
+                    .function(FunctionSpec::scalar("a", 1).success(0).fault(FaultSpec::returning(-9))),
+            )
+            .object;
+        lfi.add_library(modified);
+        assert!(lfi.profile_store().is_empty());
+        let reprofiled = lfi.profile("libdemo.so").unwrap();
+        assert!(!reprofiled.stats.served_from_store);
+        assert!(reprofiled.profile.function("a").unwrap().error_values().contains(&-9));
+
+        // A kernel registration also invalidates (syscall errors feed
+        // profiles).
+        lfi.set_kernel(lfi_corpus::build_kernel(Platform::LinuxX86));
+        assert!(lfi.profile_store().is_empty());
+    }
+
+    #[test]
+    fn store_keys_cover_the_whole_dependency_set() {
+        // libapp.so's profile embeds resolutions from libinner.so, so a store
+        // exported against one libinner must not replay against another —
+        // even when it is loaded *after* registration, where add_library's
+        // clear() cannot intervene.
+        fn app() -> SharedObject {
+            LibraryCompiler::new()
+                .compile(
+                    &LibrarySpec::new("libapp.so", Platform::LinuxX86)
+                        .dependency("libinner.so")
+                        .import("inner", Some("libinner.so"))
+                        .function(FunctionSpec::scalar("entry", 1).success(0).fault(FaultSpec::via_callee("inner"))),
+                )
+                .object
+        }
+        fn inner(ret: i64) -> SharedObject {
+            LibraryCompiler::new()
+                .compile(
+                    &LibrarySpec::new("libinner.so", Platform::LinuxX86)
+                        .function(FunctionSpec::scalar("inner", 0).success(0).fault(FaultSpec::returning(ret))),
+                )
+                .object
+        }
+
+        let mut first = Lfi::new();
+        first.add_library(app());
+        first.add_library(inner(-1));
+        assert!(first
+            .profile("libapp.so")
+            .unwrap()
+            .profile
+            .function("entry")
+            .unwrap()
+            .error_values()
+            .contains(&-1));
+        let xml = first.profile_store().to_xml();
+
+        let mut second = Lfi::new();
+        second.add_library(app());
+        second.add_library(inner(-7));
+        second.load_profile_store(lfi_profile::ProfileStore::from_xml(&xml).unwrap());
+        let report = second.profile("libapp.so").unwrap();
+        assert!(!report.stats.served_from_store);
+        let entry = report.profile.function("entry").unwrap();
+        assert!(entry.error_values().contains(&-7));
+        assert!(!entry.error_values().contains(&-1));
+    }
+
+    #[test]
+    fn options_are_part_of_the_store_key() {
+        // The same binary profiled under different options must not collide:
+        // keys fold the options in, so a store exported from a heuristics-on
+        // facade misses in a conservative one.
+        let mut tuned = Lfi::with_options(ProfilerOptions::with_heuristics());
+        tuned.add_library(demo());
+        tuned.profile("libdemo.so").unwrap();
+        let mut conservative = Lfi::new();
+        conservative.add_library(demo());
+        conservative.load_profile_store(tuned.profile_store().clone());
+        let report = conservative.profile("libdemo.so").unwrap();
+        assert!(!report.stats.served_from_store);
+        // Conservative profiling keeps the 0 success return; a (wrong) store
+        // hit would have replayed the heuristics-filtered profile.
+        assert!(report.profile.function("a").unwrap().error_values().contains(&0));
     }
 
     #[test]

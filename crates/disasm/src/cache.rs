@@ -1,0 +1,169 @@
+//! A content-addressed, thread-safe cache of object disassemblies.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use lfi_objfile::SharedObject;
+
+use crate::{DisasmError, Disassembler, ObjectDisassembly};
+
+/// Number of independent lock shards; hot profiling workloads touch a handful
+/// of objects, so a small power of two keeps contention negligible without
+/// wasting memory.
+const SHARDS: usize = 8;
+
+/// A content-addressed cache of [`ObjectDisassembly`] values.
+///
+/// Disassembling a library (decoding every text section and rebuilding every
+/// CFG) dominates cold profiling time, yet the result depends only on the
+/// object's bytes.  `DisasmCache` therefore keys each `Arc<ObjectDisassembly>`
+/// by [`SharedObject::fingerprint`]: any number of threads, profiling calls or
+/// even distinct `Profiler` instances can share one cache, and an object is
+/// disassembled at most once for as long as its bytes stay the same.
+///
+/// Because the key is a content hash there is no invalidation protocol —
+/// re-registering a *modified* library simply misses (new fingerprint) and the
+/// stale entry becomes unreachable garbage until [`DisasmCache::clear`].
+/// Lookups are lock-sharded; a concurrent miss on the same object may
+/// disassemble twice, but both threads end up sharing the first inserted
+/// entry's key, which is harmless because the results are identical.
+#[derive(Debug, Default)]
+pub struct DisasmCache {
+    shards: [RwLock<HashMap<u64, Arc<ObjectDisassembly>>>; SHARDS],
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl DisasmCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn shard(&self, fingerprint: u64) -> &RwLock<HashMap<u64, Arc<ObjectDisassembly>>> {
+        &self.shards[(fingerprint as usize) % SHARDS]
+    }
+
+    /// Returns the cached disassembly for `fingerprint`, if present.
+    pub fn get(&self, fingerprint: u64) -> Option<Arc<ObjectDisassembly>> {
+        let shard = self.shard(fingerprint).read().unwrap_or_else(std::sync::PoisonError::into_inner);
+        shard.get(&fingerprint).cloned()
+    }
+
+    /// Disassembles `object`, reusing the cached result when its fingerprint
+    /// is already known.  The boolean is `true` on a cache hit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DisasmError`] from [`Disassembler::disassemble_object`];
+    /// failures are not cached.
+    pub fn disassemble(&self, object: &SharedObject) -> Result<(Arc<ObjectDisassembly>, bool), DisasmError> {
+        self.disassemble_keyed(object.fingerprint(), object)
+    }
+
+    /// Like [`DisasmCache::disassemble`] for callers that already know the
+    /// object's fingerprint (the profiler computes it once at registration).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DisasmError`]; failures are not cached.
+    pub fn disassemble_keyed(
+        &self,
+        fingerprint: u64,
+        object: &SharedObject,
+    ) -> Result<(Arc<ObjectDisassembly>, bool), DisasmError> {
+        if let Some(existing) = self.get(fingerprint) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((existing, true));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let disassembly = Arc::new(Disassembler::new().disassemble_object(object)?);
+        let mut shard = self.shard(fingerprint).write().unwrap_or_else(std::sync::PoisonError::into_inner);
+        // Keep the first entry if another thread raced us here; the two
+        // disassemblies are identical, sharing one maximizes reuse.
+        Ok((Arc::clone(shard.entry(fingerprint).or_insert(disassembly)), false))
+    }
+
+    /// Number of cached disassemblies.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().unwrap_or_else(std::sync::PoisonError::into_inner).len())
+            .sum()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Cache hits served so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses (i.e. actual disassembler runs) so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Drops every cached disassembly and resets the hit/miss counters.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.write().unwrap_or_else(std::sync::PoisonError::into_inner).clear();
+        }
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lfi_isa::{Inst, Platform};
+    use lfi_objfile::ObjectBuilder;
+
+    fn object(name: &str) -> SharedObject {
+        ObjectBuilder::new(name, Platform::LinuxX86).export("f", vec![Inst::Ret]).build()
+    }
+
+    #[test]
+    fn second_disassembly_is_a_hit() {
+        let cache = DisasmCache::new();
+        let obj = object("liba.so");
+        let (first, hit) = cache.disassemble(&obj).unwrap();
+        assert!(!hit);
+        let (second, hit) = cache.disassemble(&obj).unwrap();
+        assert!(hit);
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_objects_get_distinct_entries() {
+        let cache = DisasmCache::new();
+        cache.disassemble(&object("liba.so")).unwrap();
+        cache.disassemble(&object("libb.so")).unwrap();
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.misses(), 2);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!((cache.hits(), cache.misses()), (0, 0));
+    }
+
+    #[test]
+    fn concurrent_disassembly_converges_on_one_entry() {
+        let cache = DisasmCache::new();
+        let obj = object("libshared.so");
+        let entries: Vec<Arc<ObjectDisassembly>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4).map(|_| scope.spawn(|| cache.disassemble(&obj).unwrap().0)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for entry in &entries {
+            assert!(Arc::ptr_eq(entry, &entries[0]));
+        }
+        assert_eq!(cache.len(), 1);
+    }
+}

@@ -24,11 +24,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cache;
 mod cfg;
 mod disassembler;
 mod error;
 mod stats;
 
+pub use cache::DisasmCache;
 pub use cfg::{BasicBlock, BlockId, Cfg};
 pub use disassembler::{Disassembler, FunctionDisassembly, ObjectDisassembly};
 pub use error::DisasmError;
@@ -42,6 +44,7 @@ mod tests {
     fn public_types_are_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<Cfg>();
+        assert_send_sync::<DisasmCache>();
         assert_send_sync::<ObjectDisassembly>();
         assert_send_sync::<CodeStats>();
         assert_send_sync::<DisasmError>();

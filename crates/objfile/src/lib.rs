@@ -44,6 +44,7 @@ mod builder;
 mod error;
 mod object;
 mod serialize;
+pub mod stable_hash;
 mod symbol;
 
 pub use builder::ObjectBuilder;

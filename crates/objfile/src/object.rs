@@ -158,6 +158,16 @@ impl SharedObject {
         self.stripped
     }
 
+    /// A 64-bit content fingerprint of the object
+    /// ([FNV-1a](crate::stable_hash) over its serialized form).  Two objects
+    /// with the same fingerprint are byte-identical for every purpose the
+    /// toolchain cares about: name, platform, symbols, code and data image.
+    /// Content-addressed caches (disassembly, fault-profile stores) key on
+    /// this value, so it is stable across processes and toolchains.
+    pub fn fingerprint(&self) -> u64 {
+        crate::stable_hash::fold(crate::stable_hash::OFFSET_BASIS, &self.to_bytes())
+    }
+
     /// Returns a copy of this object with local (non-exported) symbol names
     /// removed, as `strip` would produce.  Exports keep their names because
     /// the dynamic symbol table survives stripping.
@@ -286,6 +296,17 @@ mod tests {
             signature: None,
         });
         assert!(matches!(obj.validate(), Err(ObjError::DanglingFunctionIndex { index: 99, .. })));
+    }
+
+    #[test]
+    fn fingerprint_tracks_content() {
+        let obj = demo_object();
+        assert_eq!(obj.fingerprint(), demo_object().fingerprint());
+        assert_eq!(obj.fingerprint(), obj.clone().fingerprint());
+        // Any content change — here stripping local names — changes the hash.
+        assert_ne!(obj.fingerprint(), obj.stripped().fingerprint());
+        let renamed = ObjectBuilder::new("libother.so", Platform::LinuxX86).build();
+        assert_ne!(renamed.fingerprint(), demo_object().fingerprint());
     }
 
     #[test]

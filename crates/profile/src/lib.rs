@@ -31,10 +31,12 @@
 
 mod error;
 mod profile;
+mod store;
 pub mod xml;
 
 pub use error::ProfileError;
 pub use profile::{ErrorReturn, FaultProfile, FunctionProfile, SideEffect, SideEffectKind};
+pub use store::{ProfileKey, ProfileStore};
 
 #[cfg(test)]
 mod tests {
@@ -44,6 +46,8 @@ mod tests {
     fn public_types_are_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<FaultProfile>();
+        assert_send_sync::<ProfileStore>();
+        assert_send_sync::<ProfileKey>();
         assert_send_sync::<FunctionProfile>();
         assert_send_sync::<ErrorReturn>();
         assert_send_sync::<SideEffect>();

@@ -14,6 +14,16 @@ pub enum ProfilerError {
     },
     /// The library binary could not be disassembled.
     Disasm(DisasmError),
+    /// A profiling worker panicked while analyzing a function; the panic was
+    /// caught and converted so batch profiling can report it as an error
+    /// instead of tearing down the caller.
+    AnalysisPanicked {
+        /// The function (or library, when attribution is impossible) whose
+        /// analysis panicked.
+        function: String,
+        /// The panic message, when it carried one.
+        message: String,
+    },
 }
 
 impl fmt::Display for ProfilerError {
@@ -23,6 +33,9 @@ impl fmt::Display for ProfilerError {
                 write!(f, "library {name} has not been registered with the profiler")
             }
             ProfilerError::Disasm(e) => write!(f, "disassembly failed: {e}"),
+            ProfilerError::AnalysisPanicked { function, message } => {
+                write!(f, "analysis of {function} panicked: {message}")
+            }
         }
     }
 }
@@ -31,7 +44,7 @@ impl Error for ProfilerError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             ProfilerError::Disasm(e) => Some(e),
-            ProfilerError::UnknownLibrary { .. } => None,
+            ProfilerError::UnknownLibrary { .. } | ProfilerError::AnalysisPanicked { .. } => None,
         }
     }
 }
@@ -53,5 +66,8 @@ mod tests {
         assert!(e.source().is_none());
         let e = ProfilerError::from(DisasmError::BranchOutOfRange { function: "f".into(), target: 1, len: 1 });
         assert!(e.source().is_some());
+        let e = ProfilerError::AnalysisPanicked { function: "f".into(), message: "boom".into() };
+        assert!(e.to_string().contains("boom"));
+        assert!(e.source().is_none());
     }
 }

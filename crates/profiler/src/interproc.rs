@@ -1,27 +1,40 @@
 //! The LFI profiler proper: inter-procedural resolution of error return
 //! values across library boundaries and into the kernel image, side-effect
 //! classification, heuristics, and profile generation.
+//!
+//! Profiling is driven by a bounded worker pool that parallelizes at
+//! *function* granularity over the shared [`AnalysisDb`], so one huge library
+//! scales across cores and batch calls ([`Profiler::profile_many`],
+//! [`Profiler::profile_all`]) analyze shared dependencies exactly once.
 
-use std::cell::{Cell, RefCell};
-use std::collections::{HashMap, HashSet};
-use std::rc::Rc;
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
-use lfi_disasm::{Disassembler, FunctionDisassembly, ObjectDisassembly};
+use lfi_disasm::{FunctionDisassembly, ObjectDisassembly};
+use lfi_intern::Symbol;
 use lfi_isa::Inst;
 use lfi_objfile::{SharedObject, SymbolDef, SymbolId};
-use lfi_profile::{ErrorReturn, FaultProfile, FunctionProfile, SideEffect};
+use lfi_profile::{ErrorReturn, FaultProfile, FunctionProfile};
 
+use crate::analysis_db::{AnalysisDb, ResolvedReturns};
 use crate::arg_constraints::{analyze_arg_constraints, FunctionArgConstraints};
 use crate::return_codes::{analyze_returns, ValueOrigin};
 use crate::side_effects::{classify_side_effects, side_effects_in_block};
 use crate::{ProfilerError, ProfilerOptions};
 
 /// Timing and size measurements for one profiling run (the §6.2 efficiency
-/// experiment reports exactly these quantities).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// experiment reports exactly these quantities), plus the cache-effectiveness
+/// counters of the shared [`AnalysisDb`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ProfilingStats {
-    /// Wall-clock profiling time.
+    /// Analysis time attributed to this library: its disassembly (when not
+    /// served from cache) plus the sum of its per-function resolution times.
+    /// Under parallel profiling this approximates single-thread cost, which
+    /// keeps it comparable across worker counts.
     pub duration: Duration,
     /// Number of exported functions analyzed.
     pub functions_analyzed: usize,
@@ -29,6 +42,20 @@ pub struct ProfilingStats {
     pub code_size_bytes: usize,
     /// Longest constant-propagation chain observed (≤ 3 in the paper).
     pub max_propagation_hops: usize,
+    /// Disassemblies served from the shared cache while profiling this
+    /// library (the library itself and every dependency its resolution
+    /// touched).
+    pub disasm_cache_hits: u64,
+    /// Disassemblies actually computed for this library's profiling run.
+    pub disasm_cache_misses: u64,
+    /// Inter-procedural resolutions (and kernel syscall sets) served from the
+    /// shared memo.
+    pub resolution_cache_hits: u64,
+    /// Inter-procedural resolutions actually computed.
+    pub resolution_cache_misses: u64,
+    /// True when the report was replayed from a `ProfileStore` without
+    /// running any analysis (set by `lfi_core::Lfi`, never by the profiler).
+    pub served_from_store: bool,
 }
 
 /// The result of profiling one library.
@@ -40,8 +67,32 @@ pub struct LibraryProfileReport {
     pub stats: ProfilingStats,
 }
 
+/// One registered library: its object plus the identity the caches key on.
+#[derive(Debug, Clone)]
+struct LibraryEntry {
+    object: SharedObject,
+    /// The library name interned in the process-wide table (memo key half).
+    name_sym: Symbol,
+    /// Content hash, computed once at registration.
+    fingerprint: u64,
+}
+
+impl LibraryEntry {
+    fn new(object: SharedObject) -> Self {
+        let name_sym = Symbol::intern(object.name());
+        let fingerprint = object.fingerprint();
+        Self { object, name_sym, fingerprint }
+    }
+}
+
 /// The LFI profiler: add the libraries an application links against (plus,
 /// optionally, a kernel image) and ask for fault profiles.
+///
+/// All profiling entry points take `&self` and share one [`AnalysisDb`], so
+/// repeated calls — and concurrent calls from several threads — reuse every
+/// disassembly and every completed inter-procedural resolution.  Cloning a
+/// profiler keeps sharing the content-addressed disassembly cache but forks
+/// the resolution memo (see [`AnalysisDb`] for the exact contract).
 ///
 /// ```
 /// use lfi_asm::{FaultSpec, FunctionSpec, LibraryCompiler, LibrarySpec};
@@ -57,11 +108,23 @@ pub struct LibraryProfileReport {
 /// let report = profiler.profile_library("libx.so").unwrap();
 /// assert_eq!(report.profile.function("f").unwrap().error_values().into_iter().collect::<Vec<_>>(), vec![-1, 0]);
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
 pub struct Profiler {
     options: ProfilerOptions,
-    libraries: HashMap<String, SharedObject>,
-    kernel: Option<SharedObject>,
+    libraries: BTreeMap<String, LibraryEntry>,
+    kernel: Option<LibraryEntry>,
+    db: AnalysisDb,
+}
+
+impl Clone for Profiler {
+    fn clone(&self) -> Self {
+        Self {
+            options: self.options,
+            libraries: self.libraries.clone(),
+            kernel: self.kernel.clone(),
+            db: self.db.fork(),
+        }
+    }
 }
 
 impl Profiler {
@@ -72,7 +135,7 @@ impl Profiler {
 
     /// Creates a profiler with explicit options.
     pub fn with_options(options: ProfilerOptions) -> Self {
-        Self { options, libraries: HashMap::new(), kernel: None }
+        Self { options, libraries: BTreeMap::new(), kernel: None, db: AnalysisDb::new() }
     }
 
     /// The options in effect.
@@ -80,95 +143,110 @@ impl Profiler {
         self.options
     }
 
+    /// The shared analysis cache: disassemblies, memoized resolutions and
+    /// their hit/miss counters.
+    pub fn analysis_db(&self) -> &AnalysisDb {
+        &self.db
+    }
+
     /// Registers a library binary for analysis.  Libraries are keyed by file
     /// name; registering the same name twice replaces the previous object.
-    pub fn add_library(&mut self, object: SharedObject) {
-        self.libraries.insert(object.name().to_owned(), object);
+    ///
+    /// Registering a new or modified object invalidates the memoized
+    /// resolutions (they depend on the whole library set); re-registering a
+    /// byte-identical object keeps every cache warm.  Returns `true` when the
+    /// registration changed the configuration (callers with their own caches
+    /// — e.g. a profile store — key their invalidation off this).
+    pub fn add_library(&mut self, object: SharedObject) -> bool {
+        let entry = LibraryEntry::new(object);
+        let unchanged = self
+            .libraries
+            .get(entry.object.name())
+            .is_some_and(|existing| existing.fingerprint == entry.fingerprint);
+        self.libraries.insert(entry.object.name().to_owned(), entry);
+        if !unchanged {
+            self.db.invalidate_resolutions();
+        }
+        !unchanged
     }
 
     /// Registers the kernel image used to resolve system-call error codes
     /// (§3.1: "LFI therefore performs static analysis on the kernel image as
-    /// well").
-    pub fn set_kernel(&mut self, object: SharedObject) {
-        self.kernel = Some(object);
+    /// well").  Registering a different image invalidates the kernel memo and
+    /// the resolutions derived from it.  Returns `true` when the kernel
+    /// changed.
+    pub fn set_kernel(&mut self, object: SharedObject) -> bool {
+        let entry = LibraryEntry::new(object);
+        let unchanged = self.kernel.as_ref().is_some_and(|existing| existing.fingerprint == entry.fingerprint);
+        self.kernel = Some(entry);
+        if !unchanged {
+            self.db.invalidate_kernel();
+            self.db.invalidate_resolutions();
+        }
+        !unchanged
     }
 
-    /// Names of the registered libraries, in arbitrary order.
+    /// Names of the registered libraries, in lexicographic order.
     pub fn library_names(&self) -> impl Iterator<Item = &str> {
         self.libraries.keys().map(String::as_str)
     }
 
     /// Returns the registered library with the given name, if any.
     pub fn library(&self, name: &str) -> Option<&SharedObject> {
-        self.libraries.get(name)
+        self.libraries.get(name).map(|entry| &entry.object)
     }
 
-    /// Profiles one registered library.
+    /// The content fingerprint of the registered library with the given name
+    /// (computed once at registration), if any.  Pairs with
+    /// [`lfi_profile::FaultProfile`] store keys.
+    pub fn library_fingerprint(&self, name: &str) -> Option<u64> {
+        self.libraries.get(name).map(|entry| entry.fingerprint)
+    }
+
+    /// The fingerprint of the registered kernel image, if any.
+    pub fn kernel_fingerprint(&self) -> Option<u64> {
+        self.kernel.as_ref().map(|entry| entry.fingerprint)
+    }
+
+    /// Profiles one registered library.  Functions are analyzed across the
+    /// worker pool; repeat calls replay memoized resolutions from the shared
+    /// [`AnalysisDb`].
     ///
     /// # Errors
     ///
     /// Returns [`ProfilerError::UnknownLibrary`] if the library was never
-    /// registered and [`ProfilerError::Disasm`] if its binary cannot be
-    /// disassembled.
+    /// registered, [`ProfilerError::Disasm`] if a binary cannot be
+    /// disassembled, and [`ProfilerError::AnalysisPanicked`] if a worker
+    /// panicked.
     pub fn profile_library(&self, name: &str) -> Result<LibraryProfileReport, ProfilerError> {
-        let object = self
-            .libraries
-            .get(name)
-            .ok_or_else(|| ProfilerError::UnknownLibrary { name: name.to_owned() })?;
-        let start = Instant::now();
-        let resolver = Resolver::new(self);
-        let disassembly = resolver.disassembly(name)?;
-
-        let mut profile = FaultProfile::new(name).with_platform(object.platform().to_string());
-        let mut functions_analyzed = 0usize;
-        for function in disassembly.exported_functions() {
-            functions_analyzed += 1;
-            let resolved = resolver.resolve(name, function.symbol, &mut Vec::new(), 0)?;
-            let error_returns = self.apply_heuristics(function, resolved.returns);
-            profile.push_function(FunctionProfile { name: function.name.clone(), error_returns });
-        }
-
-        let stats = ProfilingStats {
-            duration: start.elapsed(),
-            functions_analyzed,
-            code_size_bytes: object.code_size(),
-            max_propagation_hops: resolver.max_hops.get(),
-        };
-        Ok(LibraryProfileReport { profile, stats })
+        let mut reports = self.profile_batch(&[name])?;
+        Ok(reports.pop().expect("one report per requested library"))
     }
 
-    /// Profiles several libraries, one thread per library, and returns the
-    /// reports in the same order as `names`.
+    /// Profiles several libraries through one worker pool and returns the
+    /// reports in the same order as `names`.  Work is scheduled per
+    /// *function*, not per library, so the pool stays busy even when one
+    /// library dwarfs the rest, and shared dependencies are disassembled and
+    /// resolved once for the whole batch.
     ///
     /// # Errors
     ///
-    /// Returns the first error encountered; profiling of the other libraries
-    /// still runs to completion.
+    /// Returns the first error in `names` order (worker panics are converted
+    /// to [`ProfilerError::AnalysisPanicked`], not propagated as panics);
+    /// profiling of the other libraries still runs to completion.
     pub fn profile_many(&self, names: &[&str]) -> Result<Vec<LibraryProfileReport>, ProfilerError> {
-        let mut results: Vec<Option<Result<LibraryProfileReport, ProfilerError>>> = Vec::new();
-        results.resize_with(names.len(), || None);
-        std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for (index, name) in names.iter().enumerate() {
-                handles.push((index, scope.spawn(move || self.profile_library(name))));
-            }
-            for (index, handle) in handles {
-                results[index] = Some(handle.join().expect("profiling thread panicked"));
-            }
-        });
-        results.into_iter().map(|r| r.expect("slot filled")).collect()
+        self.profile_batch(names)
     }
 
     /// Profiles every registered library (the "profile the whole system"
-    /// workflow mentioned in §6.2).
+    /// workflow mentioned in §6.2), in lexicographic library-name order.
     ///
     /// # Errors
     ///
-    /// Returns the first error encountered.
+    /// Same conditions as [`Profiler::profile_many`].
     pub fn profile_all(&self) -> Result<Vec<LibraryProfileReport>, ProfilerError> {
-        let mut names: Vec<&str> = self.libraries.keys().map(String::as_str).collect();
-        names.sort_unstable();
-        self.profile_many(&names)
+        let names: Vec<&str> = self.libraries.keys().map(String::as_str).collect();
+        self.profile_batch(&names)
     }
 
     /// Infers, for each exported function of `name`, which of its error
@@ -182,18 +260,14 @@ impl Profiler {
     /// Returns [`ProfilerError::UnknownLibrary`] if the library was never
     /// registered and [`ProfilerError::Disasm`] if its binary cannot be
     /// disassembled.
-    pub fn argument_constraints(
-        &self,
-        name: &str,
-    ) -> Result<std::collections::BTreeMap<String, FunctionArgConstraints>, ProfilerError> {
-        let object = self
+    pub fn argument_constraints(&self, name: &str) -> Result<BTreeMap<String, FunctionArgConstraints>, ProfilerError> {
+        let entry = self
             .libraries
             .get(name)
             .ok_or_else(|| ProfilerError::UnknownLibrary { name: name.to_owned() })?;
-        let resolver = Resolver::new(self);
-        let disassembly = resolver.disassembly(name)?;
-        let abi = object.platform().abi();
-        let mut out = std::collections::BTreeMap::new();
+        let (disassembly, _) = self.db.disasm_cache().disassemble_keyed(entry.fingerprint, &entry.object)?;
+        let abi = entry.object.platform().abi();
+        let mut out = BTreeMap::new();
         for function in disassembly.exported_functions() {
             let constraints = analyze_arg_constraints(&function.cfg, &abi);
             if !constraints.is_empty() {
@@ -201,6 +275,130 @@ impl Profiler {
             }
         }
         Ok(out)
+    }
+
+    /// The bounded worker pool: flatten every exported function of every
+    /// requested library into one job list, then let
+    /// `available_parallelism()` workers drain it.
+    fn profile_batch(&self, names: &[&str]) -> Result<Vec<LibraryProfileReport>, ProfilerError> {
+        struct BatchLibrary<'a> {
+            entry: &'a LibraryEntry,
+            disassembly: Arc<ObjectDisassembly>,
+            disasm_hit: bool,
+            disasm_time: Duration,
+        }
+
+        let mut entries: Vec<&LibraryEntry> = Vec::with_capacity(names.len());
+        for name in names {
+            entries.push(
+                self.libraries
+                    .get(*name)
+                    .ok_or_else(|| ProfilerError::UnknownLibrary { name: (*name).to_owned() })?,
+            );
+        }
+        // Cold disassembly dominates batch start-up time, and the requested
+        // libraries are independent — disassemble them through the pool too.
+        let disassembled = run_pooled(entries.len(), |index| {
+            let entry = entries[index];
+            let start = Instant::now();
+            let result = self.db.disasm_cache().disassemble_keyed(entry.fingerprint, &entry.object);
+            (result, start.elapsed())
+        });
+        let mut batch: Vec<BatchLibrary<'_>> = Vec::with_capacity(names.len());
+        for (entry, slot) in entries.iter().zip(disassembled) {
+            let (result, disasm_time) = slot.ok_or_else(|| ProfilerError::AnalysisPanicked {
+                function: entry.object.name().to_owned(),
+                message: "disassembly worker died before completing".to_owned(),
+            })?;
+            let (disassembly, disasm_hit) = result?;
+            batch.push(BatchLibrary { entry, disassembly, disasm_hit, disasm_time });
+        }
+
+        // One job per exported function, batch-wide.
+        let jobs: Vec<(usize, usize)> = batch
+            .iter()
+            .enumerate()
+            .flat_map(|(lib_idx, lib)| {
+                lib.disassembly
+                    .functions
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, f)| f.exported)
+                    .map(move |(func_idx, _)| (lib_idx, func_idx))
+            })
+            .collect();
+
+        struct JobOutput {
+            function: FunctionProfile,
+            max_hops: usize,
+            counters: SessionCounters,
+            duration: Duration,
+        }
+
+        let run_job = |&(lib_idx, func_idx): &(usize, usize)| -> Result<JobOutput, ProfilerError> {
+            let lib = &batch[lib_idx];
+            let function = &lib.disassembly.functions[func_idx];
+            let start = Instant::now();
+            let analysis = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                let session = Session::new(self);
+                let resolved = session.resolve(lib.entry, function.symbol, 0)?.0;
+                Ok((session.counters.take(), resolved))
+            }));
+            match analysis {
+                Ok(Ok((counters, resolved))) => Ok(JobOutput {
+                    max_hops: resolved.max_hops,
+                    function: FunctionProfile {
+                        name: function.name.clone(),
+                        error_returns: self.apply_heuristics(function, resolved.returns),
+                    },
+                    counters,
+                    duration: start.elapsed(),
+                }),
+                Ok(Err(error)) => Err(error),
+                Err(payload) => Err(ProfilerError::AnalysisPanicked {
+                    function: function.name.clone(),
+                    message: panic_message(payload.as_ref()),
+                }),
+            }
+        };
+
+        let outputs = run_pooled(jobs.len(), |index| run_job(&jobs[index]));
+
+        // Assemble per-library reports in request order, functions in symbol
+        // order, surfacing the first error in that (deterministic) order.
+        let mut outputs = outputs.into_iter();
+        let mut reports = Vec::with_capacity(batch.len());
+        for lib in &batch {
+            let exported = lib.disassembly.functions.iter().filter(|f| f.exported).count();
+            let mut profile =
+                FaultProfile::new(lib.entry.object.name()).with_platform(lib.entry.object.platform().to_string());
+            let mut stats = ProfilingStats {
+                duration: lib.disasm_time,
+                functions_analyzed: exported,
+                code_size_bytes: lib.entry.object.code_size(),
+                ..ProfilingStats::default()
+            };
+            if lib.disasm_hit {
+                stats.disasm_cache_hits += 1;
+            } else {
+                stats.disasm_cache_misses += 1;
+            }
+            for _ in 0..exported {
+                let output = outputs.next().flatten().ok_or_else(|| ProfilerError::AnalysisPanicked {
+                    function: profile.library.clone(),
+                    message: "profiling worker died before completing the job".to_owned(),
+                })??;
+                stats.duration += output.duration;
+                stats.max_propagation_hops = stats.max_propagation_hops.max(output.max_hops);
+                stats.disasm_cache_hits += output.counters.disasm_hits;
+                stats.disasm_cache_misses += output.counters.disasm_misses;
+                stats.resolution_cache_hits += output.counters.resolution_hits;
+                stats.resolution_cache_misses += output.counters.resolution_misses;
+                profile.push_function(output.function);
+            }
+            reports.push(LibraryProfileReport { profile, stats });
+        }
+        Ok(reports)
     }
 
     fn apply_heuristics(&self, function: &FunctionDisassembly, mut returns: Vec<ErrorReturn>) -> Vec<ErrorReturn> {
@@ -214,7 +412,10 @@ impl Profiler {
         }
         if self.options.drop_zero_success_returns {
             let distinct: HashSet<i64> = returns.iter().map(|r| r.retval).collect();
-            if distinct.len() > 1 && distinct.contains(&0) {
+            // 0 is only "the success return" when some other value exists; a
+            // function whose sole distinct return is 0 must keep it, or the
+            // heuristic would erase the function's profile entirely.
+            if distinct.contains(&0) && distinct.len() > 1 {
                 returns.retain(|r| r.retval != 0);
             }
         }
@@ -222,158 +423,204 @@ impl Profiler {
     }
 }
 
-/// Per-profiling-run resolution state: memoized inter-procedural results and
-/// cached disassemblies.
-struct Resolver<'a> {
-    profiler: &'a Profiler,
-    disassemblies: RefCell<HashMap<String, Rc<ObjectDisassembly>>>,
-    memo: RefCell<HashMap<(String, SymbolId), ResolvedReturns>>,
-    kernel_memo: RefCell<HashMap<u32, Vec<i64>>>,
-    kernel_disassembly: RefCell<Option<Rc<ObjectDisassembly>>>,
-    max_hops: Cell<usize>,
-}
-
-/// The resolved set of returnable values of one function.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
-struct ResolvedReturns {
-    returns: Vec<ErrorReturn>,
-    has_unresolved: bool,
-}
-
-impl ResolvedReturns {
-    fn push(&mut self, retval: i64, side_effects: Vec<SideEffect>) {
-        if let Some(existing) = self.returns.iter_mut().find(|r| r.retval == retval) {
-            for effect in side_effects {
-                if !existing.side_effects.contains(&effect) {
-                    existing.side_effects.push(effect);
-                }
+/// Runs `count` independent jobs through a bounded worker pool capped at
+/// `available_parallelism()` and returns the results in job order.  A slot is
+/// `None` only if the worker that claimed it died without storing a result
+/// (job bodies that can panic should wrap themselves in `catch_unwind` and
+/// return the error as a value instead).  With one core — or one job — the
+/// jobs run inline on the caller's thread, no spawn at all.
+fn run_pooled<T, F>(count: usize, run: F) -> Vec<Option<T>>
+where
+    T: Send + Sync,
+    F: Fn(usize) -> T + Sync,
+{
+    let slots: Vec<OnceLock<T>> = (0..count).map(|_| OnceLock::new()).collect();
+    let next = AtomicUsize::new(0);
+    let drain = || loop {
+        let index = next.fetch_add(1, Ordering::Relaxed);
+        if index >= count {
+            break;
+        }
+        let _ = slots[index].set(run(index));
+    };
+    let workers = std::thread::available_parallelism().map_or(1, usize::from).min(count);
+    if workers <= 1 {
+        drain();
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers).map(|_| scope.spawn(drain)).collect();
+            // An escaped panic kills one worker; the others keep draining and
+            // the dead worker's claimed slot surfaces as `None`.
+            for handle in handles {
+                let _ = handle.join();
             }
-        } else {
-            self.returns.push(ErrorReturn { retval, side_effects });
-        }
+        });
     }
+    slots.into_iter().map(OnceLock::into_inner).collect()
+}
 
-    fn merge(&mut self, other: ResolvedReturns) {
-        for ret in other.returns {
-            self.push(ret.retval, ret.side_effects);
-        }
-        self.has_unresolved |= other.has_unresolved;
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(message) = payload.downcast_ref::<&'static str>() {
+        (*message).to_owned()
+    } else if let Some(message) = payload.downcast_ref::<String>() {
+        message.clone()
+    } else {
+        "non-string panic payload".to_owned()
     }
 }
 
-impl<'a> Resolver<'a> {
+/// Per-job cache counters (session-local view of the shared [`AnalysisDb`]
+/// activity, attributed to one library's stats).
+#[derive(Debug, Default)]
+struct SessionCounters {
+    disasm_hits: u64,
+    disasm_misses: u64,
+    resolution_hits: u64,
+    resolution_misses: u64,
+}
+
+/// Resolution state for one root function: the per-root scratch memo for
+/// path-dependent (cycle- or depth-truncated) results, the recursion stack,
+/// and cache counters.  Scheduling-independent results go straight to the
+/// shared [`AnalysisDb`] — see its rustdoc for why the split keeps parallel
+/// profiling deterministic.
+struct Session<'a> {
+    profiler: &'a Profiler,
+    local: RefCell<HashMap<(Symbol, SymbolId), ResolvedReturns>>,
+    in_progress: RefCell<Vec<(Symbol, SymbolId)>>,
+    counters: RefCell<SessionCounters>,
+}
+
+impl<'a> Session<'a> {
     fn new(profiler: &'a Profiler) -> Self {
         Self {
             profiler,
-            disassemblies: RefCell::new(HashMap::new()),
-            memo: RefCell::new(HashMap::new()),
-            kernel_memo: RefCell::new(HashMap::new()),
-            kernel_disassembly: RefCell::new(None),
-            max_hops: Cell::new(0),
+            local: RefCell::new(HashMap::new()),
+            in_progress: RefCell::new(Vec::new()),
+            counters: RefCell::new(SessionCounters::default()),
         }
     }
 
-    fn disassembly(&self, library: &str) -> Result<Rc<ObjectDisassembly>, ProfilerError> {
-        if let Some(existing) = self.disassemblies.borrow().get(library) {
-            return Ok(Rc::clone(existing));
+    fn disassembly(&self, entry: &LibraryEntry) -> Result<Arc<ObjectDisassembly>, ProfilerError> {
+        let (disassembly, hit) = self.profiler.db.disasm_cache().disassemble_keyed(entry.fingerprint, &entry.object)?;
+        let mut counters = self.counters.borrow_mut();
+        if hit {
+            counters.disasm_hits += 1;
+        } else {
+            counters.disasm_misses += 1;
         }
-        let object = self
-            .profiler
-            .libraries
-            .get(library)
-            .ok_or_else(|| ProfilerError::UnknownLibrary { name: library.to_owned() })?;
-        let disassembly = Rc::new(Disassembler::new().disassemble_object(object)?);
-        self.disassemblies.borrow_mut().insert(library.to_owned(), Rc::clone(&disassembly));
         Ok(disassembly)
     }
 
     /// Error codes a system call can produce, from static analysis of the
-    /// kernel image.  Kernel entry points are named `sys_<number>`.
+    /// kernel image.  Kernel entry points are named `sys_<number>`; results
+    /// are memoized process-wide in the [`AnalysisDb`].
     fn kernel_errors(&self, num: u32) -> Vec<i64> {
-        if let Some(cached) = self.kernel_memo.borrow().get(&num) {
-            return cached.clone();
+        if let Some(cached) = self.profiler.db.kernel_errors_cached(num) {
+            self.counters.borrow_mut().resolution_hits += 1;
+            self.profiler.db.record_resolution(true);
+            return cached.to_vec();
         }
+        self.counters.borrow_mut().resolution_misses += 1;
+        self.profiler.db.record_resolution(false);
         let values = self.compute_kernel_errors(num);
-        self.kernel_memo.borrow_mut().insert(num, values.clone());
-        values
+        self.profiler.db.store_kernel_errors(num, values).to_vec()
     }
 
     fn compute_kernel_errors(&self, num: u32) -> Vec<i64> {
         let Some(kernel) = &self.profiler.kernel else {
             return Vec::new();
         };
-        if self.kernel_disassembly.borrow().is_none() {
-            let Ok(disassembly) = Disassembler::new().disassemble_object(kernel) else {
-                return Vec::new();
-            };
-            *self.kernel_disassembly.borrow_mut() = Some(Rc::new(disassembly));
-        }
-        let borrowed = self.kernel_disassembly.borrow();
-        let disassembly = borrowed.as_ref().expect("kernel disassembly cached");
+        let Ok(disassembly) = self.disassembly(kernel) else {
+            return Vec::new();
+        };
         let name = format!("sys_{num}");
         let Some(function) = disassembly.function(&name) else {
             return Vec::new();
         };
-        let analysis = analyze_returns(&function.cfg, &kernel.platform().abi());
+        let analysis = analyze_returns(&function.cfg, &kernel.object.platform().abi());
         analysis.constants().into_iter().filter(|v| *v < 0).collect()
     }
 
     /// Resolves the returnable values of a function, recursing into dependent
     /// functions (possibly in other libraries) as the paper describes.
+    ///
+    /// The boolean is `true` when the result was *truncated* — it depends on
+    /// a recursion cycle, a depth bound, or another truncated result — and is
+    /// therefore only valid within this session's root.  Untruncated results
+    /// are pure functions of the profiler configuration and enter the shared
+    /// memo.
+    ///
+    /// Every branch below decides identically whether the shared memo is
+    /// populated or empty: truncation and scratch replay depend only on this
+    /// root, and a memo entry is served only where a from-scratch resolution
+    /// would produce the same bytes (the `call_height` budget check).  That
+    /// is the invariant behind "parallel profiling == sequential profiling".
     fn resolve(
         &self,
-        library: &str,
+        entry: &LibraryEntry,
         symbol: SymbolId,
-        in_progress: &mut Vec<(String, SymbolId)>,
         depth: usize,
-    ) -> Result<ResolvedReturns, ProfilerError> {
-        let key = (library.to_owned(), symbol);
-        if let Some(cached) = self.memo.borrow().get(&key) {
-            return Ok(cached.clone());
-        }
-        if in_progress.contains(&key) || depth > self.profiler.options.max_call_depth {
+    ) -> Result<(ResolvedReturns, bool), ProfilerError> {
+        let key = (entry.name_sym, symbol);
+        if self.in_progress.borrow().contains(&key) || depth > self.profiler.options.max_call_depth {
             // Recursion cycle or depth bound: contribute nothing, as a
             // fixed-point seed.
-            return Ok(ResolvedReturns { returns: Vec::new(), has_unresolved: true });
+            return Ok((ResolvedReturns::truncation_seed(), true));
         }
-        in_progress.push(key.clone());
-        let result = self.resolve_uncached(library, symbol, in_progress, depth);
-        in_progress.pop();
-        if let Ok(resolved) = &result {
-            self.memo.borrow_mut().insert(key, resolved.clone());
+        if let Some(partial) = self.local.borrow().get(&key) {
+            // This root already computed a (path-dependent) partial result
+            // for this function; replaying it keeps the root deterministic.
+            return Ok((partial.clone(), true));
+        }
+        if let Some(cached) = self.profiler.db.lookup_resolution(&key) {
+            if depth + cached.call_height <= self.profiler.options.max_call_depth {
+                self.counters.borrow_mut().resolution_hits += 1;
+                self.profiler.db.record_resolution(true);
+                return Ok((cached, false));
+            }
+            // The memoized subtree would not have fit this call site's depth
+            // budget: recompute so the result truncates exactly where a cold
+            // run would.
+        }
+        self.counters.borrow_mut().resolution_misses += 1;
+        self.profiler.db.record_resolution(false);
+        self.in_progress.borrow_mut().push(key);
+        let result = self.resolve_uncached(entry, symbol, depth);
+        self.in_progress.borrow_mut().pop();
+        if let Ok((resolved, truncated)) = &result {
+            if *truncated {
+                self.local.borrow_mut().insert(key, resolved.clone());
+            } else {
+                self.profiler.db.store_resolution(key, resolved.clone());
+            }
         }
         result
     }
 
     fn resolve_uncached(
         &self,
-        library: &str,
+        entry: &LibraryEntry,
         symbol: SymbolId,
-        in_progress: &mut Vec<(String, SymbolId)>,
         depth: usize,
-    ) -> Result<ResolvedReturns, ProfilerError> {
-        let object = self
-            .profiler
-            .libraries
-            .get(library)
-            .ok_or_else(|| ProfilerError::UnknownLibrary { name: library.to_owned() })?;
-        let disassembly = self.disassembly(library)?;
+    ) -> Result<(ResolvedReturns, bool), ProfilerError> {
+        let disassembly = self.disassembly(entry)?;
         let Some(function) = disassembly.function_by_symbol(symbol) else {
             // Imported or missing: resolve in the providing library.
-            return self.resolve_import(object, symbol, in_progress, depth);
+            return self.resolve_import(entry, symbol, depth);
         };
 
-        let abi = object.platform().abi();
+        let abi = entry.object.platform().abi();
         let analysis = analyze_returns(&function.cfg, &abi);
-        self.max_hops.set(self.max_hops.get().max(analysis.max_propagation_hops));
 
-        let mut resolved = ResolvedReturns::default();
+        let mut resolved = ResolvedReturns { max_hops: analysis.max_propagation_hops, ..Default::default() };
+        let mut truncated = false;
         let kernel_errors = |num: u32| self.kernel_errors(num);
         for origin in &analysis.origins {
             match *origin {
                 ValueOrigin::Const { value, block, .. } => {
                     let raw = side_effects_in_block(&function.cfg, block, &abi);
-                    let effects = classify_side_effects(&raw, object, &kernel_errors);
+                    let effects = classify_side_effects(&raw, &entry.object, &kernel_errors);
                     resolved.push(value, effects);
                 }
                 ValueOrigin::SyscallReturn { num, .. } => {
@@ -382,7 +629,11 @@ impl<'a> Resolver<'a> {
                     }
                 }
                 ValueOrigin::CalleeReturn { sym, .. } => {
-                    let callee = self.resolve_callee(library, object, SymbolId(sym), in_progress, depth)?;
+                    // resolve_callee returns the callee's height already
+                    // adjusted to be relative to *this* function.
+                    let (callee, callee_truncated) = self.resolve_callee(entry, SymbolId(sym), depth)?;
+                    truncated |= callee_truncated;
+                    resolved.call_height = resolved.call_height.max(callee.call_height);
                     resolved.merge(callee);
                 }
                 ValueOrigin::IndirectCallReturn { .. } | ValueOrigin::Argument { .. } | ValueOrigin::Unknown => {
@@ -390,65 +641,65 @@ impl<'a> Resolver<'a> {
                 }
             }
         }
-        Ok(resolved)
+        Ok((resolved, truncated))
     }
 
     fn resolve_callee(
         &self,
-        library: &str,
-        object: &SharedObject,
+        entry: &LibraryEntry,
         callee: SymbolId,
-        in_progress: &mut Vec<(String, SymbolId)>,
         depth: usize,
-    ) -> Result<ResolvedReturns, ProfilerError> {
-        let Some(symbol) = object.symbol(callee) else {
-            return Ok(ResolvedReturns { returns: Vec::new(), has_unresolved: true });
+    ) -> Result<(ResolvedReturns, bool), ProfilerError> {
+        let Some(symbol) = entry.object.symbol(callee) else {
+            return Ok((ResolvedReturns::truncation_seed(), false));
         };
         match &symbol.def {
-            SymbolDef::Defined { .. } => self.resolve(library, callee, in_progress, depth + 1),
-            SymbolDef::Import { .. } => self.resolve_import(object, callee, in_progress, depth),
+            SymbolDef::Defined { .. } => {
+                let (mut resolved, truncated) = self.resolve(entry, callee, depth + 1)?;
+                // One call frame below the caller.
+                resolved.call_height += 1;
+                Ok((resolved, truncated))
+            }
+            // resolve_import performs the +1 itself (the import alias adds no
+            // frame; its provider is resolved at depth + 1).
+            SymbolDef::Import { .. } => self.resolve_import(entry, callee, depth),
         }
     }
 
     fn resolve_import(
         &self,
-        object: &SharedObject,
+        entry: &LibraryEntry,
         symbol: SymbolId,
-        in_progress: &mut Vec<(String, SymbolId)>,
         depth: usize,
-    ) -> Result<ResolvedReturns, ProfilerError> {
-        let Some(entry) = object.symbol(symbol) else {
-            return Ok(ResolvedReturns { returns: Vec::new(), has_unresolved: true });
+    ) -> Result<(ResolvedReturns, bool), ProfilerError> {
+        let Some(import) = entry.object.symbol(symbol) else {
+            return Ok((ResolvedReturns::truncation_seed(), false));
         };
-        let name = entry.name.clone();
-        let hint = match &entry.def {
-            SymbolDef::Import { library_hint } => library_hint.clone(),
+        let name = &import.name;
+        let hint = match &import.def {
+            SymbolDef::Import { library_hint } => library_hint.as_deref(),
             SymbolDef::Defined { .. } => None,
         };
         // Prefer the hinted library, then the declared dependencies, then any
-        // registered library exporting the symbol.
-        let mut candidates: Vec<&str> = Vec::new();
-        if let Some(hint) = &hint {
-            candidates.push(hint.as_str());
-        }
-        for dep in object.dependencies() {
-            candidates.push(dep.as_str());
-        }
-        for lib in self.profiler.libraries.keys() {
-            candidates.push(lib.as_str());
-        }
-        for candidate in candidates {
+        // registered library exporting the symbol (in name order, so import
+        // resolution is deterministic regardless of registration order).
+        let deps = entry.object.dependencies().iter().map(String::as_str);
+        let all = self.profiler.libraries.keys().map(String::as_str);
+        for candidate in hint.into_iter().chain(deps).chain(all) {
             let Some(target) = self.profiler.libraries.get(candidate) else {
                 continue;
             };
-            let Some((id, target_symbol)) = target.symbol_by_name(&name) else {
+            let Some((id, target_symbol)) = target.object.symbol_by_name(name) else {
                 continue;
             };
             if target_symbol.is_export() {
-                return self.resolve(candidate, id, in_progress, depth + 1);
+                let (mut resolved, truncated) = self.resolve(target, id, depth + 1)?;
+                // The provider sits one call level below whoever asked.
+                resolved.call_height += 1;
+                return Ok((resolved, truncated));
             }
         }
-        Ok(ResolvedReturns { returns: Vec::new(), has_unresolved: true })
+        Ok((ResolvedReturns::truncation_seed(), false))
     }
 }
 
@@ -627,6 +878,27 @@ mod tests {
     }
 
     #[test]
+    fn zero_only_function_survives_the_success_return_heuristic() {
+        // Regression pin for both branches of drop_zero_success_returns:
+        // a function whose only distinct return value is 0 keeps it (the
+        // heuristic must be a no-op), while a function returning {0, -1}
+        // drops the 0.
+        let lib = compile(
+            LibrarySpec::new("libzero.so", Platform::LinuxX86)
+                .function(FunctionSpec::scalar("always_ok", 1).success(0))
+                .function(FunctionSpec::scalar("can_fail", 1).success(0).fault(FaultSpec::returning(-1))),
+        );
+        let mut profiler =
+            Profiler::with_options(ProfilerOptions { drop_zero_success_returns: true, ..ProfilerOptions::default() });
+        profiler.add_library(lib);
+        let report = profiler.profile_library("libzero.so").unwrap();
+        let always_ok = report.profile.function("always_ok").unwrap();
+        assert_eq!(always_ok.error_values().into_iter().collect::<Vec<_>>(), vec![0]);
+        let can_fail = report.profile.function("can_fail").unwrap();
+        assert_eq!(can_fail.error_values().into_iter().collect::<Vec<_>>(), vec![-1]);
+    }
+
+    #[test]
     fn stripped_libraries_still_profile_exports() {
         let lib = compile(
             LibrarySpec::new("libstrip.so", Platform::LinuxX86)
@@ -669,6 +941,59 @@ mod tests {
         let report = profiler.profile_library("librec.so").unwrap();
         assert!(report.profile.function("a").unwrap().error_values().contains(&-8));
         assert!(report.profile.function("b").unwrap().error_values().contains(&-8));
+        // Cycle-truncated results are path-dependent, so neither function's
+        // resolution may enter the shared memo — that is what keeps parallel
+        // profiling deterministic.
+        assert_eq!(profiler.analysis_db().resolutions_cached(), 0);
+        // And repeating the run still produces identical output.
+        let again = profiler.profile_library("librec.so").unwrap();
+        assert_eq!(again.profile, report.profile);
+    }
+
+    #[test]
+    fn memoized_results_respect_the_depth_budget_of_each_call_site() {
+        // f -> g -> h -> k(-5), with exported h and max_call_depth = 2.
+        // Resolving h from its own root is complete ({-5}, height 1) and is
+        // memoized; resolving f reaches h at depth 2, where h's subtree no
+        // longer fits the budget (2 + 1 > 2).  The memo entry must NOT be
+        // served there — otherwise f's profile would depend on whether h's
+        // job happened to run first, and parallel profiling would be
+        // nondeterministic.  f must always truncate at k, exactly like a
+        // cold run with an empty memo.
+        let abi = Platform::LinuxX86.abi();
+        let object = ObjectBuilder::new("libchain.so", Platform::LinuxX86)
+            .export("f", vec![Inst::Call { sym: 3 }, Inst::Ret])
+            .export("h", vec![Inst::Call { sym: 2 }, Inst::Ret])
+            .local("k", vec![Inst::MovImm { dst: abi.return_loc(), imm: -5 }, Inst::Ret])
+            .local("g", vec![Inst::Call { sym: 1 }, Inst::Ret])
+            .build();
+        let options = ProfilerOptions { max_call_depth: 2, ..ProfilerOptions::default() };
+        let mut profiler = Profiler::with_options(options);
+        profiler.add_library(object);
+
+        let cold = profiler.profile_library("libchain.so").unwrap();
+        assert!(cold.profile.function("h").unwrap().error_values().contains(&-5));
+        assert!(!cold.profile.function("f").unwrap().error_values().contains(&-5));
+
+        // Warm repeat — h ({-5}, height 1) and k are memoized now — must be
+        // byte-identical to the cold run.
+        let warm = profiler.profile_library("libchain.so").unwrap();
+        assert_eq!(warm.profile.to_xml(), cold.profile.to_xml());
+
+        // At a shallower call site the memo IS valid: a wrapper calling h at
+        // depth 1 (1 + 1 <= 2) sees the full result.
+        let mut deep_enough = Profiler::with_options(options);
+        deep_enough.add_library(
+            ObjectBuilder::new("libchain.so", Platform::LinuxX86)
+                .export("wrapper", vec![Inst::Call { sym: 1 }, Inst::Ret])
+                .export("h", vec![Inst::Call { sym: 2 }, Inst::Ret])
+                .local("k", vec![Inst::MovImm { dst: abi.return_loc(), imm: -5 }, Inst::Ret])
+                .build(),
+        );
+        let report = deep_enough.profile_library("libchain.so").unwrap();
+        assert!(report.profile.function("wrapper").unwrap().error_values().contains(&-5));
+        let again = deep_enough.profile_library("libchain.so").unwrap();
+        assert_eq!(again.profile.to_xml(), report.profile.to_xml());
     }
 
     #[test]
@@ -690,6 +1015,68 @@ mod tests {
         let all = profiler.profile_all().unwrap();
         assert_eq!(all.len(), 2);
         assert_eq!(all[0].profile.library, "liba.so");
+    }
+
+    #[test]
+    fn profile_many_propagates_errors_instead_of_panicking() {
+        let liba = compile(
+            LibrarySpec::new("liba.so", Platform::LinuxX86)
+                .function(FunctionSpec::scalar("fa", 0).success(0).fault(FaultSpec::returning(-1))),
+        );
+        let mut profiler = Profiler::new();
+        profiler.add_library(liba);
+        let err = profiler.profile_many(&["liba.so", "libmissing.so"]).unwrap_err();
+        assert!(matches!(err, ProfilerError::UnknownLibrary { ref name } if name == "libmissing.so"));
+    }
+
+    #[test]
+    fn warm_cache_serves_resolutions_and_disassemblies() {
+        let lib = compile(
+            LibrarySpec::new("libwarm.so", Platform::LinuxX86)
+                .function(FunctionSpec::scalar("f", 1).success(0).fault(FaultSpec::returning(-1)))
+                .function(FunctionSpec::scalar("g", 1).success(0).fault(FaultSpec::returning(-2))),
+        );
+        let mut profiler = Profiler::new();
+        profiler.add_library(lib.clone());
+        let cold = profiler.profile_library("libwarm.so").unwrap();
+        assert_eq!(cold.stats.disasm_cache_misses, 1);
+        assert_eq!(cold.stats.resolution_cache_hits, 0);
+        let warm = profiler.profile_library("libwarm.so").unwrap();
+        assert_eq!(warm.profile, cold.profile);
+        assert_eq!(warm.stats.disasm_cache_hits, 1);
+        assert_eq!(warm.stats.disasm_cache_misses, 0);
+        assert_eq!(warm.stats.resolution_cache_hits, 2);
+        assert_eq!(warm.stats.resolution_cache_misses, 0);
+        // Re-registering the identical object keeps the caches warm...
+        profiler.add_library(lib);
+        assert_eq!(profiler.analysis_db().resolutions_cached(), 2);
+        // ...but registering modified content invalidates the memo.
+        let modified = compile(
+            LibrarySpec::new("libwarm.so", Platform::LinuxX86)
+                .function(FunctionSpec::scalar("f", 1).success(0).fault(FaultSpec::returning(-7))),
+        );
+        profiler.add_library(modified);
+        assert_eq!(profiler.analysis_db().resolutions_cached(), 0);
+        let reprofiled = profiler.profile_library("libwarm.so").unwrap();
+        assert!(reprofiled.profile.function("f").unwrap().error_values().contains(&-7));
+    }
+
+    #[test]
+    fn cloned_profilers_share_disassembly_but_not_resolutions() {
+        let lib = compile(
+            LibrarySpec::new("libclone.so", Platform::LinuxX86)
+                .function(FunctionSpec::scalar("f", 1).success(0).fault(FaultSpec::returning(-1))),
+        );
+        let mut profiler = Profiler::new();
+        profiler.add_library(lib);
+        profiler.profile_library("libclone.so").unwrap();
+        let clone = profiler.clone();
+        assert_eq!(clone.analysis_db().resolutions_cached(), 0);
+        let report = clone.profile_library("libclone.so").unwrap();
+        // The disassembly came from the shared content-addressed cache (one
+        // up-front hit plus one from the function's resolution session).
+        assert_eq!(report.stats.disasm_cache_hits, 2);
+        assert_eq!(report.stats.disasm_cache_misses, 0);
     }
 
     #[test]

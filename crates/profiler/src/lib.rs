@@ -18,12 +18,19 @@
 //!    ([`ProfilerOptions`]);
 //! 6. emit a [`lfi_profile::FaultProfile`].
 //!
+//! Steps 1–4 run over a shared, thread-safe [`AnalysisDb`]: disassemblies are
+//! content-addressed `Arc`s, completed inter-procedural resolutions are
+//! memoized in sharded maps keyed by interned symbols, and the driver loop is
+//! a bounded worker pool that schedules work per *function*, so batch calls
+//! and repeat calls reuse every dependency analysis.
+//!
 //! The [`accuracy`] module scores profiles against ground truth the way the
 //! paper's §6.3 does.
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod accuracy;
+mod analysis_db;
 mod arg_constraints;
 mod error;
 mod interproc;
@@ -32,6 +39,7 @@ mod return_codes;
 mod side_effects;
 
 pub use accuracy::{score_profile, score_sets, AccuracyReport, GroundTruth};
+pub use analysis_db::AnalysisDb;
 pub use arg_constraints::{analyze_arg_constraints, ArgConstraint, FunctionArgConstraints};
 pub use error::ProfilerError;
 pub use interproc::{LibraryProfileReport, Profiler, ProfilingStats};
@@ -47,6 +55,7 @@ mod tests {
     fn public_types_are_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<Profiler>();
+        assert_send_sync::<AnalysisDb>();
         assert_send_sync::<ProfilerOptions>();
         assert_send_sync::<AccuracyReport>();
         assert_send_sync::<ProfilerError>();

@@ -44,6 +44,23 @@ impl ProfilerOptions {
     pub fn with_heuristics() -> Self {
         Self { drop_zero_success_returns: true, drop_boolean_predicates: true, ..Self::default() }
     }
+
+    /// A stable 64-bit hash of these options
+    /// ([FNV-1a](lfi_objfile::stable_hash), *not* `std`'s unstable
+    /// `DefaultHasher`), for cache keys that are persisted across processes
+    /// and toolchains — profiles depend on every option, so persisted
+    /// profile-store keys must too.  The exhaustive destructuring makes
+    /// adding an option field a compile error here rather than a silently
+    /// stale key.
+    pub fn stable_hash(&self) -> u64 {
+        use lfi_objfile::stable_hash::{fold_u64, OFFSET_BASIS};
+        let Self { drop_zero_success_returns, drop_boolean_predicates, max_call_depth, short_function_threshold } =
+            *self;
+        let mut hash =
+            fold_u64(OFFSET_BASIS, u64::from(drop_zero_success_returns) | u64::from(drop_boolean_predicates) << 1);
+        hash = fold_u64(hash, max_call_depth as u64);
+        fold_u64(hash, short_function_threshold as u64)
+    }
 }
 
 #[cfg(test)]
@@ -63,5 +80,20 @@ mod tests {
         let options = ProfilerOptions::with_heuristics();
         assert!(options.drop_zero_success_returns);
         assert!(options.drop_boolean_predicates);
+    }
+
+    #[test]
+    fn stable_hash_distinguishes_every_field() {
+        let base = ProfilerOptions::default();
+        let variants = [
+            ProfilerOptions { drop_zero_success_returns: true, ..base },
+            ProfilerOptions { drop_boolean_predicates: true, ..base },
+            ProfilerOptions { max_call_depth: base.max_call_depth + 1, ..base },
+            ProfilerOptions { short_function_threshold: base.short_function_threshold + 1, ..base },
+        ];
+        for variant in variants {
+            assert_ne!(variant.stable_hash(), base.stable_hash(), "{variant:?}");
+        }
+        assert_eq!(base.stable_hash(), ProfilerOptions::conservative().stable_hash());
     }
 }

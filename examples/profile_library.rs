@@ -27,6 +27,17 @@ fn main() {
         report.stats.max_propagation_hops,
     );
 
+    // A second call replays the shared AnalysisDb: no disassembly, every
+    // resolution served from the memo.
+    let warm = profiler.profile_library("libc.so.6").expect("libc profiles");
+    assert_eq!(warm.profile, report.profile);
+    println!(
+        "warm repeat in {:.2} ms: {} resolution-cache hits, {} disassemblies",
+        warm.stats.duration.as_secs_f64() * 1000.0,
+        warm.stats.resolution_cache_hits,
+        warm.stats.disasm_cache_misses,
+    );
+
     // The §3.3 close() snippet.
     let close = report.profile.function("close").expect("close is exported");
     println!("\n== close() fault profile ==");

@@ -11,7 +11,7 @@ use lfi::isa::encode::{decode_function, encode_function};
 use lfi::isa::vm::{ConstEnv, Vm};
 use lfi::isa::{BinAluOp, Cond, Inst, Loc, Operand, Platform, Reg};
 use lfi::objfile::{ObjectBuilder, ReturnType, SharedObject, Storage};
-use lfi::profile::{ErrorReturn, FaultProfile, FunctionProfile, SideEffect};
+use lfi::profile::{ErrorReturn, FaultProfile, FunctionProfile, ProfileKey, ProfileStore, SideEffect};
 use lfi::profiler::Profiler;
 use lfi::scenario::{ArgOp, FaultAction, Plan, PlanEntry, Trigger};
 
@@ -204,6 +204,22 @@ proptest! {
         let xml = profile.to_xml();
         let parsed = FaultProfile::from_xml(&xml).unwrap();
         prop_assert_eq!(parsed, profile);
+    }
+
+    /// Profile stores — arbitrary profiles under arbitrary keys — survive
+    /// the XML round trip losslessly.
+    #[test]
+    fn profile_stores_round_trip_through_xml(
+        entries in proptest::collection::vec((arb_profile(), any::<u64>(), any::<bool>()), 0..5),
+    ) {
+        let store = ProfileStore::new();
+        for (profile, code_hash, keep_platform) in entries {
+            let platform = if keep_platform { profile.platform.clone() } else { None };
+            store.insert(ProfileKey::new(profile.library.clone(), platform, code_hash), profile);
+        }
+        let xml = store.to_xml();
+        let parsed = ProfileStore::from_xml(&xml).unwrap();
+        prop_assert_eq!(parsed, store);
     }
 
     /// Fault scenarios survive the XML round trip.
