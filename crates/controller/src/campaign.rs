@@ -12,6 +12,7 @@ use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
+use lfi_intern::Symbol;
 use lfi_profile::FaultProfile;
 use lfi_runtime::{ExitStatus, Process};
 use lfi_scenario::generator::ScenarioGenerator;
@@ -46,6 +47,16 @@ pub struct TestOutcome {
     pub log: TestLog,
     /// The replay script distilled from the log.
     pub replay: Plan,
+    /// The case's dispatch call log, drained from its process after the
+    /// workload finished (empty unless [`Campaign::capture_call_log`] was
+    /// enabled).  Exploration engines mine this stream for which functions a
+    /// workload actually reaches, and how often.
+    pub calls: Vec<Symbol>,
+    /// How many dispatched calls the bounded log dropped once it hit its
+    /// capacity (see `ProcessState::set_call_log_capacity`).  Non-zero means
+    /// [`TestOutcome::calls`] is a truncated prefix — consumers that treat
+    /// an *absent* function as proof of unreachability must check this.
+    pub calls_dropped: u64,
 }
 
 impl TestOutcome {
@@ -132,9 +143,13 @@ pub trait CampaignObserver: Send + Sync {
 /// When a campaign stops before exhausting its test-case list.
 ///
 /// The default policy runs every case.  `max_cases` truncates the list up
-/// front; `stop_on_first_crash` and `injection_budget` stop the campaign
-/// after the case that triggers them (with `parallelism(n)`, cases already
-/// in flight still finish and are reported).
+/// front; `stop_on_first_crash` stops the campaign after the case that
+/// triggers it (with `parallelism(n)`, cases already in flight still finish
+/// and are reported).  `injection_budget` is a *hard* bound: the remaining
+/// budget lives in one atomic shared by every case's injector, so even
+/// concurrent workers cannot collectively perform more injections than the
+/// budget allows — once the pool is empty, in-flight cases finish with all
+/// further triggers demoted to pass-throughs, and no new case is scheduled.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ExecutionPolicy {
     stop_on_first_crash: bool,
@@ -160,8 +175,12 @@ impl ExecutionPolicy {
         self
     }
 
-    /// Stop scheduling new cases once the campaign has performed at least
-    /// `budget` injections.
+    /// Caps the whole campaign at `budget` injections.  The budget is a
+    /// shared atomic token pool: every firing trigger in every case (on any
+    /// worker thread) consumes one token, an empty pool turns further
+    /// triggers into pass-throughs, and the scheduler stops claiming new
+    /// cases once the pool is dry — so the cap holds exactly even under
+    /// [`Campaign::parallelism`].
     pub fn injection_budget(mut self, budget: usize) -> Self {
         self.injection_budget = Some(budget);
         self
@@ -213,6 +232,7 @@ pub struct Campaign {
     observers: Vec<Arc<dyn CampaignObserver>>,
     policy: ExecutionPolicy,
     parallelism: usize,
+    capture_calls: bool,
 }
 
 impl Campaign {
@@ -291,6 +311,16 @@ impl Campaign {
         self
     }
 
+    /// Records each case's dispatch call log and drains it into
+    /// [`TestOutcome::calls`] after the workload finishes (default: off).
+    /// This is the per-case reachability stream adaptive exploration engines
+    /// consume; leave it off for plain campaigns — a chatty workload's call
+    /// stream is much larger than its injection log.
+    pub fn capture_call_log(mut self, capture: bool) -> Self {
+        self.capture_calls = capture;
+        self
+    }
+
     /// The configured test cases.
     pub fn case_list(&self) -> &[TestCase] {
         &self.cases
@@ -304,7 +334,8 @@ impl Campaign {
         S: Fn() -> Process + Send + Sync,
         W: Fn(&mut Process) -> ExitStatus + Send + Sync,
     {
-        self.drive(|case| self.execute(case, setup(), &workload))
+        let budget = self.shared_budget();
+        self.drive(budget.clone(), |case| self.execute(case, setup(), &workload, budget.clone()))
     }
 
     /// Runs the campaign with a per-case runner, for workloads that need
@@ -314,24 +345,43 @@ impl Campaign {
     where
         R: Fn(&TestCase) -> (Process, CaseWorkload) + Send + Sync,
     {
-        self.drive(|case| {
+        let budget = self.shared_budget();
+        self.drive(budget.clone(), |case| {
             let (process, workload) = runner(case);
-            self.execute(case, process, workload)
+            self.execute(case, process, workload, budget.clone())
         })
+    }
+
+    /// The campaign-wide injection token pool, when the policy sets one.
+    /// Created once per run and shared by every case's injector.
+    fn shared_budget(&self) -> Option<Arc<AtomicUsize>> {
+        self.policy.injection_budget.map(|budget| Arc::new(AtomicUsize::new(budget)))
     }
 
     /// Executes one case: synthesize + preload the interceptor, run the
     /// workload, fire the observer hooks, collect the outcome.
-    fn execute<W>(&self, case: &TestCase, mut process: Process, workload: W) -> TestOutcome
+    fn execute<W>(
+        &self,
+        case: &TestCase,
+        mut process: Process,
+        workload: W,
+        budget: Option<Arc<AtomicUsize>>,
+    ) -> TestOutcome
     where
         W: FnOnce(&mut Process) -> ExitStatus,
     {
         for observer in &self.observers {
             observer.on_test_start(case);
         }
-        let injector = Injector::new(case.plan.clone());
+        let injector = Injector::with_budget(case.plan.clone(), budget);
         process.preload(injector.synthesize_interceptor());
+        if self.capture_calls {
+            process.set_call_log_enabled(true);
+        }
         let status = workload(&mut process);
+        // The dropped counter must be read before the drain resets it.
+        let calls_dropped = if self.capture_calls { process.state().call_log_dropped() } else { 0 };
+        let calls = if self.capture_calls { process.drain_call_log() } else { Vec::new() };
         let log = injector.log();
         for observer in &self.observers {
             for record in &log.injections {
@@ -341,7 +391,7 @@ impl Campaign {
         // Derive the replay from the snapshot already taken, rather than
         // materializing the raw log a second time via injector.replay_plan().
         let replay = log.replay_plan();
-        let outcome = TestOutcome { name: case.name.clone(), status, log, replay };
+        let outcome = TestOutcome { name: case.name.clone(), status, log, replay, calls, calls_dropped };
         for observer in &self.observers {
             observer.on_outcome(&outcome);
         }
@@ -350,7 +400,7 @@ impl Campaign {
 
     /// The scheduling core shared by [`Campaign::run`] and
     /// [`Campaign::run_per_case`].
-    fn drive<F>(&self, run_case: F) -> CampaignReport
+    fn drive<F>(&self, budget: Option<Arc<AtomicUsize>>, run_case: F) -> CampaignReport
     where
         F: Fn(&TestCase) -> TestOutcome + Sync,
     {
@@ -360,7 +410,6 @@ impl Campaign {
 
         let next = AtomicUsize::new(0);
         let stop = AtomicBool::new(false);
-        let injections = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<TestOutcome>>> = cases.iter().map(|_| Mutex::new(None)).collect();
 
         let worker = || loop {
@@ -371,12 +420,11 @@ impl Campaign {
             let Some(case) = cases.get(index) else { break };
             let outcome = run_case(case);
             let crashed = outcome.status.is_crash();
-            let total = injections.fetch_add(outcome.injection_count(), Ordering::AcqRel) + outcome.injection_count();
             if let Ok(mut slot) = slots[index].lock() {
                 *slot = Some(outcome);
             }
             if (self.policy.stop_on_first_crash && crashed)
-                || self.policy.injection_budget.is_some_and(|budget| total >= budget)
+                || budget.as_ref().is_some_and(|pool| pool.load(Ordering::Acquire) == 0)
             {
                 stop.store(true, Ordering::Release);
             }
@@ -407,6 +455,7 @@ impl fmt::Debug for Campaign {
             .field("observers", &self.observers.len())
             .field("policy", &self.policy)
             .field("parallelism", &self.parallelism)
+            .field("capture_calls", &self.capture_calls)
             .finish()
     }
 }
@@ -429,6 +478,8 @@ where
             status,
             log: injector.log(),
             replay: injector.replay_plan(),
+            calls: Vec::new(),
+            calls_dropped: 0,
         });
     }
     report
@@ -653,10 +704,76 @@ mod tests {
             .cases(standard_cases())
             .policy(ExecutionPolicy::run_all().injection_budget(1))
             .run(setup, workload);
-        // baseline injects 0, fail-read reaches the budget of 1, short-read
+        // baseline injects 0, fail-read drains the budget of 1, short-read
         // never runs.
         assert_eq!(budgeted.outcomes.len(), 2);
         assert_eq!(budgeted.total_injections(), 1);
+    }
+
+    #[test]
+    fn injection_budget_is_a_hard_bound_under_parallelism() {
+        // Regression test: the budget used to be checked only *after* a case
+        // finished, so n concurrent workers could each run a full case and
+        // collectively overshoot the budget by up to (n-1) cases' worth of
+        // injections.  The budget is now a token pool shared by every case's
+        // injector: with 12 cases of 5 injections each (60 available) and a
+        // budget of 12, any parallelism degree must land on exactly 12.
+        let cases: Vec<TestCase> = (0..12)
+            .map(|i| {
+                let mut plan = Plan::new().with_seed(42 + i);
+                for call in 1..=5 {
+                    plan = plan.entry(PlanEntry {
+                        function: "read".into(),
+                        trigger: Trigger::on_call(call),
+                        action: FaultAction::return_value(-1).with_errno(5),
+                    });
+                }
+                TestCase::new(format!("budget-{i:02}"), plan)
+            })
+            .collect();
+        let hammer = |process: &mut Process| {
+            for _ in 0..5 {
+                let _ = process.call("read", &[3, 0, 8]);
+            }
+            ExitStatus::Exited(0)
+        };
+        for workers in [1, 4, 8] {
+            let report = Campaign::new()
+                .cases(cases.clone())
+                .policy(ExecutionPolicy::run_all().injection_budget(12))
+                .parallelism(workers)
+                .run(setup, hammer);
+            assert_eq!(report.total_injections(), 12, "parallelism({workers}) overshot the injection budget");
+        }
+    }
+
+    #[test]
+    fn capture_call_log_drains_each_cases_dispatch_stream() {
+        let report = Campaign::new().cases(standard_cases()).capture_call_log(true).run(setup, workload);
+        // Every case's workload starts with read; the baseline and fail-read
+        // cases proceed to malloc, the short-read crash also calls malloc.
+        for outcome in &report.outcomes {
+            assert_eq!(outcome.calls.first().map(|s| s.as_str()), Some("read"), "{}", outcome.name);
+        }
+        assert_eq!(report.outcomes[0].calls.len(), 2, "baseline: read + malloc");
+        // The per-function call totals ride along in the test log.
+        assert_eq!(report.outcomes[1].log.calls_to("read"), 1);
+        // Without capture the stream stays empty.
+        let quiet = Campaign::new().cases(standard_cases()).run(setup, workload);
+        assert!(quiet.outcomes.iter().all(|o| o.calls.is_empty() && o.calls_dropped == 0));
+
+        // A capacity-bounded log surfaces its truncation in the outcome, so
+        // consumers never mistake a truncated stream for a complete one.
+        let truncated = Campaign::new().case(TestCase::new("tiny-log", Plan::new())).capture_call_log(true).run(
+            || {
+                let mut process = setup();
+                process.state_mut().set_call_log_capacity(1);
+                process
+            },
+            workload,
+        );
+        assert_eq!(truncated.outcomes[0].calls.len(), 1);
+        assert_eq!(truncated.outcomes[0].calls_dropped, 1, "read recorded, malloc dropped");
     }
 
     #[test]

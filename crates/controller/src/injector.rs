@@ -10,6 +10,7 @@
 //! never contends.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -50,6 +51,12 @@ struct InjectorShared {
     /// Injections in the order they happened, in compact symbol/index form;
     /// materialized into [`InjectionRecord`]s only when a report is taken.
     log: Mutex<Vec<RawInjection>>,
+    /// A shared pool of remaining injections, when the campaign runs under an
+    /// [`ExecutionPolicy::injection_budget`](crate::ExecutionPolicy): every
+    /// firing trigger first takes one token, and an empty pool demotes the
+    /// call to a pass-through.  Shared across the injectors of concurrently
+    /// running cases, so parallel workers cannot collectively overshoot.
+    budget: Option<Arc<AtomicUsize>>,
 }
 
 /// The per-function shard: immutable compiled entries plus the mutable
@@ -131,6 +138,16 @@ impl Injector {
     /// fast path).  The random seed is taken from the plan (or 0 when
     /// absent) so runs are reproducible.
     pub fn new(plan: Plan) -> Self {
+        Self::with_budget(plan, None)
+    }
+
+    /// Creates an injection engine that additionally draws every injection
+    /// from a shared token pool: each firing trigger consumes one token, and
+    /// once the pool is empty every further call passes through uninjected.
+    /// The campaign driver hands the *same* pool to every case of a budgeted
+    /// campaign, which is what makes the budget a hard global bound even
+    /// under `parallelism(n)`.
+    pub fn with_budget(plan: Plan, budget: Option<Arc<AtomicUsize>>) -> Self {
         let seed = plan.seed.unwrap_or(0);
         let compiled = plan.compile();
         let slots = compiled
@@ -146,7 +163,18 @@ impl Injector {
                 }),
             })
             .collect();
-        Self { shared: Arc::new(InjectorShared { plan, seed, slots, log: Mutex::new(Vec::new()) }) }
+        Self { shared: Arc::new(InjectorShared { plan, seed, slots, log: Mutex::new(Vec::new()), budget }) }
+    }
+
+    /// Takes one token from the shared injection budget; `true` when no
+    /// budget is configured.  Lock-free: a compare-exchange loop over the
+    /// shared counter, so concurrent stubs in different worker processes
+    /// serialize only on this one atomic.
+    fn try_consume_budget(&self) -> bool {
+        match &self.shared.budget {
+            None => true,
+            Some(budget) => budget.fetch_update(Ordering::AcqRel, Ordering::Acquire, |v| v.checked_sub(1)).is_ok(),
+        }
     }
 
     /// The return values observed on calls that reached the original library
@@ -222,8 +250,18 @@ impl Injector {
         // concurrently triggered stubs only ever wait for the memcpy.
         let raw = self.shared.log.lock().clone();
         let injections = raw.iter().map(|record| self.materialize(record)).collect();
-        let intercepted_calls = self.shared.slots.iter().map(|slot| slot.state.lock().call_count).sum();
-        TestLog { injections, intercepted_calls }
+        let mut calls_per_function: Vec<(Symbol, u64)> = self
+            .shared
+            .slots
+            .iter()
+            .filter_map(|slot| {
+                let count = slot.state.lock().call_count;
+                (count > 0).then_some((slot.function.symbol, count))
+            })
+            .collect();
+        calls_per_function.sort_unstable_by_key(|(symbol, _)| symbol.as_str());
+        let intercepted_calls = calls_per_function.iter().map(|(_, count)| count).sum();
+        TestLog { injections, intercepted_calls, calls_per_function }
     }
 
     /// The replay script distilled from the log so far (§5.2).
@@ -305,6 +343,12 @@ impl Injector {
         for (entry_index, entry) in slot.function.entries.iter().enumerate() {
             if !trigger_matches(entry, call_number, caller_stack, &mut state.rng) {
                 continue;
+            }
+            if !self.try_consume_budget() {
+                // The campaign-wide injection budget is spent: the trigger
+                // matched but no token is left, so the call (and every later
+                // one) passes through uninjected.
+                return None;
             }
             let (choice_index, retval, errno) = resolve_action(entry, &mut state.rng);
             return Some(Decision { entry_index, choice_index, retval, errno, call_number });

@@ -51,6 +51,12 @@ pub struct TestLog {
     pub injections: Vec<InjectionRecord>,
     /// Total number of intercepted calls (with or without injection).
     pub intercepted_calls: u64,
+    /// Intercepted-call totals per function, sorted by function *name* so the
+    /// listing is reproducible across processes.  This is the per-case
+    /// reached-how-far data exploration engines prune on: a planned
+    /// nth-call fault whose function shows fewer than `n` calls here was
+    /// never reached.
+    pub calls_per_function: Vec<(Symbol, u64)>,
 }
 
 impl TestLog {
@@ -68,6 +74,23 @@ impl TestLog {
     pub fn injections_for<'a>(&'a self, function: &str) -> impl Iterator<Item = &'a InjectionRecord> + 'a {
         let symbol = Symbol::lookup(function);
         self.injections.iter().filter(move |r| Some(r.function) == symbol)
+    }
+
+    /// How many intercepted calls reached `function` during the run (0 when
+    /// the function was never called, or not intercepted at all).
+    pub fn calls_to(&self, function: &str) -> u64 {
+        let Some(symbol) = Symbol::lookup(function) else {
+            return 0;
+        };
+        self.calls_to_sym(symbol)
+    }
+
+    /// Symbol-keyed twin of [`TestLog::calls_to`].
+    pub fn calls_to_sym(&self, function: Symbol) -> u64 {
+        self.calls_per_function
+            .iter()
+            .find(|(symbol, _)| *symbol == function)
+            .map_or(0, |(_, count)| *count)
     }
 
     /// Renders the log as the human-readable text file the paper describes
@@ -161,6 +184,7 @@ mod tests {
                 },
             ],
             intercepted_calls: 40,
+            calls_per_function: vec![(Symbol::intern("read"), 30), (Symbol::intern("write"), 10)],
         }
     }
 
@@ -198,5 +222,15 @@ mod tests {
         assert_eq!(log.injections_for("read").count(), 1);
         assert_eq!(log.injections_for("close_never_seen").count(), 0);
         assert_eq!(log.injection_count(), 2);
+    }
+
+    #[test]
+    fn per_function_call_totals() {
+        let log = sample_log();
+        assert_eq!(log.calls_to("read"), 30);
+        assert_eq!(log.calls_to("write"), 10);
+        assert_eq!(log.calls_to_sym(Symbol::intern("read")), 30);
+        assert_eq!(log.calls_to("close_never_seen"), 0);
+        assert_eq!(log.calls_to("never-even-interned-\u{1}"), 0);
     }
 }

@@ -2,6 +2,7 @@ use std::error::Error;
 use std::fmt;
 
 use lfi_controller::Campaign;
+use lfi_explore::{ExplorationStore, Explorer};
 use lfi_objfile::SharedObject;
 use lfi_profile::{FaultProfile, ProfileKey, ProfileStore};
 use lfi_profiler::{LibraryProfileReport, Profiler, ProfilerError, ProfilerOptions, ProfilingStats};
@@ -279,6 +280,37 @@ impl Lfi {
         Ok(Campaign::from_generator(generator, &self.profiles_of(libraries)?))
     }
 
+    /// Profiles the named libraries, runs the generator, and returns an
+    /// [`Explorer`] whose fault-space universe is the generated plan's cell
+    /// set and whose crash escalation draws sibling errnos from the fresh
+    /// profiles — the adaptive counterpart of [`Lfi::campaign`].  Configure
+    /// (seed, batch size, budgets), then call [`Explorer::run`] or drive it
+    /// batch by batch with [`Explorer::step`], snapshotting
+    /// [`Explorer::store`] for kill-safe resumption.
+    ///
+    /// # Errors
+    ///
+    /// Fails when any named library is unknown or cannot be disassembled.
+    pub fn explore<G>(&self, generator: &G, libraries: &[&str]) -> Result<Explorer, LfiError>
+    where
+        G: ScenarioGenerator + ?Sized,
+    {
+        let profiles = self.profiles_of(libraries)?;
+        let plan = generator.generate(&profiles);
+        Ok(Explorer::new(&plan, profiles))
+    }
+
+    /// Rebuilds an [`Explorer`] from a persisted [`ExplorationStore`]
+    /// (profiling the named libraries for the escalation profiles), resuming
+    /// a killed exploration exactly where its last snapshot left off.
+    ///
+    /// # Errors
+    ///
+    /// Fails when any named library is unknown or cannot be disassembled.
+    pub fn resume_exploration(&self, store: &ExplorationStore, libraries: &[&str]) -> Result<Explorer, LfiError> {
+        Ok(Explorer::resume(self.profiles_of(libraries)?, store))
+    }
+
     /// Generates the exhaustive scenario over the given libraries (§4);
     /// shorthand for [`Lfi::scenario`] with [`Exhaustive`].
     ///
@@ -478,6 +510,47 @@ mod tests {
         // Conservative profiling keeps the 0 success return; a (wrong) store
         // hit would have replayed the heuristics-filtered profile.
         assert!(report.profile.function("a").unwrap().error_values().contains(&0));
+    }
+
+    #[test]
+    fn facade_explore_closes_the_loop_and_resumes() {
+        let mut lfi = Lfi::with_options(ProfilerOptions::with_heuristics());
+        lfi.add_library(demo());
+        let runtime = NativeLibrary::builder("libdemo.so").function("a", |_| 0).function("b", |_| 0).build();
+        let setup = move || {
+            let mut process = Process::new();
+            process.load(runtime.clone());
+            process
+        };
+        // A workload that crashes when b() fails with -3 and merely errors
+        // on every other injected fault.
+        let workload = |process: &mut Process| {
+            let _ = process.call("a", &[1]);
+            match process.call("b", &[1]) {
+                Ok(-3) => ExitStatus::Crashed(lfi_runtime::Signal::Segv),
+                Ok(n) if n < 0 => ExitStatus::Exited(1),
+                _ => ExitStatus::Exited(0),
+            }
+        };
+
+        let mut explorer = lfi.explore(&Exhaustive, &["libdemo.so"]).unwrap().seed(5).batch_size(2);
+        assert_eq!(explorer.universe_len(), 3, "a: -1; b: -2, -3");
+        // Drive one batch, snapshot, resume through the facade, finish.
+        let first = explorer.step(&setup, workload).unwrap();
+        assert_eq!(first.outcomes.len(), 1, "the probe batch");
+        let store = lfi_explore::ExplorationStore::from_xml(&explorer.store().to_xml()).unwrap();
+        let mut resumed = lfi.resume_exploration(&store, &["libdemo.so"]).unwrap();
+        let report = resumed.run(&setup, workload);
+        assert!(resumed.finished());
+        // The three universe cells plus the crash-escalated neighbour at
+        // b's next call ordinal (which turns out unreached).
+        assert_eq!(report.coverage.executed, 4);
+        assert!(resumed.crash_found());
+        assert_eq!(report.crash_clusters().count(), 1);
+        assert_eq!(report.crash_clusters().next().unwrap().example.retval, -3);
+
+        assert!(lfi.explore(&Exhaustive, &["libmissing.so"]).is_err());
+        assert!(lfi.resume_exploration(&store, &["libmissing.so"]).is_err());
     }
 
     #[test]

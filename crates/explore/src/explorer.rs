@@ -1,0 +1,954 @@
+//! The [`Explorer`]: the generate → run → observe → refine loop.
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use lfi_controller::{Campaign, CampaignReport, TestCase, TestOutcome};
+use lfi_intern::Symbol;
+use lfi_profile::FaultProfile;
+use lfi_runtime::{ExitStatus, Process, Signal};
+use lfi_scenario::{FaultCell, Plan};
+
+use crate::ExplorationStore;
+
+/// Name of the injection-free probe case every exploration starts with.
+pub const PROBE_CASE_NAME: &str = "probe-baseline";
+
+/// Default number of fault cells per batch.
+pub const DEFAULT_BATCH_SIZE: usize = 16;
+
+/// Priority of a frontier cell that sits next to an observed crash.
+const ESCALATED: i32 = 100;
+
+/// Priority of a frontier cell whose ordinal lies beyond the call depth the
+/// probe run observed for its function (kept, but visited last: an injection
+/// can lengthen a retry loop, so "beyond the baseline depth" is a hint, not
+/// proof of unreachability).
+const DEPRIORITIZED: i32 = -50;
+
+/// How a test-case run ended, folded to the classes crash clustering keys on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OutcomeClass {
+    /// The workload exited with status 0.
+    Success,
+    /// The workload exited with the given non-zero status.
+    Failure(i32),
+    /// The workload was killed by a signal.
+    Crash(Signal),
+}
+
+impl OutcomeClass {
+    /// Classifies an exit status.
+    pub fn of(status: ExitStatus) -> Self {
+        match status {
+            ExitStatus::Exited(0) => OutcomeClass::Success,
+            ExitStatus::Exited(code) => OutcomeClass::Failure(code),
+            ExitStatus::Crashed(signal) => OutcomeClass::Crash(signal),
+        }
+    }
+
+    /// True for signal deaths.
+    pub fn is_crash(self) -> bool {
+        matches!(self, OutcomeClass::Crash(_))
+    }
+}
+
+impl fmt::Display for OutcomeClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OutcomeClass::Success => f.write_str("success"),
+            OutcomeClass::Failure(code) => write!(f, "exit:{code}"),
+            OutcomeClass::Crash(signal) => write!(f, "crash:{signal}"),
+        }
+    }
+}
+
+impl OutcomeClass {
+    /// Parses the [`fmt::Display`] form back (used by the XML store).
+    pub fn parse(text: &str) -> Option<Self> {
+        match text {
+            "success" => Some(OutcomeClass::Success),
+            "crash:SIGABRT" => Some(OutcomeClass::Crash(Signal::Abort)),
+            "crash:SIGSEGV" => Some(OutcomeClass::Crash(Signal::Segv)),
+            _ => text.strip_prefix("exit:")?.parse().ok().map(OutcomeClass::Failure),
+        }
+    }
+}
+
+/// One cluster of deduplicated non-success outcomes, keyed by (injected
+/// symbol, observed stack at injection time, outcome class) — the unit the
+/// paper's "pinpoint bugs or weak spots" reporting works in.  Every further
+/// outcome with the same key only bumps `count`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrashCluster {
+    /// The function whose injected fault produced the outcome.
+    pub function: Symbol,
+    /// The call stack observed when the fault was injected, innermost frame
+    /// last (empty when the case failed without its injection firing).
+    pub stack: Vec<Symbol>,
+    /// The outcome class (crash signal or exit code).
+    pub outcome: OutcomeClass,
+    /// How many outcomes were folded into this cluster.
+    pub count: u64,
+    /// The first cell that produced the cluster (its replay coordinates).
+    pub example: FaultCell,
+    /// The name of the first test case that produced the cluster.
+    pub example_case: String,
+}
+
+impl CrashCluster {
+    /// True when the cluster is a signal death (not just a non-zero exit).
+    pub fn is_crash(&self) -> bool {
+        self.outcome.is_crash()
+    }
+}
+
+/// Per-function coverage accounting.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FunctionCoverage {
+    /// The deepest intercepted-call count observed for this function in any
+    /// case so far (from the probe's dispatch call log, then per-case
+    /// injector call totals).
+    pub observed_calls: u64,
+    /// Cells of this function whose injection actually fired, as
+    /// (ordinal, retval, errno) — the *triggered* half of the coverage map.
+    pub triggered: BTreeSet<(u64, i64, Option<i64>)>,
+}
+
+/// One pending cell of the exploration frontier, with its priority.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrontierCell {
+    /// The pending fault-space cell.
+    pub cell: FaultCell,
+    /// Scheduling priority: higher runs earlier; ties are shuffled by the
+    /// explorer's seeded RNG stream.
+    pub priority: i32,
+}
+
+/// Aggregate coverage numbers for reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoverageSummary {
+    /// Cells enumerated from the seed plan.
+    pub universe: usize,
+    /// Cells actually run as test cases (probe excluded).
+    pub executed: usize,
+    /// Executed cells whose injection fired.
+    pub triggered: usize,
+    /// Cells whose planned injection is known to never fire: executed
+    /// without triggering, or pruned because the observed call depth proves
+    /// their ordinal unreachable.
+    pub unreached: usize,
+    /// Functions pruned wholesale because no run ever reached them.
+    pub pruned_functions: usize,
+    /// Cells still waiting on the frontier.
+    pub frontier_remaining: usize,
+}
+
+/// The aggregate result of an exploration ([`Explorer::run`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExplorationReport {
+    /// One campaign report per executed batch (the probe is batch 0).
+    pub batches: Vec<CampaignReport>,
+    /// Total test cases executed, including the probe.
+    pub cases_executed: u64,
+    /// Total injections performed.
+    pub injections_performed: u64,
+    /// The deduplicated non-success clusters, in discovery order.
+    pub clusters: Vec<CrashCluster>,
+    /// Aggregate coverage numbers.
+    pub coverage: CoverageSummary,
+}
+
+impl ExplorationReport {
+    /// The clusters that are signal deaths.
+    pub fn crash_clusters(&self) -> impl Iterator<Item = &CrashCluster> {
+        self.clusters.iter().filter(|c| c.is_crash())
+    }
+}
+
+/// Tunables of an exploration, all defaulted; see the setters on
+/// [`Explorer`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct ExplorerConfig {
+    pub seed: u64,
+    pub batch_size: usize,
+    pub parallelism: usize,
+    pub halt_on_crash: bool,
+    pub case_budget: Option<u64>,
+    pub injection_budget: Option<u64>,
+    pub time_budget: Option<Duration>,
+}
+
+impl Default for ExplorerConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            batch_size: DEFAULT_BATCH_SIZE,
+            parallelism: 1,
+            halt_on_crash: false,
+            case_budget: None,
+            injection_budget: None,
+            time_budget: None,
+        }
+    }
+}
+
+/// The coverage-guided exploration engine — see the [crate docs](crate) for
+/// the loop it closes.
+///
+/// # Determinism contract
+///
+/// Given the same seed plan and profiles, the same [`Explorer::seed`], and
+/// the same configuration, the sequence of batches — case names, plans and
+/// order — is identical from run to run and from process to process (cells
+/// are ordered by function *name*, never by interning order).  The same
+/// holds across a kill/resume boundary: an explorer rebuilt with
+/// [`Explorer::resume`] from an [`ExplorationStore`] continues with exactly
+/// the batch sequence the original explorer would have produced, because the
+/// store carries the frontier in order, the full coverage/cluster state and
+/// the RNG stream position.  With a deterministic workload the remaining
+/// [`CampaignReport`]s are therefore byte-identical.  The one exception is
+/// [`Explorer::time_budget`], which depends on wall-clock time; the
+/// case/injection budgets are exact counters and preserve the contract.
+pub struct Explorer {
+    profiles: Vec<FaultProfile>,
+    /// Size of the enumerated seed universe (for coverage reporting).
+    universe: usize,
+    frontier: Vec<FrontierCell>,
+    executed: HashSet<FaultCell>,
+    unreached: HashSet<FaultCell>,
+    pruned_functions: HashSet<Symbol>,
+    coverage: HashMap<Symbol, FunctionCoverage>,
+    clusters: Vec<CrashCluster>,
+    config: ExplorerConfig,
+    rng: StdRng,
+    rng_draws: u64,
+    batch_index: u64,
+    probe_done: bool,
+    crash_found: bool,
+    cases_executed: u64,
+    injections_performed: u64,
+    elapsed: Duration,
+}
+
+impl Explorer {
+    /// Creates an explorer over the cells of a seed plan (normally the
+    /// output of a [`ScenarioGenerator`](lfi_scenario::ScenarioGenerator)
+    /// over `profiles` — the [`lfi_core`-style facade] wires exactly that).
+    /// The profiles stay with the explorer: crash escalation draws sibling
+    /// errnos from their per-function error sets.
+    ///
+    /// [`lfi_core`-style facade]: crate
+    pub fn new(seed_plan: &Plan, profiles: Vec<FaultProfile>) -> Self {
+        let mut cells = seed_plan.compile().cells();
+        cells.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+        cells.dedup();
+        let config = ExplorerConfig::default();
+        Self {
+            profiles,
+            universe: cells.len(),
+            frontier: cells.into_iter().map(|cell| FrontierCell { cell, priority: 0 }).collect(),
+            executed: HashSet::new(),
+            unreached: HashSet::new(),
+            pruned_functions: HashSet::new(),
+            coverage: HashMap::new(),
+            clusters: Vec::new(),
+            rng: StdRng::seed_from_u64(config.seed),
+            rng_draws: 0,
+            config,
+            batch_index: 0,
+            probe_done: false,
+            crash_found: false,
+            cases_executed: 0,
+            injections_performed: 0,
+            elapsed: Duration::ZERO,
+        }
+    }
+
+    /// Rebuilds an explorer from a serialized [`ExplorationStore`], resuming
+    /// exactly where the snapshot was taken: the frontier (in order),
+    /// coverage, clusters, budgets, and the RNG stream advanced to its
+    /// recorded position.  `profiles` must be the same profiles the original
+    /// exploration ran over for escalation to propose the same siblings.
+    pub fn resume(profiles: Vec<FaultProfile>, store: &ExplorationStore) -> Self {
+        let mut rng = StdRng::seed_from_u64(store.seed);
+        for _ in 0..store.rng_draws {
+            let _: u64 = rng.gen();
+        }
+        Self {
+            profiles,
+            universe: store.universe,
+            frontier: store.frontier.clone(),
+            executed: store.executed.iter().copied().collect(),
+            unreached: store.unreached.iter().copied().collect(),
+            pruned_functions: store.pruned_functions.iter().copied().collect(),
+            coverage: store.coverage.iter().cloned().collect(),
+            clusters: store.clusters.clone(),
+            config: ExplorerConfig {
+                seed: store.seed,
+                batch_size: store.batch_size,
+                parallelism: store.parallelism,
+                halt_on_crash: store.halt_on_crash,
+                case_budget: store.case_budget,
+                injection_budget: store.injection_budget,
+                time_budget: store.time_budget_ms.map(Duration::from_millis),
+            },
+            rng,
+            rng_draws: store.rng_draws,
+            batch_index: store.batch_index,
+            probe_done: store.probe_done,
+            crash_found: store.crash_found,
+            cases_executed: store.cases_executed,
+            injections_performed: store.injections_performed,
+            elapsed: Duration::from_millis(store.elapsed_ms),
+        }
+    }
+
+    /// Snapshots the complete exploration state.  Serialize it with
+    /// [`ExplorationStore::to_xml`] next to the profile store; a later
+    /// process restores with [`ExplorationStore::from_xml`] +
+    /// [`Explorer::resume`].
+    pub fn store(&self) -> ExplorationStore {
+        let by_name = |a: &FaultCell, b: &FaultCell| a.sort_key().cmp(&b.sort_key());
+        let mut executed: Vec<FaultCell> = self.executed.iter().copied().collect();
+        executed.sort_by(by_name);
+        let mut unreached: Vec<FaultCell> = self.unreached.iter().copied().collect();
+        unreached.sort_by(by_name);
+        let mut pruned_functions: Vec<Symbol> = self.pruned_functions.iter().copied().collect();
+        pruned_functions.sort_by_key(|s| s.as_str());
+        let mut coverage: Vec<(Symbol, FunctionCoverage)> =
+            self.coverage.iter().map(|(s, c)| (*s, c.clone())).collect();
+        coverage.sort_by_key(|(s, _)| s.as_str());
+        ExplorationStore {
+            seed: self.config.seed,
+            batch_size: self.config.batch_size,
+            parallelism: self.config.parallelism,
+            halt_on_crash: self.config.halt_on_crash,
+            case_budget: self.config.case_budget,
+            injection_budget: self.config.injection_budget,
+            time_budget_ms: self.config.time_budget.map(|d| d.as_millis() as u64),
+            universe: self.universe,
+            batch_index: self.batch_index,
+            rng_draws: self.rng_draws,
+            probe_done: self.probe_done,
+            crash_found: self.crash_found,
+            cases_executed: self.cases_executed,
+            injections_performed: self.injections_performed,
+            elapsed_ms: self.elapsed.as_millis() as u64,
+            frontier: self.frontier.clone(),
+            executed,
+            unreached,
+            pruned_functions,
+            coverage,
+            clusters: self.clusters.clone(),
+        }
+    }
+
+    // -- configuration ------------------------------------------------------
+
+    /// Sets the RNG seed (part of the determinism contract; default 0).
+    /// Configure before the first [`Explorer::step`] — the RNG stream
+    /// restarts from the new seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self.rng = StdRng::seed_from_u64(seed);
+        self.rng_draws = 0;
+        self
+    }
+
+    /// Sets how many cells each batch runs (default
+    /// [`DEFAULT_BATCH_SIZE`]; clamped to at least 1).
+    pub fn batch_size(mut self, cells: usize) -> Self {
+        self.config.batch_size = cells.max(1);
+        self
+    }
+
+    /// Runs each batch's cases on up to `workers` threads (outcome order and
+    /// reports are unaffected — campaign reports are slot-ordered).
+    pub fn parallelism(mut self, workers: usize) -> Self {
+        self.config.parallelism = workers;
+        self
+    }
+
+    /// Stops the exploration at the end of the first batch that produced a
+    /// signal death (default: keep exploring).
+    pub fn halt_on_crash(mut self, halt: bool) -> Self {
+        self.config.halt_on_crash = halt;
+        self
+    }
+
+    /// Bounds the total number of test cases (probe included).
+    pub fn case_budget(mut self, cases: u64) -> Self {
+        self.config.case_budget = Some(cases);
+        self
+    }
+
+    /// Bounds the total number of injections, exactly: a cell's single-fault
+    /// case fires its call-count trigger at most once, so batches are sized
+    /// to the remaining budget and the exploration can never overshoot it.
+    pub fn injection_budget(mut self, injections: u64) -> Self {
+        self.config.injection_budget = Some(injections);
+        self
+    }
+
+    /// Bounds the total wall-clock time spent in [`Explorer::step`].  Note
+    /// this is the one knob that trades away strict determinism: where the
+    /// cutoff lands depends on the machine.
+    pub fn time_budget(mut self, budget: Duration) -> Self {
+        self.config.time_budget = Some(budget);
+        self
+    }
+
+    // -- accessors ----------------------------------------------------------
+
+    /// Cells enumerated from the seed plan.
+    pub fn universe_len(&self) -> usize {
+        self.universe
+    }
+
+    /// Cells still pending on the frontier.
+    pub fn frontier_len(&self) -> usize {
+        self.frontier.len()
+    }
+
+    /// Test cases executed so far (probe included).
+    pub fn cases_executed(&self) -> u64 {
+        self.cases_executed
+    }
+
+    /// Injections performed so far.
+    pub fn injections_performed(&self) -> u64 {
+        self.injections_performed
+    }
+
+    /// Batches executed so far (the probe is batch 0).
+    pub fn batch_index(&self) -> u64 {
+        self.batch_index
+    }
+
+    /// True once any batch produced a signal death.
+    pub fn crash_found(&self) -> bool {
+        self.crash_found
+    }
+
+    /// The deduplicated non-success clusters, in discovery order.
+    pub fn clusters(&self) -> &[CrashCluster] {
+        &self.clusters
+    }
+
+    /// Aggregate coverage numbers so far.
+    pub fn coverage_summary(&self) -> CoverageSummary {
+        CoverageSummary {
+            universe: self.universe,
+            executed: self.executed.len(),
+            triggered: self.coverage.values().map(|c| c.triggered.len()).sum(),
+            unreached: self.unreached.len(),
+            pruned_functions: self.pruned_functions.len(),
+            frontier_remaining: self.frontier.len(),
+        }
+    }
+
+    /// True when no further [`Explorer::step`] will run: the frontier is
+    /// exhausted, a budget is spent, or (with
+    /// [`Explorer::halt_on_crash`]) a crash was found.
+    pub fn finished(&self) -> bool {
+        if self.config.halt_on_crash && self.crash_found {
+            return true;
+        }
+        if self.config.case_budget.is_some_and(|budget| self.cases_executed >= budget) {
+            return true;
+        }
+        if self.config.injection_budget.is_some_and(|budget| self.injections_performed >= budget) {
+            return true;
+        }
+        if self.config.time_budget.is_some_and(|budget| self.elapsed >= budget) {
+            return true;
+        }
+        self.probe_done && self.frontier.is_empty()
+    }
+
+    // -- the loop -----------------------------------------------------------
+
+    /// Runs the whole exploration: the probe batch, then frontier batches
+    /// until [`Explorer::finished`].  `setup` builds a fresh process per
+    /// case, `workload` exercises it — the same pair a
+    /// [`Campaign::run`] takes.
+    pub fn run<S, W>(&mut self, setup: S, workload: W) -> ExplorationReport
+    where
+        S: Fn() -> Process + Send + Sync,
+        W: Fn(&mut Process) -> ExitStatus + Send + Sync,
+    {
+        let mut batches = Vec::new();
+        while let Some(report) = self.step(&setup, &workload) {
+            batches.push(report);
+        }
+        self.report(batches)
+    }
+
+    /// Runs exactly one batch (the probe first, then one frontier batch per
+    /// call) and returns its campaign report, or `None` when
+    /// [`Explorer::finished`].  Snapshot [`Explorer::store`] between steps
+    /// to make the exploration killable.
+    pub fn step<S, W>(&mut self, setup: S, workload: W) -> Option<CampaignReport>
+    where
+        S: Fn() -> Process + Send + Sync,
+        W: Fn(&mut Process) -> ExitStatus + Send + Sync,
+    {
+        if self.finished() {
+            return None;
+        }
+        let started = Instant::now();
+        let report = if self.probe_done {
+            let cells = self.select_batch();
+            if cells.is_empty() {
+                return None;
+            }
+            self.run_batch(cells, setup, workload)
+        } else {
+            self.run_probe(setup, workload)
+        };
+        self.elapsed += started.elapsed();
+        self.batch_index += 1;
+        Some(report)
+    }
+
+    /// Assembles the aggregate report from per-batch campaign reports (the
+    /// ones [`Explorer::step`] returned).
+    pub fn report(&self, batches: Vec<CampaignReport>) -> ExplorationReport {
+        ExplorationReport {
+            batches,
+            cases_executed: self.cases_executed,
+            injections_performed: self.injections_performed,
+            clusters: self.clusters.clone(),
+            coverage: self.coverage_summary(),
+        }
+    }
+
+    /// One tracked draw from the seeded RNG stream — the only randomness the
+    /// explorer uses, so the stream position in the store is exact.
+    fn rng_u64(&mut self) -> u64 {
+        self.rng_draws += 1;
+        self.rng.gen()
+    }
+
+    /// The injection-free probe: one baseline case with the dispatch call
+    /// log captured.  Functions the workload never dispatches are pruned
+    /// from the frontier wholesale; cells beyond a function's observed call
+    /// depth are deprioritized (not pruned — injections can lengthen retry
+    /// loops).
+    fn run_probe<S, W>(&mut self, setup: S, workload: W) -> CampaignReport
+    where
+        S: Fn() -> Process + Send + Sync,
+        W: Fn(&mut Process) -> ExitStatus + Send + Sync,
+    {
+        let report = Campaign::new()
+            .case(TestCase::new(PROBE_CASE_NAME, Plan::new()))
+            .capture_call_log(true)
+            .run(setup, workload);
+        if let Some(outcome) = report.outcomes.first() {
+            self.cases_executed += 1;
+            let mut counts: HashMap<Symbol, u64> = HashMap::new();
+            for &symbol in &outcome.calls {
+                *counts.entry(symbol).or_insert(0) += 1;
+            }
+            for (&symbol, &count) in &counts {
+                let coverage = self.coverage.entry(symbol).or_default();
+                coverage.observed_calls = coverage.observed_calls.max(count);
+            }
+            if outcome.calls_dropped == 0 {
+                // A complete call log proves absence: prune every cell of a
+                // function the workload never dispatched.  A truncated log
+                // (bounded capacity overflowed) proves nothing about absent
+                // functions, so wholesale pruning is skipped and those cells
+                // are left for their own cases to rule out.
+                let pruned = &mut self.pruned_functions;
+                self.frontier.retain(|f| {
+                    let reached = counts.contains_key(&f.cell.function);
+                    if !reached {
+                        pruned.insert(f.cell.function);
+                    }
+                    reached
+                });
+                for f in &mut self.frontier {
+                    if f.cell.call_ordinal > counts.get(&f.cell.function).copied().unwrap_or(0) {
+                        f.priority = f.priority.min(DEPRIORITIZED);
+                    }
+                }
+            }
+        }
+        self.probe_done = true;
+        report
+    }
+
+    /// Orders the frontier (priority first, then the process-independent
+    /// cell key, ties within a priority class shuffled from the tracked RNG
+    /// stream) and takes the next batch.
+    fn select_batch(&mut self) -> Vec<FaultCell> {
+        self.frontier
+            .sort_by(|a, b| b.priority.cmp(&a.priority).then_with(|| a.cell.sort_key().cmp(&b.cell.sort_key())));
+        let mut take = self.config.batch_size.min(self.frontier.len());
+        if let Some(budget) = self.config.case_budget {
+            take = take.min(budget.saturating_sub(self.cases_executed) as usize);
+        }
+        if let Some(budget) = self.config.injection_budget {
+            // Each cell case injects at most once (a single call-count
+            // trigger), so capping the batch at the remaining budget makes
+            // the injection bound exact, not just checked between batches.
+            take = take.min(budget.saturating_sub(self.injections_performed) as usize);
+        }
+        // Partial Fisher–Yates: only the `take` selected positions draw from
+        // the RNG stream (each drawn uniformly from the rest of its
+        // equal-priority run), so the tracked draw count grows with the
+        // batch size, not with the frontier size — a resume replays at most
+        // one draw per case ever scheduled.
+        let mut start = 0;
+        while start < self.frontier.len() && start < take {
+            let priority = self.frontier[start].priority;
+            let mut end = start + 1;
+            while end < self.frontier.len() && self.frontier[end].priority == priority {
+                end += 1;
+            }
+            for i in start..end.min(take) {
+                let j = i + (self.rng_u64() as usize) % (end - i);
+                self.frontier.swap(i, j);
+            }
+            start = end;
+        }
+        self.frontier.drain(..take).map(|f| f.cell).collect()
+    }
+
+    /// Runs one batch of cells as a campaign and folds every outcome back
+    /// into coverage, clusters, pruning and escalation.
+    fn run_batch<S, W>(&mut self, cells: Vec<FaultCell>, setup: S, workload: W) -> CampaignReport
+    where
+        S: Fn() -> Process + Send + Sync,
+        W: Fn(&mut Process) -> ExitStatus + Send + Sync,
+    {
+        let cases: Vec<TestCase> = cells
+            .iter()
+            .map(|cell| TestCase::new(self.case_name(cell), Plan::new().entry(cell.plan_entry())))
+            .collect();
+        let report = Campaign::new().cases(cases).parallelism(self.config.parallelism).run(setup, workload);
+        for (cell, outcome) in cells.iter().zip(&report.outcomes) {
+            self.consume(*cell, outcome);
+        }
+        report
+    }
+
+    /// The stable, human-greppable name of a cell's test case.
+    fn case_name(&self, cell: &FaultCell) -> String {
+        let errno = cell.errno.map_or_else(|| "-".to_owned(), |e| e.to_string());
+        format!(
+            "b{:03}-{}-c{}-r{}-e{}",
+            self.batch_index,
+            cell.function.as_str(),
+            cell.call_ordinal,
+            cell.retval,
+            errno
+        )
+    }
+
+    /// Folds one case outcome into the exploration state.
+    fn consume(&mut self, cell: FaultCell, outcome: &TestOutcome) {
+        self.executed.insert(cell);
+        self.cases_executed += 1;
+        let calls = outcome.log.calls_to_sym(cell.function);
+        let coverage = self.coverage.entry(cell.function).or_default();
+        coverage.observed_calls = coverage.observed_calls.max(calls);
+        let injected = outcome.log.injection_count() as u64;
+        self.injections_performed += injected;
+        if injected > 0 {
+            coverage.triggered.insert((cell.call_ordinal, cell.retval, cell.errno));
+        } else {
+            // The planned injection never fired: the workload made only
+            // `calls` calls to the function, so every pending cell of the
+            // same function beyond that depth is unreachable too — prune
+            // them, and *record* them as unreached so a later crash
+            // escalation cannot resurrect a cell already proven dead.
+            self.unreached.insert(cell);
+            let unreached = &mut self.unreached;
+            self.frontier.retain(|f| {
+                let dead = f.cell.function == cell.function && f.cell.call_ordinal > calls;
+                if dead {
+                    unreached.insert(f.cell);
+                }
+                !dead
+            });
+        }
+        let class = OutcomeClass::of(outcome.status);
+        if class != OutcomeClass::Success {
+            let stack = outcome.log.injections.first().map(|r| r.stack.clone()).unwrap_or_default();
+            self.cluster(cell, &outcome.name, stack, class);
+        }
+        if class.is_crash() {
+            self.crash_found = true;
+            self.escalate(cell);
+        }
+    }
+
+    /// Deduplicates a non-success outcome into the cluster table.
+    fn cluster(&mut self, cell: FaultCell, case: &str, stack: Vec<Symbol>, outcome: OutcomeClass) {
+        if let Some(existing) = self
+            .clusters
+            .iter_mut()
+            .find(|c| c.function == cell.function && c.stack == stack && c.outcome == outcome)
+        {
+            existing.count += 1;
+            return;
+        }
+        self.clusters.push(CrashCluster {
+            function: cell.function,
+            stack,
+            outcome,
+            count: 1,
+            example: cell,
+            example_case: case.to_owned(),
+        });
+    }
+
+    /// Raises the priority of every cell adjacent to a crash: the
+    /// neighbouring call ordinals with the same fault, and the sibling
+    /// (retval, errno) pairs the profiles list for the function, at the same
+    /// ordinal.  Cells not yet on the frontier are added.
+    fn escalate(&mut self, cell: FaultCell) {
+        let mut candidates: Vec<FaultCell> = Vec::new();
+        if cell.call_ordinal > 1 {
+            candidates.push(FaultCell { call_ordinal: cell.call_ordinal - 1, ..cell });
+        }
+        candidates.push(FaultCell { call_ordinal: cell.call_ordinal + 1, ..cell });
+        let name = cell.function.as_str();
+        for profile in &self.profiles {
+            let Some(function) = profile.function(name) else {
+                continue;
+            };
+            for error in &function.error_returns {
+                let errnos = error.errno_values();
+                if errnos.is_empty() {
+                    candidates.push(FaultCell { retval: error.retval, errno: None, ..cell });
+                } else {
+                    for errno in errnos {
+                        candidates.push(FaultCell { retval: error.retval, errno: Some(errno), ..cell });
+                    }
+                }
+            }
+        }
+        for candidate in candidates {
+            self.raise(candidate, ESCALATED);
+        }
+    }
+
+    /// Puts a cell on the frontier at (at least) the given priority, unless
+    /// it already ran.
+    fn raise(&mut self, cell: FaultCell, priority: i32) {
+        if self.executed.contains(&cell) || self.unreached.contains(&cell) {
+            return;
+        }
+        if let Some(existing) = self.frontier.iter_mut().find(|f| f.cell == cell) {
+            existing.priority = existing.priority.max(priority);
+            return;
+        }
+        self.frontier.push(FrontierCell { cell, priority });
+    }
+}
+
+impl fmt::Debug for Explorer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Explorer")
+            .field("universe", &self.universe)
+            .field("frontier", &self.frontier.len())
+            .field("executed", &self.executed.len())
+            .field("clusters", &self.clusters.len())
+            .field("batch_index", &self.batch_index)
+            .field("cases_executed", &self.cases_executed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lfi_profile::{ErrorReturn, FunctionProfile};
+    use lfi_runtime::NativeLibrary;
+    use lfi_scenario::{Exhaustive, ScenarioGenerator};
+
+    /// Profiles for a toy libc: `read` fails with -1 or returns a short
+    /// count of 4, `malloc` fails with NULL, and `unused_fn` exists in the
+    /// profile but is never called by the workload.
+    fn profiles() -> Vec<FaultProfile> {
+        let mut profile = FaultProfile::new("libc.so.6");
+        profile.push_function(FunctionProfile {
+            name: "read".into(),
+            error_returns: vec![ErrorReturn::bare(-1), ErrorReturn::bare(4)],
+        });
+        profile.push_function(FunctionProfile { name: "malloc".into(), error_returns: vec![ErrorReturn::bare(0)] });
+        profile.push_function(FunctionProfile { name: "unused_fn".into(), error_returns: vec![ErrorReturn::bare(-1)] });
+        vec![profile]
+    }
+
+    fn setup() -> Process {
+        let mut process = Process::new();
+        process.load(
+            NativeLibrary::builder("libc.so.6")
+                .function("read", |ctx| ctx.arg(2))
+                .function("malloc", |ctx| if ctx.arg(0) > 1 << 30 { 0 } else { 0x1000 })
+                .function("unused_fn", |_| 0)
+                .build(),
+        );
+        process
+    }
+
+    /// Read an 8-byte header, allocate accordingly; a failed read is a clean
+    /// error exit, a short read provokes a huge allocation whose failure
+    /// aborts.
+    fn workload(process: &mut Process) -> ExitStatus {
+        let header = process.call("read", &[3, 0, 8]).unwrap_or(-1);
+        if header < 0 {
+            return ExitStatus::Exited(1);
+        }
+        let size = if header == 8 { 64 } else { 1 << 40 };
+        if process.call("malloc", &[size]).unwrap_or(0) == 0 {
+            return ExitStatus::Crashed(Signal::Abort);
+        }
+        ExitStatus::Exited(0)
+    }
+
+    fn explorer() -> Explorer {
+        let profiles = profiles();
+        let plan = Exhaustive.generate(&profiles);
+        Explorer::new(&plan, profiles).seed(11).batch_size(4)
+    }
+
+    #[test]
+    fn exploration_prunes_probes_and_clusters() {
+        let mut explorer = explorer();
+        assert_eq!(explorer.universe_len(), 4);
+        assert_eq!(explorer.frontier_len(), 4);
+        let report = explorer.run(setup, workload);
+        assert!(explorer.finished());
+
+        // unused_fn was pruned by the probe and never executed.
+        assert_eq!(report.coverage.pruned_functions, 1);
+        // The short-read cell sits at read's call #2 and the escalated
+        // malloc#2 neighbour needs a second malloc; the workload makes one
+        // call to each, so both are planned-but-unreached.
+        assert_eq!(report.coverage.unreached, 2);
+        // read#1 (-1), read#2 (unreached), malloc#1 (NULL), plus the
+        // escalated malloc#2 neighbour which also turns out unreached.
+        assert_eq!(report.coverage.executed, 4);
+        assert_eq!(report.coverage.triggered, 2);
+        assert_eq!(report.coverage.frontier_remaining, 0);
+        assert_eq!(report.cases_executed, 5, "probe + 4 cells");
+        assert_eq!(report.injections_performed, 2);
+
+        // Outcomes deduplicate into one failure cluster and one crash
+        // cluster; the crash carries the malloc stack.
+        assert_eq!(report.clusters.len(), 2);
+        let crash = report.crash_clusters().next().expect("the NULL malloc crashes");
+        assert_eq!(crash.function.as_str(), "malloc");
+        assert_eq!(crash.outcome, OutcomeClass::Crash(Signal::Abort));
+        assert_eq!(crash.example.retval, 0);
+        assert_eq!(crash.stack.last().map(|s| s.as_str()), Some("malloc"));
+        let failure = report.clusters.iter().find(|c| !c.is_crash()).unwrap();
+        assert_eq!(failure.function.as_str(), "read");
+        assert_eq!(failure.outcome, OutcomeClass::Failure(1));
+        assert!(explorer.crash_found());
+    }
+
+    #[test]
+    fn same_seed_same_batches() {
+        let a = explorer().run(setup, workload);
+        let b = explorer().run(setup, workload);
+        assert_eq!(a, b);
+        // A different seed still finds the same clusters here (the space is
+        // tiny), but the report need not be batch-for-batch identical.
+        let c = {
+            let profiles = profiles();
+            let plan = Exhaustive.generate(&profiles);
+            Explorer::new(&plan, profiles).seed(99).batch_size(4).run(setup, workload)
+        };
+        assert_eq!(c.clusters.len(), a.clusters.len());
+    }
+
+    #[test]
+    fn halt_on_crash_and_budgets_bound_the_loop() {
+        let mut halted = explorer().halt_on_crash(true);
+        let report = halted.run(setup, workload);
+        assert!(halted.crash_found());
+        assert!(halted.finished());
+        assert!(report.cases_executed < 5, "halts before exhausting the frontier");
+
+        let mut capped = explorer().case_budget(2);
+        let report = capped.run(setup, workload);
+        assert_eq!(report.cases_executed, 2, "probe + one case");
+        assert!(capped.finished());
+
+        // The injection bound is exact, not just checked between batches:
+        // with a budget of 1 every batch is capped at one cell, so the run
+        // performs exactly one injection even though batch_size is 4.
+        let mut strangled = explorer().injection_budget(1);
+        let report = strangled.run(setup, workload);
+        assert_eq!(report.injections_performed, 1);
+        assert!(report.batches.iter().all(|b| b.outcomes.len() <= 1));
+        assert!(strangled.finished());
+
+        let mut timed = explorer().time_budget(Duration::ZERO);
+        let report = timed.run(setup, workload);
+        assert_eq!(report.cases_executed, 0, "a zero time budget is spent before the probe");
+        assert!(timed.finished());
+    }
+
+    #[test]
+    fn store_snapshot_resumes_with_identical_remaining_batches() {
+        // Full run, collecting every batch report.
+        let mut full = explorer();
+        let mut full_reports = Vec::new();
+        while let Some(report) = full.step(setup, workload) {
+            full_reports.push(report);
+        }
+
+        // Killed run: two steps, then snapshot through the XML round trip.
+        let mut killed = explorer();
+        let mut killed_reports = Vec::new();
+        for _ in 0..2 {
+            killed_reports.push(killed.step(setup, workload).unwrap());
+        }
+        let xml = killed.store().to_xml();
+        let store = crate::ExplorationStore::from_xml(&xml).unwrap();
+        let mut resumed = Explorer::resume(profiles(), &store);
+        while let Some(report) = resumed.step(setup, workload) {
+            killed_reports.push(report);
+        }
+
+        assert_eq!(killed_reports, full_reports, "resume reproduces the identical remaining batch sequence");
+        assert_eq!(resumed.coverage_summary(), full.coverage_summary());
+        assert_eq!(resumed.clusters(), full.clusters());
+        assert_eq!(resumed.cases_executed(), full.cases_executed());
+        // And the final stores agree on everything but wall-clock time.
+        let mut final_a = full.store();
+        let mut final_b = resumed.store();
+        final_a.elapsed_ms = 0;
+        final_b.elapsed_ms = 0;
+        assert_eq!(final_a, final_b);
+    }
+
+    #[test]
+    fn outcome_classes_render_and_parse() {
+        for class in [
+            OutcomeClass::Success,
+            OutcomeClass::Failure(3),
+            OutcomeClass::Crash(Signal::Abort),
+            OutcomeClass::Crash(Signal::Segv),
+        ] {
+            assert_eq!(OutcomeClass::parse(&class.to_string()), Some(class));
+        }
+        assert_eq!(OutcomeClass::parse("melted"), None);
+        assert_eq!(OutcomeClass::of(ExitStatus::Exited(0)), OutcomeClass::Success);
+        assert_eq!(OutcomeClass::of(ExitStatus::Exited(7)), OutcomeClass::Failure(7));
+        assert!(OutcomeClass::of(ExitStatus::Crashed(Signal::Segv)).is_crash());
+        assert!(format!("{:?}", explorer()).contains("universe: 4"));
+    }
+}

@@ -1,0 +1,58 @@
+//! # lfi-explore — coverage-guided fault-space exploration
+//!
+//! The core problem of the paper is fault-space explosion: exhaustive
+//! injection over every (function, errno, call-site) triple is intractable
+//! for real libraries (§4, §6.4), so the paper prunes the space with
+//! profiler knowledge and runtime feedback.  This crate closes that loop as
+//! a subsystem: an [`Explorer`] drives successive
+//! [`Campaign`](lfi_controller::Campaign) batches from a seed faultload,
+//! consumes each [`CampaignReport`](lfi_controller::CampaignReport) plus the
+//! drained injector/call logs, and decides what to inject next:
+//!
+//! ```text
+//!            ┌────────────────────────────────────────────────────┐
+//!            │                                                    │
+//!            ▼                                                    │
+//!   seed ScenarioGenerator ──► fault-space cells ──► frontier     │
+//!                                                      │          │
+//!                                                      ▼          │
+//!                                          batch of TestCases     │
+//!                                                      │          │
+//!                                                      ▼          │
+//!                                          Campaign (run/observe) │
+//!                                                      │          │
+//!                              coverage ◄──────────────┤          │
+//!                       (triggered cells,              ▼          │
+//!                        per-function calls)   crash clusters     │
+//!                                                      │          │
+//!                                         prune unreached cells,  │
+//!                                         escalate crash          │
+//!                                         neighbours ─────────────┘
+//! ```
+//!
+//! * **Coverage** — which (function, errno, nth-call) cells were actually
+//!   *triggered*, versus merely planned, computed from the per-case
+//!   injection logs and per-function intercepted-call totals.
+//! * **Pruning** — a probe run's dispatch call log removes cells for
+//!   functions the workload never reaches; a planned cell whose injection
+//!   did not fire prunes its function's deeper call ordinals.
+//! * **Escalation** — cells adjacent to a crash (neighbouring call indices,
+//!   sibling errnos from the profiler's per-function error sets) jump to the
+//!   front of the frontier.
+//! * **Budgets** — a global case/injection/time budget bounds the whole
+//!   exploration.
+//! * **Resumability** — the complete exploration state (frontier, coverage,
+//!   cluster table, RNG stream position) round-trips through an XML
+//!   [`ExplorationStore`], so a killed exploration resumes deterministically
+//!   — see the determinism contract on [`Explorer`].
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod explorer;
+mod store;
+
+pub use explorer::{
+    CoverageSummary, CrashCluster, ExplorationReport, Explorer, FrontierCell, FunctionCoverage, OutcomeClass,
+    DEFAULT_BATCH_SIZE, PROBE_CASE_NAME,
+};
+pub use store::ExplorationStore;

@@ -94,7 +94,7 @@ pub(crate) type ResolutionKey = (Symbol, SymbolId);
 ///   is additionally shared *across* profiler clones: [`crate::Profiler`]'s
 ///   `Clone` hands the new instance the same [`DisasmCache`].
 /// - **Resolutions** are keyed by `(interned library name, symbol id)` in
-///   [`RESOLUTION_SHARDS`] lock shards, but their *values* depend on the
+///   `RESOLUTION_SHARDS` lock shards, but their *values* depend on the
 ///   profiler's entire configuration: the full library set (imports fall back
 ///   to "any registered library that exports the name"), the kernel image,
 ///   and the options.  They are therefore dropped whenever the configuration

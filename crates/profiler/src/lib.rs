@@ -13,7 +13,7 @@
 //!    into other registered libraries and system calls into the kernel image
 //!    ([`Profiler`]);
 //! 4. scan the blocks containing the constant assignments for side-effect
-//!    writes ([`side_effects`]);
+//!    writes (the `side_effects` module);
 //! 5. optionally apply the two unsound filtering heuristics of §3.1
 //!    ([`ProfilerOptions`]);
 //! 6. emit a [`lfi_profile::FaultProfile`].

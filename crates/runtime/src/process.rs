@@ -286,6 +286,21 @@ impl Process {
         &mut self.state
     }
 
+    /// Enables or disables the dispatch call log — the process-level twin of
+    /// [`ProcessState::set_call_log_enabled`], used by campaign drivers that
+    /// only hold the process.
+    pub fn set_call_log_enabled(&mut self, enabled: bool) {
+        self.state.set_call_log_enabled(enabled);
+    }
+
+    /// Takes the recorded calls out of the log, resetting it — the
+    /// process-level twin of [`ProcessState::drain_call_log`].  Campaign
+    /// drivers drain here after each workload run so per-case call streams
+    /// never accumulate across cases.
+    pub fn drain_call_log(&mut self) -> Vec<Symbol> {
+        self.state.drain_call_log()
+    }
+
     /// Pushes an application-level stack frame (e.g. `refresh_files`), so that
     /// stack-trace triggers can match application call sites.
     pub fn push_frame(&mut self, frame: impl AsRef<str>) {

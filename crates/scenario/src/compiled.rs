@@ -14,7 +14,47 @@
 use lfi_intern::Symbol;
 use lfi_profile::{SideEffect, SideEffectKind};
 
-use crate::{ArgModification, Plan};
+use crate::{ArgModification, FaultAction, Plan, PlanEntry, Trigger};
+
+/// One cell of the fault space an exploration engine walks: inject `retval`
+/// (and optionally `errno`) on the `call_ordinal`-th call to `function`.
+///
+/// A [`CompiledPlan`] is a *set* of such cells plus triggers that do not
+/// denote a unique cell (probabilistic and random-choice entries);
+/// [`CompiledPlan::cells`] enumerates the deterministic subset, which is what
+/// coverage accounting and adaptive exploration (`lfi-explore`) operate on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FaultCell {
+    /// The intercepted function.
+    pub function: Symbol,
+    /// Which call to the function the fault fires on (1-based).
+    pub call_ordinal: u64,
+    /// The injected return value.
+    pub retval: i64,
+    /// The injected errno, when the cell carries one (taken from the entry's
+    /// errno or its first TLS side effect — the §3.2 errno channel).
+    pub errno: Option<i64>,
+}
+
+impl FaultCell {
+    /// A process-independent ordering key: cells are compared by function
+    /// *name* (not symbol id, which depends on interning order), then
+    /// ordinal, retval and errno — so any sequence ordered by this key is
+    /// reproducible across processes and store reloads.
+    pub fn sort_key(&self) -> (&'static str, u64, i64, i64) {
+        (self.function.as_str(), self.call_ordinal, self.retval, self.errno.unwrap_or(i64::MIN))
+    }
+
+    /// Materializes the cell as a single-fault plan entry (a call-count
+    /// trigger with the cell's return value and errno).
+    pub fn plan_entry(&self) -> PlanEntry {
+        let mut action = FaultAction::return_value(self.retval);
+        if let Some(errno) = self.errno {
+            action = action.with_errno(errno);
+        }
+        PlanEntry { function: self.function.as_str().to_owned(), trigger: Trigger::on_call(self.call_ordinal), action }
+    }
+}
 
 /// A side effect with its module name resolved to a [`Symbol`], applicable
 /// per call without allocating.
@@ -121,6 +161,34 @@ impl CompiledPlan {
     pub fn function(&self, symbol: Symbol) -> Option<&CompiledFunction> {
         self.functions.iter().find(|f| f.symbol == symbol)
     }
+
+    /// Enumerates the deterministic (function, error, nth-call) cells of this
+    /// plan — every entry with a call-count trigger and a fixed return value.
+    /// Probabilistic triggers and random-choice pools do not denote a unique
+    /// cell and are skipped; an entry's errno falls back to its first TLS
+    /// side-effect value (the errno channel of §3.2).
+    ///
+    /// This is the fault-space view `lfi-explore` builds its coverage
+    /// accounting and exploration frontier on.
+    pub fn cells(&self) -> Vec<FaultCell> {
+        let mut cells = Vec::new();
+        for function in &self.functions {
+            for entry in &function.entries {
+                let Some(call_ordinal) = entry.inject_at_call else {
+                    continue;
+                };
+                if entry.probability.is_some() || !entry.random_choices.is_empty() {
+                    continue;
+                }
+                let Some(retval) = entry.retval else { continue };
+                let errno = entry
+                    .errno
+                    .or_else(|| entry.side_effects.iter().find(|e| e.kind == SideEffectKind::Tls).map(|e| e.value));
+                cells.push(FaultCell { function: function.symbol, call_ordinal, retval, errno });
+            }
+        }
+        cells
+    }
 }
 
 impl Plan {
@@ -225,5 +293,66 @@ mod tests {
 
         assert!(compiled.function(Symbol::intern("close_not_in_plan")).is_none());
         assert_eq!(CompiledPlan::default().functions.len(), 0);
+    }
+
+    #[test]
+    fn cell_enumeration_covers_deterministic_entries_only() {
+        let plan = Plan::new()
+            .entry(PlanEntry {
+                function: "read".into(),
+                trigger: Trigger::on_call(1),
+                action: FaultAction::return_value(-1).with_errno(9),
+            })
+            .entry(PlanEntry {
+                // errno via a TLS side effect instead of the errno attribute.
+                function: "close".into(),
+                trigger: Trigger::on_call(2),
+                action: FaultAction {
+                    retval: Some(-1),
+                    side_effects: vec![SideEffect::tls("libc.so.6", 0x12fff4, 5)],
+                    ..FaultAction::default()
+                },
+            })
+            .entry(PlanEntry {
+                // Probabilistic: not a unique cell.
+                function: "write".into(),
+                trigger: Trigger::with_probability(0.5),
+                action: FaultAction::return_value(-1),
+            })
+            .entry(PlanEntry {
+                // Random-choice pool: not a unique cell.
+                function: "send".into(),
+                trigger: Trigger::on_call(1),
+                action: FaultAction { random_choices: vec![ErrorReturn::bare(-2)], ..FaultAction::default() },
+            })
+            .entry(PlanEntry {
+                // No return value: pure argument modification, not a cell.
+                function: "recv".into(),
+                trigger: Trigger::on_call(1),
+                action: FaultAction::default().passthrough().modify_arg(1, ArgOp::Sub, 1),
+            });
+        let cells = plan.compile().cells();
+        assert_eq!(cells.len(), 2);
+        assert_eq!(
+            cells[0],
+            FaultCell { function: Symbol::intern("read"), call_ordinal: 1, retval: -1, errno: Some(9) }
+        );
+        assert_eq!(
+            cells[1],
+            FaultCell { function: Symbol::intern("close"), call_ordinal: 2, retval: -1, errno: Some(5) }
+        );
+
+        // The sort key orders by name, not interning order, and a cell
+        // round-trips into a single-fault plan entry.
+        assert!(cells[1].sort_key() < cells[0].sort_key());
+        let entry = cells[0].plan_entry();
+        assert_eq!(entry.function, "read");
+        assert_eq!(entry.trigger.inject_at_call, Some(1));
+        assert_eq!(entry.action.retval, Some(-1));
+        assert_eq!(entry.action.errno, Some(9));
+        // A cell without errno leaves the action's errno unset.
+        let bare = FaultCell { function: Symbol::intern("read"), call_ordinal: 3, retval: 0, errno: None };
+        assert_eq!(bare.plan_entry().action.errno, None);
+        assert_eq!(bare.sort_key().3, i64::MIN);
     }
 }

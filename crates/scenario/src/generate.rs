@@ -1,7 +1,7 @@
 //! Deprecated free-function shims over the [`crate::generator`] types.
 //!
 //! Scenario generation is now pluggable through the
-//! [`ScenarioGenerator`](crate::generator::ScenarioGenerator) trait; these
+//! [`ScenarioGenerator`] trait; these
 //! wrappers keep the original §4 entry points compiling for downstream code
 //! and will be removed in a future release.
 

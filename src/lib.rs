@@ -52,6 +52,7 @@
 //! | structured documentation parser    | [`docs`] |
 //! | fault scenarios ("faultloads")     | [`scenario`]: the `ScenarioGenerator` trait, generators, combinators |
 //! | LFI controller / interceptors      | [`controller`]: `Injector` + the fluent `Campaign` builder, over [`runtime`] |
+//! | adaptive fault-space exploration   | [`explore`]: coverage-guided `Explorer` + resumable `ExplorationStore` |
 //! | evaluated libraries & applications | [`corpus`], [`apps`] |
 //! | end-to-end facade & experiments    | [`core`] (re-exported as [`Lfi`]) |
 
@@ -121,6 +122,11 @@ pub mod runtime {
 /// replay scripts, campaigns.
 pub mod controller {
     pub use lfi_controller::*;
+}
+
+/// Coverage-guided, resumable fault-space exploration over campaigns.
+pub mod explore {
+    pub use lfi_explore::*;
 }
 
 /// The synthetic library corpus (libc, kernel image, Table 1/2 libraries).

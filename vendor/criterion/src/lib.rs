@@ -3,6 +3,17 @@
 //! id surface this workspace's benches use.  No statistics, plots or
 //! baselines — each benchmark runs a warm-up pass and a small number of
 //! timed samples and prints the mean time per iteration.
+//!
+//! Two environment variables hook the shim into CI:
+//!
+//! * `LFI_BENCH_FAST` — any value but `0` runs a single timed sample per
+//!   benchmark ("fast mode", for smoke jobs that only need the harness to
+//!   run end to end);
+//! * `LFI_BENCH_JSON` — a file path; every benchmark appends one JSON line
+//!   `{"bench":"group/label","ns_per_iter":…,"iterations":…}` to it, so a
+//!   pipeline can assemble a machine-readable `BENCH_*.json` from a whole
+//!   `cargo bench --workspace` run (bench binaries are separate processes,
+//!   hence append).
 
 #![forbid(unsafe_code)]
 
@@ -87,7 +98,7 @@ impl BenchmarkGroup<'_> {
         // The real crate enforces a minimum of 10 *statistical* samples; the
         // shim just runs the routine `samples.min(10)` times to keep the
         // heavyweight experiment benches fast.
-        self.samples = samples.clamp(1, 10);
+        self.samples = configured_samples(samples);
         self
     }
 
@@ -129,6 +140,27 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 }
 
+/// The effective sample count: `LFI_BENCH_FAST` (any value but `0`) forces a
+/// single timed sample, otherwise the requested count clamped to the shim's
+/// 1..=10 range.
+fn configured_samples(requested: usize) -> usize {
+    if std::env::var("LFI_BENCH_FAST").is_ok_and(|v| v != "0") {
+        1
+    } else {
+        requested.clamp(1, 10)
+    }
+}
+
+/// One machine-readable result line (the `LFI_BENCH_JSON` format).
+fn json_line(group: &str, label: &str, ns_per_iter: f64, iterations: u64) -> String {
+    let escape = |text: &str| text.replace('\\', "\\\\").replace('"', "\\\"");
+    format!(
+        "{{\"bench\":\"{}/{}\",\"ns_per_iter\":{ns_per_iter:.1},\"iterations\":{iterations}}}\n",
+        escape(group),
+        escape(label),
+    )
+}
+
 fn report(group: &str, label: &str, bencher: &Bencher) {
     if bencher.iterations == 0 {
         println!("{group}/{label}: no measurement (iter was not called)");
@@ -136,6 +168,19 @@ fn report(group: &str, label: &str, bencher: &Bencher) {
     }
     let per_iter = bencher.elapsed.as_secs_f64() / bencher.iterations as f64;
     println!("{group}/{label}: {:.3} ms/iter ({} iterations)", per_iter * 1e3, bencher.iterations);
+    if let Ok(path) = std::env::var("LFI_BENCH_JSON") {
+        if !path.is_empty() {
+            let line = json_line(group, label, per_iter * 1e9, bencher.iterations);
+            let written = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+                .and_then(|mut file| std::io::Write::write_all(&mut file, line.as_bytes()));
+            if let Err(error) = written {
+                eprintln!("LFI_BENCH_JSON: cannot append to {path}: {error}");
+            }
+        }
+    }
 }
 
 /// The top-level benchmark driver.
@@ -145,7 +190,7 @@ pub struct Criterion {}
 impl Criterion {
     /// Starts a benchmark group.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { name: name.into(), samples: 10, _criterion: self }
+        BenchmarkGroup { name: name.into(), samples: configured_samples(10), _criterion: self }
     }
 
     /// Runs a standalone benchmark.
@@ -204,5 +249,24 @@ mod tests {
         group.finish();
         // one warm-up + ten samples
         assert_eq!(runs, 11);
+    }
+
+    #[test]
+    fn json_lines_are_valid_and_escaped() {
+        assert_eq!(
+            json_line("dispatch_hot_path", "triggered", 109.95, 10),
+            "{\"bench\":\"dispatch_hot_path/triggered\",\"ns_per_iter\":110.0,\"iterations\":10}\n"
+        );
+        let line = json_line("g\"r", "l\\b", 1.0, 1);
+        assert!(line.contains("g\\\"r/l\\\\b"));
+    }
+
+    #[test]
+    fn sample_counts_are_clamped() {
+        // With LFI_BENCH_FAST unset (the test environment), the shim clamp
+        // applies.
+        assert_eq!(configured_samples(0), 1);
+        assert_eq!(configured_samples(5), 5);
+        assert_eq!(configured_samples(500), 10);
     }
 }

@@ -70,7 +70,7 @@ pub mod test_runner {
     }
 }
 
-/// The [`Strategy`] trait and its combinators.
+/// The [`Strategy`](strategy::Strategy) trait and its combinators.
 pub mod strategy {
     use crate::test_runner::TestRng;
     use std::marker::PhantomData;
