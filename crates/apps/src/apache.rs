@@ -10,7 +10,7 @@ use std::time::Instant;
 
 use lfi_runtime::Process;
 
-use crate::native::{service_work, World};
+use crate::native::service_work;
 
 /// CPU work units burned per static-HTML request (kernel + socket work a real
 /// server performs besides the library calls themselves).
@@ -35,8 +35,9 @@ pub struct ApacheServer {
 }
 
 impl ApacheServer {
-    /// Starts the server: opens the listening socket and the document root.
-    pub fn start(process: &mut Process, _world: &World) -> ApacheServer {
+    /// Starts the server: opens the listening socket and the document root
+    /// (streams in the process's [`SimWorld`](crate::SimWorld)).
+    pub fn start(process: &mut Process) -> ApacheServer {
         let client_fd = process.call("socket", &[]).unwrap_or(-1);
         let document_fd = process.call("open", &[]).unwrap_or(-1);
         ApacheServer { client_fd, document_fd }
@@ -181,7 +182,7 @@ mod tests {
     fn server_and_process() -> (ApacheServer, Process) {
         let world = new_world();
         let mut process = base_process(&world, true);
-        let server = ApacheServer::start(&mut process, &world);
+        let server = ApacheServer::start(&mut process);
         (server, process)
     }
 

@@ -15,7 +15,11 @@
 //!   coverage, and the SysBench-like OLTP workload;
 //! * [`apache`] — the request server with static-HTML and PHP workloads and
 //!   the AB-like load generator;
-//! * [`coverage`] — basic-block coverage bookkeeping.
+//! * [`coverage`] — basic-block coverage bookkeeping;
+//! * [`workloads`] — the applications packaged as first-class
+//!   [`lfi_controller::Workload`]s (fresh [`SimWorld`] + process per test
+//!   case), collected in a [`lfi_controller::WorkloadRegistry`] for named
+//!   lookup.
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
@@ -24,9 +28,11 @@ pub mod coverage;
 pub mod mysql;
 pub mod native;
 pub mod pidgin;
+pub mod workloads;
 
 pub use apache::{ApacheServer, RequestKind};
 pub use coverage::CoverageMap;
 pub use mysql::{MysqlServer, SuiteReport};
 pub use native::{base_process, native_libc, new_world, service_work, SimWorld, World};
 pub use pidgin::PidginApp;
+pub use workloads::{ApacheLoad, MysqlSuite, PidginLogin};

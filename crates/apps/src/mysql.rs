@@ -5,7 +5,7 @@
 use lfi_runtime::{Process, Signal};
 
 use crate::coverage::CoverageMap;
-use crate::native::{service_work, World};
+use crate::native::service_work;
 
 /// CPU work units burned per point select (B-tree descent, row copy).
 const SELECT_WORK: u64 = 45_000;
@@ -64,8 +64,10 @@ pub struct MysqlServer {
 
 impl MysqlServer {
     /// Starts the server: opens the data file, redo log and a client socket,
-    /// and registers every basic block with the coverage map.
-    pub fn start(process: &mut Process, _world: &World) -> MysqlServer {
+    /// and registers every basic block with the coverage map.  The streams
+    /// live in the [`SimWorld`](crate::SimWorld) the process's native libc
+    /// was built over.
+    pub fn start(process: &mut Process) -> MysqlServer {
         let mut coverage = CoverageMap::new();
         for (module, ok, err) in MODULES {
             for i in 0..*ok {
@@ -319,7 +321,7 @@ mod tests {
     fn server_and_process() -> (MysqlServer, lfi_runtime::Process, crate::native::World) {
         let world = new_world();
         let mut process = base_process(&world, false);
-        let server = MysqlServer::start(&mut process, &world);
+        let server = MysqlServer::start(&mut process);
         (server, process, world)
     }
 

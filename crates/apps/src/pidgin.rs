@@ -12,8 +12,6 @@
 
 use lfi_runtime::{ExitStatus, Process, Signal};
 
-use crate::native::World;
-
 /// Status word the resolver child writes for a successful resolution.
 const STATUS_OK: i64 = 0;
 /// Size, in bytes, of a resolved IPv4 address record.
@@ -83,13 +81,14 @@ impl PidginApp {
     }
 
     /// Runs the login sequence: create the resolver pipe, run the child, then
-    /// let the parent consume the responses.
-    pub fn login(&self, process: &mut Process, world: &World) -> ExitStatus {
+    /// let the parent consume the responses.  The pipe lives in the shared
+    /// [`SimWorld`](crate::SimWorld) the process's native libc was built
+    /// over, so the process is all the state the login needs.
+    pub fn login(&self, process: &mut Process) -> ExitStatus {
         let pipe = match process.call("pipe", &[]) {
             Ok(fd) if fd >= 0 => fd,
             _ => return ExitStatus::Exited(1),
         };
-        let _ = world; // the pipe lives in the shared world via the native libc
         self.resolver_child(process, pipe);
         let status = self.parent_read_responses(process, pipe);
         let _ = process.call("close", &[pipe]);
@@ -106,7 +105,7 @@ mod tests {
     fn login_succeeds_without_fault_injection() {
         let world = new_world();
         let mut process = base_process(&world, false);
-        let status = PidginApp::new().login(&mut process, &world);
+        let status = PidginApp::new().login(&mut process);
         assert_eq!(status, ExitStatus::Exited(0));
     }
 
@@ -133,7 +132,7 @@ mod tests {
             })
             .build();
         process.preload(drop_second_write);
-        let status = PidginApp::new().login(&mut process, &world);
+        let status = PidginApp::new().login(&mut process);
         assert_eq!(status, ExitStatus::Crashed(Signal::Abort));
     }
 
@@ -158,7 +157,7 @@ mod tests {
             })
             .build();
         process.preload(drop_first_write);
-        let status = PidginApp::new().login(&mut process, &world);
+        let status = PidginApp::new().login(&mut process);
         // The parent notices the bogus status word and backs out cleanly —
         // no crash, just a failed login.
         assert_eq!(status, ExitStatus::Exited(1));

@@ -38,7 +38,7 @@ fn bench_table3(c: &mut Criterion) {
                         let injector = Injector::new(plan);
                         process.preload(injector.synthesize_interceptor());
                     }
-                    let mut server = ApacheServer::start(&mut process, &world);
+                    let mut server = ApacheServer::start(&mut process);
                     run_ab(&mut server, &mut process, kind, 100)
                 })
             });

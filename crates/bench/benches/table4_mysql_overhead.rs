@@ -35,7 +35,7 @@ fn bench_table4(c: &mut Criterion) {
                         let injector = Injector::new(plan);
                         process.preload(injector.synthesize_interceptor());
                     }
-                    let mut server = MysqlServer::start(&mut process, &world);
+                    let mut server = MysqlServer::start(&mut process);
                     for i in 0..100 {
                         let _ = server.insert(&mut process, i, true);
                     }

@@ -5,12 +5,16 @@
 //! cases (hand-made, or derived from a
 //! [`ScenarioGenerator`](lfi_scenario::generator::ScenarioGenerator)),
 //! [`CampaignObserver`] hooks, an [`ExecutionPolicy`], and a parallelism
-//! degree for running independent test cases on worker threads.  The old
-//! [`run_campaign`] free function survives as a deprecated serial shim.
+//! degree for running independent test cases on worker threads.  Execution
+//! is session-based: [`Campaign::start`] hands a [`Workload`] to a worker
+//! pool and returns a streaming [`CampaignRun`]; the blocking entry points
+//! ([`Campaign::run`], [`Campaign::run_per_case`],
+//! [`Campaign::run_workload`]) are thin collect-into-report wrappers over
+//! it.
 
 use std::fmt;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::AtomicUsize;
+use std::sync::Arc;
 
 use lfi_intern::Symbol;
 use lfi_profile::FaultProfile;
@@ -18,7 +22,8 @@ use lfi_runtime::{ExitStatus, Process};
 use lfi_scenario::generator::ScenarioGenerator;
 use lfi_scenario::Plan;
 
-use crate::{InjectionRecord, Injector, TestLog};
+use crate::session::RunConfig;
+use crate::{CampaignRun, FnWorkload, InjectionRecord, TestLog, Workload};
 
 /// One fault-injection test case: a name and the scenario to apply.
 #[derive(Debug, Clone, PartialEq)]
@@ -66,11 +71,18 @@ impl TestOutcome {
     }
 }
 
-/// The report produced by a campaign: one outcome per executed test case.
+/// The report produced by a campaign: one outcome per executed test case,
+/// plus an account of the scheduled cases that never ran.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct CampaignReport {
     /// Outcomes, in test-case order.
     pub outcomes: Vec<TestOutcome>,
+    /// Scheduled cases that never executed: the run was cancelled, halted by
+    /// `stop_on_first_crash`, starved by an exhausted injection budget, or a
+    /// case failed its workload's health check.  Cases trimmed up front by
+    /// `ExecutionPolicy::max_cases` are *not* counted — they were never
+    /// scheduled.
+    pub cases_skipped: usize,
 }
 
 impl CampaignReport {
@@ -98,9 +110,10 @@ impl CampaignReport {
             out.push_str(&format!("{}: {} ({} injections)\n", outcome.name, outcome.status, outcome.injection_count()));
         }
         out.push_str(&format!(
-            "# crashes: {}, failures: {}, total injections: {}\n",
+            "# crashes: {}, failures: {}, cases skipped: {}, total injections: {}\n",
             self.crashes().count(),
             self.failures().count(),
+            self.cases_skipped,
             self.total_injections()
         ));
         out
@@ -115,7 +128,11 @@ impl fmt::Display for CampaignReport {
             self.outcomes.len(),
             self.crashes().count(),
             self.failures().count()
-        )
+        )?;
+        if self.cases_skipped > 0 {
+            write!(f, ", {} skipped", self.cases_skipped)?;
+        }
+        Ok(())
     }
 }
 
@@ -123,11 +140,12 @@ impl fmt::Display for CampaignReport {
 ///
 /// Observers may be shared across worker threads, so implementations must be
 /// `Send + Sync`; interior mutability (e.g. a mutex-guarded vector) is the
-/// expected pattern for collecting data.  For each test case the driver
-/// calls `on_test_start`, then `on_injection` once per injection recorded
-/// during the run (in log order, after the workload finishes), then
-/// `on_outcome`.  With `parallelism(n)`, hooks of *different* cases
-/// interleave; the per-case ordering still holds.
+/// expected pattern for collecting data.  For each executed test case the
+/// driver calls `on_test_start`, then `on_injection` once per injection
+/// recorded during the run (in log order, after the workload finishes), then
+/// `on_outcome`; cases skipped by a health check or a halted run fire no
+/// hooks.  With `parallelism(n)`, hooks of *different* cases interleave; the
+/// per-case ordering still holds.
 pub trait CampaignObserver: Send + Sync {
     /// A test case is about to run.
     fn on_test_start(&self, _case: &TestCase) {}
@@ -187,12 +205,16 @@ impl ExecutionPolicy {
     }
 }
 
-/// A per-case workload: consumes the prepared process and reports how the
-/// run ended.  Boxed so case-specific state (a fresh simulated world, a
-/// request trace, …) can be captured per case.
+/// A per-case workload closure: consumes the prepared process and reports
+/// how the run ended.  Boxed so case-specific state (a fresh simulated
+/// world, a request trace, …) can be captured per case — see
+/// [`Campaign::run_per_case`].
 pub type CaseWorkload = Box<dyn FnOnce(&mut Process) -> ExitStatus + Send>;
 
-/// Fluent builder and driver for fault-injection campaigns.
+/// Fluent builder for fault-injection campaigns.
+///
+/// [`Campaign::start`] turns the builder into a streaming
+/// [`CampaignRun`] session; [`Campaign::run`] is the blocking shorthand:
 ///
 /// ```
 /// use lfi_controller::{Campaign, ExecutionPolicy, TestCase};
@@ -326,125 +348,65 @@ impl Campaign {
         &self.cases
     }
 
-    /// Runs the campaign with a shared setup/workload pair: `setup` builds a
-    /// fresh process per case (the developer-provided start script of §5),
-    /// `workload` exercises it.
-    pub fn run<S, W>(&self, setup: S, workload: W) -> CampaignReport
+    /// Starts the campaign as a streaming session: a worker pool (sized by
+    /// [`Campaign::parallelism`]) drives the [`Workload`] case by case, and
+    /// the returned [`CampaignRun`] yields [`CaseEvent`](crate::CaseEvent)s
+    /// incrementally over a bounded channel.  See [`CampaignRun`] for the
+    /// event ordering and cancellation contracts.
+    pub fn start(self, workload: impl Workload + 'static) -> CampaignRun {
+        self.start_arc(Arc::new(workload))
+    }
+
+    /// [`Campaign::start`] for a workload that is already shared (e.g. one
+    /// pulled from a [`WorkloadRegistry`](crate::WorkloadRegistry)).
+    pub fn start_arc(self, workload: Arc<dyn Workload>) -> CampaignRun {
+        let limit = self.policy.max_cases.map_or(self.cases.len(), |max| max.min(self.cases.len()));
+        let mut cases = self.cases;
+        cases.truncate(limit);
+        let workers = self.parallelism.clamp(1, cases.len().max(1));
+        let budget = self.policy.injection_budget.map(|budget| Arc::new(AtomicUsize::new(budget)));
+        CampaignRun::launch(
+            RunConfig {
+                cases,
+                observers: self.observers,
+                stop_on_first_crash: self.policy.stop_on_first_crash,
+                capture_calls: self.capture_calls,
+                budget,
+                workers,
+            },
+            workload,
+        )
+    }
+
+    /// Runs the campaign to completion under a [`Workload`] and collects the
+    /// report — the blocking shorthand for
+    /// `self.start(workload).into_report()`.
+    pub fn run_workload(self, workload: impl Workload + 'static) -> CampaignReport {
+        self.start(workload).into_report()
+    }
+
+    /// Runs the campaign with a shared setup/workload closure pair: `setup`
+    /// builds a fresh process per case (the developer-provided start script
+    /// of §5), `workload` exercises it.  A thin wrapper that adapts the pair
+    /// through [`FnWorkload`] and collects [`Campaign::start`]'s stream into
+    /// a report.
+    pub fn run<S, W>(self, setup: S, workload: W) -> CampaignReport
     where
-        S: Fn() -> Process + Send + Sync,
-        W: Fn(&mut Process) -> ExitStatus + Send + Sync,
+        S: Fn() -> Process + Send + Sync + 'static,
+        W: Fn(&mut Process) -> ExitStatus + Send + Sync + 'static,
     {
-        let budget = self.shared_budget();
-        self.drive(budget.clone(), |case| self.execute(case, setup(), &workload, budget.clone()))
+        self.run_workload(FnWorkload::new("closure-pair", setup, workload))
     }
 
     /// Runs the campaign with a per-case runner, for workloads that need
     /// case-local state: the runner returns the fresh process *and* the
-    /// workload closure for that case.
-    pub fn run_per_case<R>(&self, runner: R) -> CampaignReport
+    /// workload closure for that case.  A thin wrapper over
+    /// [`Campaign::start`], like [`Campaign::run`].
+    pub fn run_per_case<R>(self, runner: R) -> CampaignReport
     where
-        R: Fn(&TestCase) -> (Process, CaseWorkload) + Send + Sync,
+        R: Fn(&TestCase) -> (Process, CaseWorkload) + Send + Sync + 'static,
     {
-        let budget = self.shared_budget();
-        self.drive(budget.clone(), |case| {
-            let (process, workload) = runner(case);
-            self.execute(case, process, workload, budget.clone())
-        })
-    }
-
-    /// The campaign-wide injection token pool, when the policy sets one.
-    /// Created once per run and shared by every case's injector.
-    fn shared_budget(&self) -> Option<Arc<AtomicUsize>> {
-        self.policy.injection_budget.map(|budget| Arc::new(AtomicUsize::new(budget)))
-    }
-
-    /// Executes one case: synthesize + preload the interceptor, run the
-    /// workload, fire the observer hooks, collect the outcome.
-    fn execute<W>(
-        &self,
-        case: &TestCase,
-        mut process: Process,
-        workload: W,
-        budget: Option<Arc<AtomicUsize>>,
-    ) -> TestOutcome
-    where
-        W: FnOnce(&mut Process) -> ExitStatus,
-    {
-        for observer in &self.observers {
-            observer.on_test_start(case);
-        }
-        let injector = Injector::with_budget(case.plan.clone(), budget);
-        process.preload(injector.synthesize_interceptor());
-        if self.capture_calls {
-            process.set_call_log_enabled(true);
-        }
-        let status = workload(&mut process);
-        // The dropped counter must be read before the drain resets it.
-        let calls_dropped = if self.capture_calls { process.state().call_log_dropped() } else { 0 };
-        let calls = if self.capture_calls { process.drain_call_log() } else { Vec::new() };
-        let log = injector.log();
-        for observer in &self.observers {
-            for record in &log.injections {
-                observer.on_injection(case, record);
-            }
-        }
-        // Derive the replay from the snapshot already taken, rather than
-        // materializing the raw log a second time via injector.replay_plan().
-        let replay = log.replay_plan();
-        let outcome = TestOutcome { name: case.name.clone(), status, log, replay, calls, calls_dropped };
-        for observer in &self.observers {
-            observer.on_outcome(&outcome);
-        }
-        outcome
-    }
-
-    /// The scheduling core shared by [`Campaign::run`] and
-    /// [`Campaign::run_per_case`].
-    fn drive<F>(&self, budget: Option<Arc<AtomicUsize>>, run_case: F) -> CampaignReport
-    where
-        F: Fn(&TestCase) -> TestOutcome + Sync,
-    {
-        let limit = self.policy.max_cases.map_or(self.cases.len(), |max| max.min(self.cases.len()));
-        let cases = &self.cases[..limit];
-        let workers = self.parallelism.clamp(1, cases.len().max(1));
-
-        let next = AtomicUsize::new(0);
-        let stop = AtomicBool::new(false);
-        let slots: Vec<Mutex<Option<TestOutcome>>> = cases.iter().map(|_| Mutex::new(None)).collect();
-
-        let worker = || loop {
-            if stop.load(Ordering::Acquire) {
-                break;
-            }
-            let index = next.fetch_add(1, Ordering::Relaxed);
-            let Some(case) = cases.get(index) else { break };
-            let outcome = run_case(case);
-            let crashed = outcome.status.is_crash();
-            if let Ok(mut slot) = slots[index].lock() {
-                *slot = Some(outcome);
-            }
-            if (self.policy.stop_on_first_crash && crashed)
-                || budget.as_ref().is_some_and(|pool| pool.load(Ordering::Acquire) == 0)
-            {
-                stop.store(true, Ordering::Release);
-            }
-        };
-
-        if workers <= 1 {
-            worker();
-        } else {
-            std::thread::scope(|scope| {
-                for _ in 0..workers {
-                    scope.spawn(worker);
-                }
-            });
-        }
-
-        let outcomes = slots
-            .into_iter()
-            .filter_map(|slot| slot.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner))
-            .collect();
-        CampaignReport { outcomes }
+        self.run_workload(PerCaseWorkload::new(runner))
     }
 }
 
@@ -460,38 +422,57 @@ impl fmt::Debug for Campaign {
     }
 }
 
-/// Runs a set of fault-injection test cases serially (the pre-builder API).
-#[deprecated(since = "0.1.0", note = "use the lfi_controller::Campaign builder")]
-pub fn run_campaign<S, W>(cases: &[TestCase], mut setup: S, mut workload: W) -> CampaignReport
+/// Adapter behind [`Campaign::run_per_case`]: each case's `setup` stashes
+/// the runner-produced closure under the executing worker's thread id, and
+/// `run` — which the session always calls on the same worker thread,
+/// immediately after setup — takes it back out.
+struct PerCaseWorkload<R> {
+    runner: R,
+    pending: parking_lot::Mutex<std::collections::HashMap<std::thread::ThreadId, CaseWorkload>>,
+}
+
+impl<R> PerCaseWorkload<R>
 where
-    S: FnMut() -> Process,
-    W: FnMut(&mut Process) -> ExitStatus,
+    R: Fn(&TestCase) -> (Process, CaseWorkload) + Send + Sync,
 {
-    let mut report = CampaignReport::default();
-    for case in cases {
-        let mut process = setup();
-        let injector = Injector::new(case.plan.clone());
-        process.preload(injector.synthesize_interceptor());
-        let status = workload(&mut process);
-        report.outcomes.push(TestOutcome {
-            name: case.name.clone(),
-            status,
-            log: injector.log(),
-            replay: injector.replay_plan(),
-            calls: Vec::new(),
-            calls_dropped: 0,
-        });
+    fn new(runner: R) -> Self {
+        Self { runner, pending: parking_lot::Mutex::new(std::collections::HashMap::new()) }
     }
-    report
+}
+
+impl<R> Workload for PerCaseWorkload<R>
+where
+    R: Fn(&TestCase) -> (Process, CaseWorkload) + Send + Sync,
+{
+    fn name(&self) -> &str {
+        "per-case-runner"
+    }
+
+    fn setup(&self, case: &TestCase) -> Process {
+        let (process, workload) = (self.runner)(case);
+        self.pending.lock().insert(std::thread::current().id(), workload);
+        process
+    }
+
+    fn run(&self, process: &mut Process) -> ExitStatus {
+        let workload = self
+            .pending
+            .lock()
+            .remove(&std::thread::current().id())
+            .expect("setup stashes this case's workload on the executing worker thread");
+        workload(process)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{CaseEvent, SkipReason};
     use lfi_profile::{ErrorReturn, FunctionProfile};
     use lfi_runtime::{NativeLibrary, Signal};
     use lfi_scenario::generator::{Exhaustive, Filtered};
     use lfi_scenario::{FaultAction, PlanEntry, Trigger};
+    use std::sync::Mutex;
 
     fn libc() -> NativeLibrary {
         NativeLibrary::builder("libc.so.6")
@@ -555,11 +536,13 @@ mod tests {
         assert_eq!(report.crashes().count(), 1);
         assert_eq!(report.failures().count(), 1);
         assert_eq!(report.total_injections(), 2);
+        assert_eq!(report.cases_skipped, 0);
         let text = report.to_text();
         assert!(text.contains("short-read"));
         assert!(text.contains("SIGABRT"));
+        assert!(text.contains("cases skipped: 0"));
         assert!(report.to_string().contains("3 test cases"));
-        assert!(format!("{campaign:?}").contains("cases: 3"));
+        assert!(format!("{:?}", Campaign::new().cases(standard_cases())).contains("cases: 3"));
     }
 
     #[test]
@@ -688,8 +671,13 @@ mod tests {
             .policy(ExecutionPolicy::run_all().stop_on_first_crash())
             .run(setup, workload);
         assert_eq!(report.outcomes.len(), 3, "crash in the last case stops nothing");
+        assert_eq!(report.cases_skipped, 0);
         assert_eq!(stopped.outcomes.len(), 1, "crash in the first case stops the rest");
         assert!(stopped.outcomes[0].status.is_crash());
+        // The halted cases no longer vanish silently: the report says so.
+        assert_eq!(stopped.cases_skipped, 2);
+        assert!(stopped.to_text().contains("cases skipped: 2"));
+        assert!(stopped.to_string().contains("2 skipped"));
     }
 
     #[test]
@@ -699,15 +687,18 @@ mod tests {
             .policy(ExecutionPolicy::run_all().max_cases(2))
             .run(setup, workload);
         assert_eq!(capped.outcomes.len(), 2);
+        // max_cases trims up front; the trimmed case was never scheduled.
+        assert_eq!(capped.cases_skipped, 0);
 
         let budgeted = Campaign::new()
             .cases(standard_cases())
             .policy(ExecutionPolicy::run_all().injection_budget(1))
             .run(setup, workload);
         // baseline injects 0, fail-read drains the budget of 1, short-read
-        // never runs.
+        // never runs — and is accounted for as skipped.
         assert_eq!(budgeted.outcomes.len(), 2);
         assert_eq!(budgeted.total_injections(), 1);
+        assert_eq!(budgeted.cases_skipped, 1);
     }
 
     #[test]
@@ -744,6 +735,7 @@ mod tests {
                 .parallelism(workers)
                 .run(setup, hammer);
             assert_eq!(report.total_injections(), 12, "parallelism({workers}) overshot the injection budget");
+            assert_eq!(report.outcomes.len() + report.cases_skipped, 12, "every scheduled case is accounted for");
         }
     }
 
@@ -805,21 +797,152 @@ mod tests {
         let report = Campaign::new().cases(standard_cases()).parallelism(2).run_per_case(|case| {
             // Case-local state: the workload closure owns the case name.
             let name = case.name.clone();
-            let workload: CaseWorkload = Box::new(move |process| {
+            let case_workload: CaseWorkload = Box::new(move |process| {
                 let _ = name; // a stand-in for a per-case world
                 workload(process)
             });
-            (setup(), workload)
+            (setup(), case_workload)
         });
         assert_eq!(report.outcomes.len(), 3);
         assert_eq!(report.crashes().count(), 1);
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_run_campaign_still_works() {
-        let report = run_campaign(&standard_cases(), setup, workload);
+    fn run_workload_drives_a_named_workload() {
+        let report =
+            Campaign::new()
+                .cases(standard_cases())
+                .run_workload(FnWorkload::new("toy-reader", setup, workload));
         assert_eq!(report.outcomes.len(), 3);
         assert_eq!(report.crashes().count(), 1);
+    }
+
+    #[test]
+    fn start_streams_events_and_reports_progress() {
+        let mut run = Campaign::new()
+            .cases(standard_cases())
+            .start(FnWorkload::new("toy-reader", setup, workload));
+        assert_eq!(run.case_count(), 3);
+        let events: Vec<CaseEvent> = run.by_ref().collect();
+        // 3 Started + 2 Injection + 3 Outcome events, per-case ordering.
+        assert_eq!(events.len(), 8);
+        assert!(matches!(&events[0], CaseEvent::Started { index: 0, name } if name == "baseline"));
+        assert!(matches!(&events[1], CaseEvent::Outcome { index: 0, .. }));
+        assert!(matches!(&events[3], CaseEvent::Injection { index: 1, .. }));
+        assert!(events.iter().all(|e| !matches!(e, CaseEvent::Skipped { .. })));
+        assert_eq!(events[2].index(), 1);
+        let progress = run.progress();
+        assert_eq!(progress.cases, 3);
+        assert_eq!(progress.finished, 3);
+        assert_eq!(progress.crashes, 1);
+        assert_eq!(progress.injections, 2);
+        assert_eq!(progress.skipped, 0);
+        assert!(format!("{run:?}").contains("cases: 3"));
+        let report = run.into_report();
+        assert_eq!(report.outcomes.len(), 3);
+        assert_eq!(report, Campaign::new().cases(standard_cases()).run(setup, workload));
+    }
+
+    #[test]
+    fn cancelling_a_run_skips_the_unclaimed_cases() {
+        // The workload parks on a gate, so the cancel deterministically
+        // arrives while case 0 is still in flight.
+        let gate = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let gated_workload = {
+            let gate = Arc::clone(&gate);
+            move |process: &mut Process| {
+                while !gate.load(std::sync::atomic::Ordering::Acquire) {
+                    std::thread::yield_now();
+                }
+                workload(process)
+            }
+        };
+        let mut run =
+            Campaign::new()
+                .cases(standard_cases())
+                .start(FnWorkload::new("gated-reader", setup, gated_workload));
+        let cancel = run.cancel_handle();
+        assert!(!cancel.is_stopping());
+        // Consume the first case's Started event, cancel, then open the gate.
+        let first = run.next().expect("first event");
+        assert!(matches!(first, CaseEvent::Started { index: 0, .. }));
+        cancel.clone().cancel();
+        assert!(cancel.is_stopping());
+        assert!(format!("{cancel:?}").contains("stopping: true"));
+        gate.store(true, std::sync::atomic::Ordering::Release);
+        let report = run.into_report();
+        // The in-flight case finished and was reported; the unclaimed cases
+        // surface as skipped.
+        assert_eq!(report.outcomes.len(), 1);
+        assert_eq!(report.cases_skipped, 2);
+        assert_eq!(report.outcomes.len() + report.cases_skipped, 3);
+    }
+
+    #[test]
+    fn dropping_a_run_mid_stream_releases_its_workers() {
+        let mut run = Campaign::new()
+            .cases((0..64).map(|i| TestCase::new(format!("case-{i:02}"), Plan::new())))
+            .parallelism(4)
+            .start(FnWorkload::new("toy-reader", setup, workload));
+        let _ = run.next();
+        drop(run); // must not hang on the bounded channel
+    }
+
+    /// A workload whose health check rejects every case.
+    struct Unhealthy;
+
+    impl Workload for Unhealthy {
+        fn name(&self) -> &str {
+            "unhealthy"
+        }
+
+        fn setup(&self, _case: &TestCase) -> Process {
+            setup()
+        }
+
+        fn run(&self, _process: &mut Process) -> ExitStatus {
+            unreachable!("health check vetoes every case")
+        }
+
+        fn health_check(&self, _process: &mut Process) -> bool {
+            false
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "workload bug")]
+    fn worker_panics_propagate_to_the_blocking_caller() {
+        // A panicking Workload hook must surface like it did under the old
+        // inline driver — never a silently truncated report.
+        let _ = Campaign::new()
+            .cases(standard_cases())
+            .run(setup, |_process: &mut Process| panic!("workload bug"));
+    }
+
+    #[test]
+    #[should_panic(expected = "workload bug")]
+    fn worker_panics_propagate_to_the_streaming_consumer() {
+        let run =
+            Campaign::new()
+                .cases(standard_cases())
+                .start(FnWorkload::new("buggy", setup, |_process: &mut Process| panic!("workload bug")));
+        for _ in run {}
+    }
+
+    #[test]
+    fn health_check_vetoes_surface_as_unhealthy_skips() {
+        let mut run = Campaign::new().cases(standard_cases()).start(Unhealthy);
+        let events: Vec<CaseEvent> = run.by_ref().collect();
+        assert_eq!(events.len(), 6, "Started + Skipped per case");
+        assert!(
+            events
+                .iter()
+                .filter(|e| matches!(e, CaseEvent::Skipped { reason: SkipReason::Unhealthy, .. }))
+                .count()
+                == 3
+        );
+        let report = run.into_report();
+        assert!(report.outcomes.is_empty());
+        assert_eq!(report.cases_skipped, 3);
     }
 }

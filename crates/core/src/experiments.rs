@@ -12,7 +12,7 @@ use lfi_apps::apache::ab::run_ab;
 use lfi_apps::apache::{most_called_functions, ApacheServer, RequestKind};
 use lfi_apps::mysql::sysbench::{run_oltp, OltpMode};
 use lfi_apps::mysql::MysqlServer;
-use lfi_apps::{base_process, new_world, PidginApp};
+use lfi_apps::{base_process, new_world};
 use lfi_controller::{Campaign, ExecutionPolicy, Injector, TestCase};
 use lfi_corpus::survey::{DetailChannel, SurveyConfig, TABLE1_EXPECTED};
 use lfi_corpus::{
@@ -642,7 +642,7 @@ pub fn table3_apache_overhead(requests: u64, seed: u64) -> OverheadResult {
     for kind in [RequestKind::StaticHtml, RequestKind::Php] {
         let world = new_world();
         let mut process = base_process(&world, true);
-        let mut server = ApacheServer::start(&mut process, &world);
+        let mut server = ApacheServer::start(&mut process);
         let _ = run_ab(&mut server, &mut process, kind, requests / 4 + 1);
     }
     let mut series = Vec::new();
@@ -659,7 +659,7 @@ pub fn table3_apache_overhead(requests: u64, seed: u64) -> OverheadResult {
                     let injector = Injector::new(plan);
                     process.preload(injector.synthesize_interceptor());
                 }
-                let mut server = ApacheServer::start(&mut process, &world);
+                let mut server = ApacheServer::start(&mut process);
                 // Warm up the server's own caches before the timed run.
                 let _ = run_ab(&mut server, &mut process, kind, requests / 10 + 1);
                 let report = run_ab(&mut server, &mut process, kind, requests);
@@ -690,7 +690,7 @@ pub fn table4_mysql_overhead(transactions: u64, seed: u64) -> OverheadResult {
     for mode in [OltpMode::ReadOnly, OltpMode::ReadWrite] {
         let world = new_world();
         let mut process = base_process(&world, false);
-        let mut server = MysqlServer::start(&mut process, &world);
+        let mut server = MysqlServer::start(&mut process);
         for i in 0..100 {
             let _ = server.insert(&mut process, i, true);
         }
@@ -709,7 +709,7 @@ pub fn table4_mysql_overhead(transactions: u64, seed: u64) -> OverheadResult {
                     let injector = Injector::new(plan);
                     process.preload(injector.synthesize_interceptor());
                 }
-                let mut server = MysqlServer::start(&mut process, &world);
+                let mut server = MysqlServer::start(&mut process);
                 for i in 0..100 {
                     let _ = server.insert(&mut process, i, true);
                 }
@@ -845,18 +845,13 @@ impl PidginHuntResult {
 }
 
 /// Runs Pidgin login test cases under a stop-on-first-crash policy and
-/// returns the report (each case builds its own simulated world).
+/// returns the report.  The [`lfi_apps::PidginLogin`] workload builds a
+/// fresh simulated world per case in its `setup` hook.
 fn pidgin_campaign(cases: Vec<TestCase>) -> lfi_controller::CampaignReport {
     Campaign::new()
         .cases(cases)
         .policy(ExecutionPolicy::run_all().stop_on_first_crash())
-        .run_per_case(|_case| {
-            let world = new_world();
-            let process = base_process(&world, false);
-            let workload: lfi_controller::CaseWorkload =
-                Box::new(move |process| PidginApp::new().login(process, &world));
-            (process, workload)
-        })
+        .run_workload(lfi_apps::PidginLogin::new())
 }
 
 /// Hunts for the Pidgin DNS-resolver bug with the §6.1 configuration: a
@@ -951,7 +946,7 @@ pub fn mysql_coverage(cases: usize, seed: u64) -> MysqlCoverageResult {
     // Baseline run.
     let world = new_world();
     let mut process = base_process(&world, false);
-    let mut server = MysqlServer::start(&mut process, &world);
+    let mut server = MysqlServer::start(&mut process);
     let baseline = server.run_test_suite(&mut process, cases);
 
     // Injected run: random scenario over all of libc, fully automatic.
@@ -960,7 +955,7 @@ pub fn mysql_coverage(cases: usize, seed: u64) -> MysqlCoverageResult {
     let mut process = base_process(&world, false);
     let injector = Injector::new(plan);
     process.preload(injector.synthesize_interceptor());
-    let mut server = MysqlServer::start(&mut process, &world);
+    let mut server = MysqlServer::start(&mut process);
     let injected = server.run_test_suite(&mut process, cases);
 
     MysqlCoverageResult {

@@ -61,12 +61,14 @@ impl From<ScenarioError> for LfiError {
 /// [`Lfi::profile`]/[`Lfi::profiles_of`] calls replay prior results instead
 /// of re-analyzing.  Scenario generation is pluggable through
 /// [`ScenarioGenerator`] ([`Lfi::scenario`]), and [`Lfi::campaign`] hands the
-/// generated faultload straight to a fluent [`Campaign`] builder, so the
-/// whole Figure 1 pipeline — profile → scenario → campaign → report — is one
-/// chain:
+/// generated faultload straight to a fluent [`Campaign`] builder whose
+/// `start` turns a [`Workload`](lfi_controller::Workload) into a streaming
+/// session, so the whole Figure 1 pipeline — profile → scenario → campaign →
+/// events → report — is one chain:
 ///
 /// ```
 /// use lfi_asm::{FaultSpec, FunctionSpec, LibraryCompiler, LibrarySpec};
+/// use lfi_controller::{CaseEvent, FnWorkload};
 /// use lfi_core::Lfi;
 /// use lfi_isa::Platform;
 /// use lfi_profiler::ProfilerOptions;
@@ -83,11 +85,12 @@ impl From<ScenarioError> for LfiError {
 ///
 /// let mut lfi = Lfi::with_options(ProfilerOptions::with_heuristics());
 /// lfi.add_library(lib.object);
-/// let report = lfi
+/// let mut run = lfi
 ///     .campaign(&Exhaustive, &["libdemo.so"])     // profile + generate + build
 ///     .unwrap()
 ///     .parallelism(2)                             // independent processes per case
-///     .run(
+///     .start(FnWorkload::new(
+///         "demo-reader",
 ///         move || {
 ///             let mut process = Process::new();
 ///             process.load(runtime.clone());
@@ -97,7 +100,11 @@ impl From<ScenarioError> for LfiError {
 ///             Ok(n) if n >= 0 => ExitStatus::Exited(0),
 ///             _ => ExitStatus::Exited(1),
 ///         },
-///     );
+///     ));
+/// // The session streams incremental events; collapse the rest on demand.
+/// let injections = run.by_ref().filter(|e| matches!(e, CaseEvent::Injection { .. })).count();
+/// assert_eq!(injections, 1);
+/// let report = run.into_report();
 /// assert_eq!(report.outcomes.len(), 1);
 /// assert_eq!(report.failures().count(), 1);
 /// assert_eq!(report.total_injections(), 1);
@@ -268,7 +275,9 @@ impl Lfi {
     /// Profiles the named libraries, runs the generator, and returns a
     /// [`Campaign`] pre-populated with one test case per generated plan
     /// entry — attach observers, an execution policy and a parallelism
-    /// degree, then call [`Campaign::run`].
+    /// degree, then hand a [`Workload`](lfi_controller::Workload) to
+    /// [`Campaign::start`] for a streaming session (or [`Campaign::run`]
+    /// for the blocking report).
     ///
     /// # Errors
     ///
@@ -517,30 +526,33 @@ mod tests {
         let mut lfi = Lfi::with_options(ProfilerOptions::with_heuristics());
         lfi.add_library(demo());
         let runtime = NativeLibrary::builder("libdemo.so").function("a", |_| 0).function("b", |_| 0).build();
-        let setup = move || {
-            let mut process = Process::new();
-            process.load(runtime.clone());
-            process
-        };
         // A workload that crashes when b() fails with -3 and merely errors
-        // on every other injected fault.
-        let workload = |process: &mut Process| {
-            let _ = process.call("a", &[1]);
-            match process.call("b", &[1]) {
-                Ok(-3) => ExitStatus::Crashed(lfi_runtime::Signal::Segv),
-                Ok(n) if n < 0 => ExitStatus::Exited(1),
-                _ => ExitStatus::Exited(0),
-            }
-        };
+        // on every other injected fault, as one shared Workload object.
+        let workload = lfi_controller::FnWorkload::shared(
+            "demo-ab",
+            move || {
+                let mut process = Process::new();
+                process.load(runtime.clone());
+                process
+            },
+            |process: &mut Process| {
+                let _ = process.call("a", &[1]);
+                match process.call("b", &[1]) {
+                    Ok(-3) => ExitStatus::Crashed(lfi_runtime::Signal::Segv),
+                    Ok(n) if n < 0 => ExitStatus::Exited(1),
+                    _ => ExitStatus::Exited(0),
+                }
+            },
+        );
 
         let mut explorer = lfi.explore(&Exhaustive, &["libdemo.so"]).unwrap().seed(5).batch_size(2);
         assert_eq!(explorer.universe_len(), 3, "a: -1; b: -2, -3");
         // Drive one batch, snapshot, resume through the facade, finish.
-        let first = explorer.step(&setup, workload).unwrap();
+        let first = explorer.step_workload(&workload).unwrap();
         assert_eq!(first.outcomes.len(), 1, "the probe batch");
         let store = lfi_explore::ExplorationStore::from_xml(&explorer.store().to_xml()).unwrap();
         let mut resumed = lfi.resume_exploration(&store, &["libdemo.so"]).unwrap();
-        let report = resumed.run(&setup, workload);
+        let report = resumed.run_workload(&workload);
         assert!(resumed.finished());
         // The three universe cells plus the crash-escalated neighbour at
         // b's next call ordinal (which turns out unreached).

@@ -2,12 +2,15 @@
 
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::fmt;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use lfi_controller::{Campaign, CampaignReport, TestCase, TestOutcome};
+use lfi_controller::{
+    Campaign, CampaignReport, CaseEvent, ExecutionPolicy, FnWorkload, TestCase, TestOutcome, Workload,
+};
 use lfi_intern::Symbol;
 use lfi_profile::FaultProfile;
 use lfi_runtime::{ExitStatus, Process, Signal};
@@ -200,6 +203,14 @@ impl Default for ExplorerConfig {
 /// The coverage-guided exploration engine — see the [crate docs](crate) for
 /// the loop it closes.
 ///
+/// Batches run as streaming [`Campaign`] sessions: the explorer consumes
+/// each batch's [`CaseEvent`] stream, so [`Explorer::halt_on_crash`] stops
+/// scheduling *within* the batch that crashed (via the campaign's
+/// stop-on-first-crash policy) and [`Explorer::time_budget`] cancels a
+/// too-long batch mid-flight instead of only being checked at batch
+/// boundaries.  Cells whose cases were skipped by such a halt return to the
+/// frontier with their original priority, so nothing is silently lost.
+///
 /// # Determinism contract
 ///
 /// Given the same seed plan and profiles, the same [`Explorer::seed`], and
@@ -211,9 +222,12 @@ impl Default for ExplorerConfig {
 /// the batch sequence the original explorer would have produced, because the
 /// store carries the frontier in order, the full coverage/cluster state and
 /// the RNG stream position.  With a deterministic workload the remaining
-/// [`CampaignReport`]s are therefore byte-identical.  The one exception is
-/// [`Explorer::time_budget`], which depends on wall-clock time; the
-/// case/injection budgets are exact counters and preserve the contract.
+/// [`CampaignReport`]s are therefore byte-identical.  Two exceptions:
+/// [`Explorer::time_budget`] depends on wall-clock time, and a mid-batch
+/// [`Explorer::halt_on_crash`] stop under [`Explorer::parallelism`] `> 1`
+/// skips a scheduling-dependent set of in-flight cases; the case/injection
+/// budgets are exact counters and preserve the contract, and at the default
+/// `parallelism(1)` the halt point is deterministic too.
 pub struct Explorer {
     profiles: Vec<FaultProfile>,
     /// Size of the enumerated seed universe (for coverage reporting).
@@ -476,14 +490,22 @@ impl Explorer {
     /// Runs the whole exploration: the probe batch, then frontier batches
     /// until [`Explorer::finished`].  `setup` builds a fresh process per
     /// case, `workload` exercises it — the same pair a
-    /// [`Campaign::run`] takes.
+    /// [`Campaign::run`] takes; the pair is adapted through [`FnWorkload`]
+    /// and driven by [`Explorer::run_workload`].
     pub fn run<S, W>(&mut self, setup: S, workload: W) -> ExplorationReport
     where
-        S: Fn() -> Process + Send + Sync,
-        W: Fn(&mut Process) -> ExitStatus + Send + Sync,
+        S: Fn() -> Process + Send + Sync + 'static,
+        W: Fn(&mut Process) -> ExitStatus + Send + Sync + 'static,
     {
+        self.run_workload(&FnWorkload::shared("explorer-closures", setup, workload))
+    }
+
+    /// Runs the whole exploration over a shared [`Workload`] (e.g. one from
+    /// a `WorkloadRegistry`): the probe batch, then frontier batches until
+    /// [`Explorer::finished`].
+    pub fn run_workload(&mut self, workload: &Arc<dyn Workload>) -> ExplorationReport {
         let mut batches = Vec::new();
-        while let Some(report) = self.step(&setup, &workload) {
+        while let Some(report) = self.step_workload(workload) {
             batches.push(report);
         }
         self.report(batches)
@@ -492,12 +514,20 @@ impl Explorer {
     /// Runs exactly one batch (the probe first, then one frontier batch per
     /// call) and returns its campaign report, or `None` when
     /// [`Explorer::finished`].  Snapshot [`Explorer::store`] between steps
-    /// to make the exploration killable.
+    /// to make the exploration killable.  The closure-pair twin of
+    /// [`Explorer::step_workload`].
     pub fn step<S, W>(&mut self, setup: S, workload: W) -> Option<CampaignReport>
     where
-        S: Fn() -> Process + Send + Sync,
-        W: Fn(&mut Process) -> ExitStatus + Send + Sync,
+        S: Fn() -> Process + Send + Sync + 'static,
+        W: Fn(&mut Process) -> ExitStatus + Send + Sync + 'static,
     {
+        self.step_workload(&FnWorkload::shared("explorer-closures", setup, workload))
+    }
+
+    /// Runs exactly one batch of the exploration over a shared
+    /// [`Workload`], consuming the batch campaign's event stream as it runs
+    /// (mid-batch crash halts and time-budget cancellation).
+    pub fn step_workload(&mut self, workload: &Arc<dyn Workload>) -> Option<CampaignReport> {
         if self.finished() {
             return None;
         }
@@ -507,9 +537,9 @@ impl Explorer {
             if cells.is_empty() {
                 return None;
             }
-            self.run_batch(cells, setup, workload)
+            self.run_batch(cells, workload, started)
         } else {
-            self.run_probe(setup, workload)
+            self.run_probe(workload)
         };
         self.elapsed += started.elapsed();
         self.batch_index += 1;
@@ -540,15 +570,12 @@ impl Explorer {
     /// from the frontier wholesale; cells beyond a function's observed call
     /// depth are deprioritized (not pruned — injections can lengthen retry
     /// loops).
-    fn run_probe<S, W>(&mut self, setup: S, workload: W) -> CampaignReport
-    where
-        S: Fn() -> Process + Send + Sync,
-        W: Fn(&mut Process) -> ExitStatus + Send + Sync,
-    {
+    fn run_probe(&mut self, workload: &Arc<dyn Workload>) -> CampaignReport {
         let report = Campaign::new()
             .case(TestCase::new(PROBE_CASE_NAME, Plan::new()))
             .capture_call_log(true)
-            .run(setup, workload);
+            .start_arc(Arc::clone(workload))
+            .into_report();
         if let Some(outcome) = report.outcomes.first() {
             self.cases_executed += 1;
             let mut counts: HashMap<Symbol, u64> = HashMap::new();
@@ -586,8 +613,9 @@ impl Explorer {
 
     /// Orders the frontier (priority first, then the process-independent
     /// cell key, ties within a priority class shuffled from the tracked RNG
-    /// stream) and takes the next batch.
-    fn select_batch(&mut self) -> Vec<FaultCell> {
+    /// stream) and takes the next batch.  Priorities ride along so cells a
+    /// halted batch never executed can return to the frontier unchanged.
+    fn select_batch(&mut self) -> Vec<FrontierCell> {
         self.frontier
             .sort_by(|a, b| b.priority.cmp(&a.priority).then_with(|| a.cell.sort_key().cmp(&b.cell.sort_key())));
         let mut take = self.config.batch_size.min(self.frontier.len());
@@ -618,25 +646,78 @@ impl Explorer {
             }
             start = end;
         }
-        self.frontier.drain(..take).map(|f| f.cell).collect()
+        self.frontier.drain(..take).collect()
     }
 
-    /// Runs one batch of cells as a campaign and folds every outcome back
-    /// into coverage, clusters, pruning and escalation.
-    fn run_batch<S, W>(&mut self, cells: Vec<FaultCell>, setup: S, workload: W) -> CampaignReport
-    where
-        S: Fn() -> Process + Send + Sync,
-        W: Fn(&mut Process) -> ExitStatus + Send + Sync,
-    {
+    /// Runs one batch of cells as a streaming campaign session and folds
+    /// every outcome back into coverage, clusters, pruning and escalation.
+    ///
+    /// The event stream is consumed live: with [`Explorer::halt_on_crash`]
+    /// the campaign's stop-on-first-crash policy halts scheduling inside the
+    /// batch, and a spent [`Explorer::time_budget`] cancels the session
+    /// mid-flight (in-flight cases still finish and are folded in).  For
+    /// determinism, outcomes are *folded* in case order after the stream
+    /// drains — completion order under `parallelism(n)` never leaks into the
+    /// coverage, cluster or frontier state.  Cells whose cases were skipped
+    /// return to the frontier with their original priority.
+    fn run_batch(
+        &mut self,
+        cells: Vec<FrontierCell>,
+        workload: &Arc<dyn Workload>,
+        started: Instant,
+    ) -> CampaignReport {
         let cases: Vec<TestCase> = cells
             .iter()
-            .map(|cell| TestCase::new(self.case_name(cell), Plan::new().entry(cell.plan_entry())))
+            .map(|f| TestCase::new(self.case_name(&f.cell), Plan::new().entry(f.cell.plan_entry())))
             .collect();
-        let report = Campaign::new().cases(cases).parallelism(self.config.parallelism).run(setup, workload);
-        for (cell, outcome) in cells.iter().zip(&report.outcomes) {
-            self.consume(*cell, outcome);
+        let mut policy = ExecutionPolicy::run_all();
+        if self.config.halt_on_crash {
+            policy = policy.stop_on_first_crash();
+        }
+        let mut run = Campaign::new()
+            .cases(cases)
+            .policy(policy)
+            .parallelism(self.config.parallelism)
+            .start_arc(Arc::clone(workload));
+        let cancel = run.cancel_handle();
+        let mut outcomes: Vec<(usize, TestOutcome)> = Vec::new();
+        let mut skipped: Vec<usize> = Vec::new();
+        for event in run.by_ref() {
+            match event {
+                CaseEvent::Outcome { index, outcome } => outcomes.push((index, outcome)),
+                CaseEvent::Skipped { index, .. } => skipped.push(index),
+                _ => {}
+            }
+            if let Some(budget) = self.config.time_budget {
+                if self.elapsed + started.elapsed() >= budget {
+                    cancel.cancel();
+                }
+            }
+        }
+        let report = run.into_report();
+        outcomes.sort_by_key(|(index, _)| *index);
+        for (index, outcome) in &outcomes {
+            self.consume(cells[*index].cell, outcome);
+        }
+        skipped.sort_unstable();
+        for index in skipped {
+            self.restore(cells[index]);
         }
         report
+    }
+
+    /// Puts a cell a halted batch never executed back on the frontier at
+    /// (at least) its original priority — unless something already ruled it
+    /// out or re-raised it in the meantime.
+    fn restore(&mut self, cell: FrontierCell) {
+        if self.executed.contains(&cell.cell) || self.unreached.contains(&cell.cell) {
+            return;
+        }
+        if let Some(existing) = self.frontier.iter_mut().find(|f| f.cell == cell.cell) {
+            existing.priority = existing.priority.max(cell.priority);
+            return;
+        }
+        self.frontier.push(cell);
     }
 
     /// The stable, human-greppable name of a cell's test case.
@@ -880,6 +961,17 @@ mod tests {
         assert!(halted.crash_found());
         assert!(halted.finished());
         assert!(report.cases_executed < 5, "halts before exhausting the frontier");
+        // The halt is mid-batch (stop-on-first-crash inside the batch
+        // campaign): cases the halted batch never executed return to the
+        // frontier instead of vanishing, so every universe cell is either
+        // executed or still pending.
+        let coverage = halted.coverage_summary();
+        let skipped_in_batch = report.batches.iter().map(|b| b.cases_skipped).sum::<usize>();
+        assert!(skipped_in_batch > 0, "the crash halts scheduling inside its batch");
+        // Restored skips plus whatever the crash escalated sit on the
+        // frontier; nothing the batch skipped is lost.
+        assert!(coverage.frontier_remaining >= skipped_in_batch);
+        assert_eq!(coverage.executed + skipped_in_batch, 3, "every scheduled cell is accounted for");
 
         let mut capped = explorer().case_budget(2);
         let report = capped.run(setup, workload);

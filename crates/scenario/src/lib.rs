@@ -6,8 +6,7 @@
 //! ([`Plan`]), its XML dialect (round-tripping the exact snippets shown in
 //! the paper), the pluggable scenario generators ([`generator`], built around
 //! the [`ScenarioGenerator`] trait), and the ready-made libc scenarios of §4
-//! ([`ready_made`]).  The pre-trait free functions survive as deprecated
-//! shims in [`generate`].
+//! ([`ready_made`]).
 //!
 //! ```
 //! use lfi_profile::{ErrorReturn, FaultProfile, FunctionProfile};
@@ -38,7 +37,6 @@
 mod compiled;
 pub mod errno;
 mod error;
-pub mod generate;
 pub mod generator;
 mod plan;
 pub mod ready_made;

@@ -6,6 +6,7 @@
 //!
 //! Run with `cargo run --example explore_library`.
 
+use lfi::controller::FnWorkload;
 use lfi::corpus::{build_kernel, build_libc_scaled};
 use lfi::explore::ExplorationStore;
 use lfi::isa::Platform;
@@ -70,7 +71,11 @@ fn main() {
         .halt_on_crash(true);
     println!("fault-space universe: {} cells", explorer.universe_len());
 
-    let report = explorer.run(setup, workload);
+    // The log-structured writer as a shared, named Workload: the explorer
+    // consumes each batch campaign's event stream while this object drives
+    // every case.
+    let writer = FnWorkload::shared("log-writer", setup, workload);
+    let report = explorer.run_workload(&writer);
 
     let coverage = report.coverage;
     println!(

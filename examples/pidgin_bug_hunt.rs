@@ -3,10 +3,17 @@
 //! login sequence with SIGABRT; the generated replay script reproduces the
 //! crash deterministically.
 //!
+//! The spelled-out hunt drives the `pidgin-login` workload from the
+//! `lfi-apps` registry through a *streaming* campaign session: test cases
+//! for all 100 seeds are scheduled up front, events are consumed as they
+//! arrive, and the session is cancelled through its `CancelHandle` the
+//! moment the first crash outcome streams out — no case beyond the crash
+//! (plus whatever was in flight) is ever executed.
+//!
 //! Run with `cargo run --example pidgin_bug_hunt`.
 
-use lfi::apps::{base_process, new_world, PidginApp};
-use lfi::controller::{Campaign, CaseWorkload, ExecutionPolicy, TestCase};
+use lfi::apps::workloads;
+use lfi::controller::{Campaign, CaseEvent, TestCase};
 use lfi::core::experiments;
 use lfi::corpus::{build_kernel, build_libc_scaled};
 use lfi::isa::Platform;
@@ -25,36 +32,36 @@ fn main() {
     profiler.set_kernel(build_kernel(platform));
     let libc_profile = profiler.profile_library("libc.so.6").expect("libc profiles").profile;
 
-    // A campaign of random I/O faultloads, one test case per seed, stopped
-    // at the first crash; every case gets a fresh simulated world.
-    // Faultloads are generated in batches so an early crash (the common
-    // outcome) does not pay for plans the policy would only discard.
-    let run_login = |cases: Vec<TestCase>, policy: ExecutionPolicy| {
-        Campaign::new().cases(cases).policy(policy).run_per_case(|_case| {
-            let world = new_world();
-            let process = base_process(&world, false);
-            let workload: CaseWorkload = Box::new(move |process| PidginApp::new().login(process, &world));
-            (process, workload)
+    // The application under test comes from the workload registry: a fresh
+    // simulated world and process per case, the login sequence as `run`.
+    let registry = workloads::registry();
+    let pidgin = registry.get("pidgin-login").expect("the apps registry ships pidgin-login");
+
+    // One test case per seed; the streaming session means we can schedule
+    // the whole faultload and still stop paying the moment a crash appears.
+    let cases: Vec<TestCase> = (0..100u64)
+        .map(|attempt| {
+            let generator = ReadyMade::random_io(0.10, 7000 + attempt).expect("0.10 is a valid probability");
+            TestCase::new(format!("random-io-{attempt:03}"), generator.generate(std::slice::from_ref(&libc_profile)))
         })
-    };
-    const BATCH: u64 = 16;
+        .collect();
+    let mut run = Campaign::new().cases(cases).start_arc(pidgin.clone());
+    let cancel = run.cancel_handle();
     let mut first_crash = None;
-    for batch_start in (0..100u64).step_by(BATCH as usize) {
-        let cases: Vec<TestCase> = (batch_start..(batch_start + BATCH).min(100))
-            .map(|attempt| {
-                let generator = ReadyMade::random_io(0.10, 7000 + attempt).expect("0.10 is a valid probability");
-                TestCase::new(
-                    format!("random-io-{attempt:03}"),
-                    generator.generate(std::slice::from_ref(&libc_profile)),
-                )
-            })
-            .collect();
-        let report = run_login(cases, ExecutionPolicy::run_all().stop_on_first_crash());
-        first_crash = report.crashes().next().cloned();
-        if first_crash.is_some() {
-            break;
+    for event in run.by_ref() {
+        if let CaseEvent::Outcome { outcome, .. } = event {
+            if outcome.status.is_crash() {
+                cancel.cancel(); // stop scheduling; in-flight cases drain
+                first_crash.get_or_insert(outcome);
+            }
         }
     }
+    let progress = run.progress();
+    let report = run.into_report();
+    println!(
+        "hunted with {} login attempts ({} scheduled cases skipped after cancelling)",
+        progress.finished, report.cases_skipped
+    );
     let Some(crash) = first_crash else {
         println!("no crash in 100 attempts (unexpected — the bug should be found quickly)");
         return;
@@ -65,6 +72,9 @@ fn main() {
 
     // Re-run under the replay script, as a developer would before attaching
     // a debugger.
-    let replay_report = run_login(vec![TestCase::new("replay", crash.replay.clone())], ExecutionPolicy::run_all());
+    let replay_report = Campaign::new()
+        .case(TestCase::new("replay", crash.replay.clone()))
+        .start_arc(pidgin)
+        .into_report();
     println!("replayed run: {}", replay_report.outcomes[0].status);
 }

@@ -4,31 +4,22 @@
 //! 2. profile its binary to discover error return values and errno side
 //!    effects;
 //! 3. auto-generate an exhaustive fault scenario;
-//! 4. run a campaign — one test case per generated fault, each on its own
-//!    simulated process with a synthesized interceptor preloaded — with an
-//!    observer printing every injection as it is reported;
-//! 5. print the campaign report and a replay script.
+//! 4. package the application under test as a named `Workload` and start
+//!    the campaign as a *streaming session*: one test case per generated
+//!    fault, each on its own simulated process with a synthesized
+//!    interceptor preloaded, with `CaseEvent`s printed live as the worker
+//!    pool produces them;
+//! 5. collapse the remaining stream into the campaign report and print a
+//!    replay script.
 //!
 //! Run with `cargo run --example quickstart`.
 
 use lfi::asm::{FaultSpec, FunctionSpec, LibraryCompiler, LibrarySpec};
-use lfi::controller::{CampaignObserver, InjectionRecord, TestCase};
+use lfi::controller::{CaseEvent, FnWorkload};
 use lfi::isa::Platform;
 use lfi::runtime::{ExitStatus, NativeLibrary, Process};
 use lfi::scenario::generator::Exhaustive;
 use lfi::Lfi;
-
-/// Prints every injection the campaign reports.
-struct PrintInjections;
-
-impl CampaignObserver for PrintInjections {
-    fn on_injection(&self, case: &TestCase, record: &InjectionRecord) {
-        println!(
-            "  [{}] injected retval {:?} into {} (call #{})",
-            case.name, record.retval, record.function, record.call_number
-        );
-    }
-}
 
 fn main() {
     // --- Step 1: the "target application's shared library" -----------------
@@ -63,42 +54,64 @@ fn main() {
     println!("== exhaustive scenario ({} triggers) ==", plan.len());
     println!("{}", plan.to_xml());
 
-    // --- Steps 4+5: profile -> scenario -> campaign -> report, one chain ----
-    // The "original library", as the dynamic linker would load it.
+    // --- Step 4: the application under test, as a first-class Workload ------
+    // `setup` is the paper's start script (a fresh process per test case);
+    // `run` exercises it.  The same object could be registered in a
+    // `WorkloadRegistry` and looked up by name.
     let runtime = NativeLibrary::builder("libdemo.so")
         .function("demo_read", |ctx| ctx.arg(2))
         .constant("demo_alloc", 0x4000)
         .build();
-    let report = lfi
+    let workload = FnWorkload::new(
+        "six-requests",
+        move || {
+            let mut process = Process::new();
+            process.load(runtime.clone());
+            process
+        },
+        |process| {
+            // A tiny "application": six requests against the library.
+            let mut failures = 0;
+            for request in 0..6 {
+                if process.call("demo_read", &[3, 0, 64 + request]).unwrap_or(-1) < 0 {
+                    failures += 1;
+                }
+                if process.call("demo_alloc", &[64]).unwrap_or(0) == 0 {
+                    failures += 1;
+                }
+            }
+            if failures > 0 {
+                ExitStatus::Exited(1)
+            } else {
+                ExitStatus::Exited(0)
+            }
+        },
+    );
+
+    // --- Step 5: stream the campaign, then collapse it into the report ------
+    let mut run = lfi
         .campaign(&Exhaustive, &["libdemo.so"])
         .expect("campaign construction succeeds")
-        .observer(PrintInjections)
         .parallelism(2)
-        .run(
-            move || {
-                let mut process = Process::new();
-                process.load(runtime.clone());
-                process
-            },
-            |process| {
-                // A tiny "application": six requests against the library.
-                let mut failures = 0;
-                for request in 0..6 {
-                    if process.call("demo_read", &[3, 0, 64 + request]).unwrap_or(-1) < 0 {
-                        failures += 1;
-                    }
-                    if process.call("demo_alloc", &[64]).unwrap_or(0) == 0 {
-                        failures += 1;
-                    }
-                }
-                if failures > 0 {
-                    ExitStatus::Exited(1)
-                } else {
-                    ExitStatus::Exited(0)
-                }
-            },
-        );
+        .start(workload);
+    println!("== live case events ({} cases scheduled) ==", run.case_count());
+    for event in run.by_ref() {
+        match event {
+            CaseEvent::Started { index, name } => println!("  case {index} started: {name}"),
+            CaseEvent::Injection { index, record } => println!(
+                "  case {index} injected retval {:?} into {} (call #{})",
+                record.retval,
+                record.function_name(),
+                record.call_number
+            ),
+            CaseEvent::Outcome { index, outcome } => println!("  case {index} finished: {}", outcome.status),
+            CaseEvent::Skipped { index, name, reason } => println!("  case {index} skipped ({reason:?}): {name}"),
+        }
+    }
+    let progress = run.progress();
+    println!("progress: {}/{} finished, {} injections", progress.finished, progress.cases, progress.injections);
 
+    let report = run.into_report();
     println!("== campaign report ==\n{}", report.to_text());
     let first_failure = report.failures().next().cloned();
     if let Some(outcome) = first_failure {

@@ -3,11 +3,15 @@
 //! This crate is the umbrella for the reproduction's workspace.  It re-exports
 //! every component crate under a short module name and re-exports the facade
 //! type [`Lfi`] at the top level, so applications can depend on a single
-//! crate.  The whole Figure 1 pipeline — profile → scenario → campaign →
-//! report — is one chain:
+//! crate.  The application under test is a first-class
+//! [`Workload`](controller::Workload) — a named setup/run pair (§5's start
+//! script + workload) — and campaigns are streaming sessions: the whole
+//! Figure 1 pipeline — profile → scenario → campaign → events → report — is
+//! one chain:
 //!
 //! ```
 //! use lfi::asm::{FaultSpec, FunctionSpec, LibraryCompiler, LibrarySpec};
+//! use lfi::controller::{CaseEvent, FnWorkload};
 //! use lfi::isa::Platform;
 //! use lfi::runtime::{ExitStatus, NativeLibrary, Process};
 //! use lfi::scenario::generator::Exhaustive;
@@ -20,24 +24,28 @@
 //! );
 //! let runtime = NativeLibrary::builder("libdemo.so").function("demo_read", |ctx| ctx.arg(2)).build();
 //!
-//! // Profile it, generate an exhaustive faultload, and run the campaign.
+//! // The application under test: fresh process per case + the workload.
+//! let workload = FnWorkload::new(
+//!     "demo-reader",
+//!     move || {
+//!         let mut process = Process::new();
+//!         process.load(runtime.clone());
+//!         process
+//!     },
+//!     |process: &mut Process| match process.call("demo_read", &[3, 0, 8]) {
+//!         Ok(n) if n >= 0 => ExitStatus::Exited(0),
+//!         _ => ExitStatus::Exited(1),
+//!     },
+//! );
+//!
+//! // Profile, generate an exhaustive faultload, and *start* the campaign:
+//! // the session streams CaseEvents and collapses into the report.
 //! let mut lfi = Lfi::with_options(lfi::profiler::ProfilerOptions::with_heuristics());
 //! lfi.add_library(lib.object);
-//! let report = lfi
-//!     .campaign(&Exhaustive, &["libdemo.so"])
-//!     .unwrap()
-//!     .parallelism(2)
-//!     .run(
-//!         move || {
-//!             let mut process = Process::new();
-//!             process.load(runtime.clone());
-//!             process
-//!         },
-//!         |process| match process.call("demo_read", &[3, 0, 8]) {
-//!             Ok(n) if n >= 0 => ExitStatus::Exited(0),
-//!             _ => ExitStatus::Exited(1),
-//!         },
-//!     );
+//! let mut run = lfi.campaign(&Exhaustive, &["libdemo.so"]).unwrap().parallelism(2).start(workload);
+//! let outcomes = run.by_ref().filter(|e| matches!(e, CaseEvent::Outcome { .. })).count();
+//! assert_eq!(outcomes, 1);
+//! let report = run.into_report();
 //! assert_eq!(report.outcomes.len(), 1);
 //! assert_eq!(report.total_injections(), 1);
 //! ```
@@ -51,7 +59,7 @@
 //! | LFI profiler                       | [`profiler`], output in [`profile`] |
 //! | structured documentation parser    | [`docs`] |
 //! | fault scenarios ("faultloads")     | [`scenario`]: the `ScenarioGenerator` trait, generators, combinators |
-//! | LFI controller / interceptors      | [`controller`]: `Injector` + the fluent `Campaign` builder, over [`runtime`] |
+//! | LFI controller / interceptors      | [`controller`]: `Injector`, the `Workload` trait + registry, and the `Campaign` builder with streaming `CampaignRun` sessions, over [`runtime`] |
 //! | adaptive fault-space exploration   | [`explore`]: coverage-guided `Explorer` + resumable `ExplorationStore` |
 //! | evaluated libraries & applications | [`corpus`], [`apps`] |
 //! | end-to-end facade & experiments    | [`core`] (re-exported as [`Lfi`]) |

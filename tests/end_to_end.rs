@@ -3,9 +3,9 @@
 //! run a workload, and use the log/replay outputs — exercised across crate
 //! boundaries through the public `lfi` API.
 
-use lfi::apps::{base_process, new_world, MysqlServer, PidginApp};
+use lfi::apps::{base_process, new_world, MysqlServer, PidginLogin};
 use lfi::asm::{FaultSpec, FunctionSpec, LibraryCompiler, LibrarySpec};
-use lfi::controller::{Campaign, CaseWorkload, Injector, TestCase};
+use lfi::controller::{Campaign, Injector, TestCase};
 use lfi::corpus::{build_kernel, build_libc_scaled};
 use lfi::isa::Platform;
 use lfi::profile::FaultProfile;
@@ -117,14 +117,9 @@ fn campaign_over_generated_test_cases_finds_the_pidgin_crash() {
         })
         .collect();
 
-    // Four worker threads; each test case gets its own world + process pair
-    // through the per-case runner.
-    let report = Campaign::new().cases(cases).parallelism(4).run_per_case(|_case| {
-        let world = new_world();
-        let process = base_process(&world, false);
-        let workload: CaseWorkload = Box::new(move |process| PidginApp::new().login(process, &world));
-        (process, workload)
-    });
+    // Four worker threads; the shared PidginLogin workload builds each test
+    // case its own world + process pair in its setup hook.
+    let report = Campaign::new().cases(cases).parallelism(4).run_workload(PidginLogin::new());
     assert_eq!(report.outcomes.len(), 20);
     // The §6.1 result: at least one random scenario crashes the client.
     assert!(report.crashes().count() >= 1, "no crash found: {}", report.to_text());
@@ -153,7 +148,7 @@ fn interceptors_for_three_libraries_coexist_like_the_apache_setup() {
     process.preload(apr_injector.synthesize_interceptor_named("lfi_apr.so"));
     process.preload(aprutil_injector.synthesize_interceptor_named("lfi_aprutil.so"));
 
-    let mut server = lfi::apps::ApacheServer::start(&mut process, &world);
+    let mut server = lfi::apps::ApacheServer::start(&mut process);
     for _ in 0..50 {
         server.handle_request(&mut process, lfi::apps::RequestKind::Php);
     }
@@ -212,7 +207,7 @@ fn mysql_suite_runs_under_an_lfi_generated_scenario() {
     let mut process = base_process(&world, false);
     let injector = Injector::new(plan);
     process.preload(injector.synthesize_interceptor());
-    let mut server = MysqlServer::start(&mut process, &world);
+    let mut server = MysqlServer::start(&mut process);
     let report = server.run_test_suite(&mut process, 150);
     assert_eq!(report.cases, 150);
     assert!(injector.log().injection_count() > 0);
