@@ -1,0 +1,109 @@
+//! Throughput of the campaign fabric against the pre-fabric baseline:
+//!
+//! * `multiplexed_3jobs` — three 16-cell jobs submitted together to one
+//!   fabric with four workers; the deficit scheduler interleaves their
+//!   leases over the shared fleet;
+//! * `back_to_back`      — the same 48 cells as three sequential
+//!   `Campaign::run` calls at parallelism 4, i.e. what three tenants would
+//!   pay queuing for the machine one after another.
+//!
+//! The acceptance bar for the fabric is that multiplexing stays close to
+//! the back-to-back baseline (CI gates at 1.35x in fast mode): the lease
+//! bookkeeping, event fan-in and checkpoint-grade accounting must cost
+//! little next to the per-case work.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use lfi_controller::{Campaign, FnWorkload, TestCase};
+use lfi_fabric::{Fabric, JobSpec};
+use lfi_runtime::{ExitStatus, NativeLibrary, Process};
+use lfi_scenario::{FaultAction, Plan, PlanEntry, Trigger};
+
+/// Cells per job, jobs per round, and dispatched calls per case: enough
+/// per-case dispatch work that the numbers reflect scheduling overhead
+/// amortized over real cases.
+const CELLS_PER_JOB: u64 = 16;
+const JOBS: usize = 3;
+const CALLS_PER_CASE: i64 = 200;
+const WORKERS: usize = 4;
+
+fn setup() -> Process {
+    let mut process = Process::new();
+    process.load(NativeLibrary::builder("libc.so.6").function("read", |ctx| ctx.arg(2)).build());
+    process
+}
+
+fn workload(process: &mut Process) -> ExitStatus {
+    let mut failures = 0;
+    for i in 0..CALLS_PER_CASE {
+        if process.call("read", &[3, 0, i & 0xff]).unwrap_or(-1) < 0 {
+            failures += 1;
+        }
+    }
+    ExitStatus::Exited(failures.min(1))
+}
+
+/// One job's faultload: `CELLS_PER_JOB` cells on distinct call ordinals.
+fn job_plan() -> Plan {
+    (1..=CELLS_PER_JOB).fold(Plan::new(), |plan, ordinal| {
+        plan.entry(PlanEntry {
+            function: "read".into(),
+            trigger: Trigger::on_call(ordinal),
+            action: FaultAction::return_value(-1).with_errno(5),
+        })
+    })
+}
+
+/// The same cells as explicit campaign test cases (the baseline path).
+fn job_cases() -> Vec<TestCase> {
+    (1..=CELLS_PER_JOB)
+        .map(|ordinal| {
+            TestCase::new(
+                format!("case-{ordinal:02}"),
+                Plan::new().entry(PlanEntry {
+                    function: "read".into(),
+                    trigger: Trigger::on_call(ordinal),
+                    action: FaultAction::return_value(-1).with_errno(5),
+                }),
+            )
+        })
+        .collect()
+}
+
+fn bench_fabric_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fabric_throughput");
+    group.sample_size(10);
+
+    group.bench_function("multiplexed_3jobs", |b| {
+        b.iter(|| {
+            let fabric = Fabric::builder()
+                .workers(WORKERS)
+                .register(FnWorkload::new("reader", setup, workload))
+                .build();
+            for tenant in 0..JOBS {
+                fabric.submit(JobSpec::new(format!("tenant-{tenant}"), "reader", job_plan())).unwrap();
+            }
+            let reports = fabric.drain();
+            assert_eq!(reports.len(), JOBS);
+            let executed: usize = reports.iter().map(|r| r.coverage.executed).sum();
+            assert_eq!(executed, JOBS * CELLS_PER_JOB as usize);
+            black_box(executed)
+        })
+    });
+
+    group.bench_function("back_to_back", |b| {
+        b.iter(|| {
+            let mut executed = 0usize;
+            for _ in 0..JOBS {
+                let report = Campaign::new().cases(job_cases()).parallelism(WORKERS).run(setup, workload);
+                executed += report.outcomes.len();
+            }
+            assert_eq!(executed, JOBS * CELLS_PER_JOB as usize);
+            black_box(executed)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_fabric_throughput);
+criterion_main!(benches);

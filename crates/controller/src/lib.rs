@@ -36,7 +36,7 @@ mod workload;
 pub use campaign::{Campaign, CampaignObserver, CampaignReport, CaseWorkload, ExecutionPolicy, TestCase, TestOutcome};
 pub use injector::{Injector, RefinementFinding, INTERCEPTOR_LIBRARY_NAME};
 pub use log::{InjectionRecord, TestLog};
-pub use session::{CampaignRun, CancelHandle, CaseEvent, RunProgress, SkipReason};
+pub use session::{CampaignRun, CancelHandle, CaseEvent, ProgressSnapshot, RunProgress, SkipReason};
 pub use workload::{FnWorkload, Workload, WorkloadRegistry};
 
 #[cfg(test)]

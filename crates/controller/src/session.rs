@@ -104,8 +104,19 @@ pub struct CancelHandle {
 }
 
 impl CancelHandle {
-    /// Requests cancellation.  Idempotent; takes effect at the next case
-    /// boundary on every worker.
+    /// Requests cancellation.  Takes effect at the next case boundary on
+    /// every worker.
+    ///
+    /// **Idempotency contract** (services that cancel a run from several
+    /// paths — a user request, a crash-halt policy, a lease expiry — rely on
+    /// this): `cancel` may be called any number of times, from any thread,
+    /// at any point in the run's life.  Repeated calls are no-ops — the
+    /// first stop reason to arrive wins, and no additional `Skipped` events
+    /// or skip counts are produced by later calls.  Calling `cancel` after
+    /// the run has drained (or after [`CampaignRun::into_report`] consumed
+    /// it) is equally a no-op: the handle only flips a shared atomic, so a
+    /// late cancel can never panic, double-count a skip tail, or disturb the
+    /// already-produced report.
     pub fn cancel(&self) {
         self.shared.halt(REASON_CANCELLED);
     }
@@ -140,6 +151,40 @@ pub struct RunProgress {
     pub crashes: usize,
     /// Injections performed across all finished cases.
     pub injections: usize,
+}
+
+/// The five execution counters of a run as one plain value — what a status
+/// RPC or a progress line actually wants, without the [`RunProgress::cases`]
+/// denominator (which is configuration, not progress) and without
+/// hand-assembling five atomic loads at every call site.  Produced by
+/// [`RunProgress::snapshot`] / [`CampaignRun::snapshot`]; aggregators (like
+/// the `lfi-fabric` job service) fold per-lease runs into one of these.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProgressSnapshot {
+    /// Cases a worker has claimed so far.
+    pub started: usize,
+    /// Cases that ran to an outcome.
+    pub finished: usize,
+    /// Cases skipped (health-check vetoes plus never-claimed cases counted
+    /// once the stream drains).
+    pub skipped: usize,
+    /// Finished cases whose workload crashed.
+    pub crashes: usize,
+    /// Injections performed across all finished cases.
+    pub injections: usize,
+}
+
+impl RunProgress {
+    /// The execution counters as a plain [`ProgressSnapshot`].
+    pub fn snapshot(&self) -> ProgressSnapshot {
+        ProgressSnapshot {
+            started: self.started,
+            finished: self.finished,
+            skipped: self.skipped,
+            crashes: self.crashes,
+            injections: self.injections,
+        }
+    }
 }
 
 /// State shared between the session handle, its workers and cancel handles.
@@ -292,6 +337,12 @@ impl CampaignRun {
             crashes: self.shared.crashes.load(Ordering::Acquire),
             injections: self.shared.injections.load(Ordering::Acquire),
         }
+    }
+
+    /// The execution counters as one plain value — shorthand for
+    /// `self.progress().snapshot()`.
+    pub fn snapshot(&self) -> ProgressSnapshot {
+        self.progress().snapshot()
     }
 
     /// Number of scheduled cases (after `max_cases` truncation).

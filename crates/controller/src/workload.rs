@@ -246,4 +246,64 @@ mod tests {
         let clone = registry.clone();
         assert_eq!(clone.len(), registry.len());
     }
+
+    #[test]
+    fn registry_races_resolve_to_last_registration_wins() {
+        // The registry itself needs `&mut` — concurrent use goes through a
+        // lock, and under contention the usual insert contract must hold:
+        // whichever registration lands last owns the name, every loser is
+        // handed back exactly once, and `names()` stays sorted.
+        use std::sync::Mutex;
+
+        fn tagged(
+            name: String,
+            code: i32,
+        ) -> FnWorkload<impl Fn() -> Process + Send + Sync, impl Fn(&mut Process) -> ExitStatus + Send + Sync> {
+            FnWorkload::new(name, Process::new, move |_: &mut Process| ExitStatus::Exited(code))
+        }
+
+        let registry = Mutex::new(WorkloadRegistry::new());
+        let displaced = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for code in 0..8 {
+                let (registry, displaced) = (&registry, &displaced);
+                scope.spawn(move || {
+                    // All eight threads fight over the same name...
+                    if let Some(old) = registry.lock().unwrap().register(tagged("contended".into(), code)) {
+                        displaced.lock().unwrap().push(old);
+                    }
+                    // ...and each also claims a private one.
+                    assert!(registry.lock().unwrap().register(tagged(format!("w{code}"), code)).is_none());
+                });
+            }
+        });
+        let registry = registry.into_inner().unwrap();
+        let displaced = displaced.into_inner().unwrap();
+
+        // One survivor + seven displaced — nothing lost, nothing duplicated.
+        assert_eq!(displaced.len(), 7);
+        let survivor = registry.get("contended").expect("the name stays claimed");
+        let mut codes: Vec<i64> = displaced
+            .iter()
+            .chain(std::iter::once(&survivor))
+            .map(|w| {
+                let case = TestCase::new("probe", Plan::new());
+                let mut process = w.setup(&case);
+                match w.run(&mut process) {
+                    ExitStatus::Exited(code) => i64::from(code),
+                    other => panic!("unexpected status {other:?}"),
+                }
+            })
+            .collect();
+        codes.sort_unstable();
+        assert_eq!(codes, (0..8).collect::<Vec<i64>>());
+
+        // Deterministic, sorted iteration regardless of registration order.
+        assert_eq!(registry.len(), 9);
+        let names: Vec<&str> = registry.names().collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted);
+        assert_eq!(names, vec!["contended", "w0", "w1", "w2", "w3", "w4", "w5", "w6", "w7"]);
+    }
 }

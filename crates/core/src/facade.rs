@@ -320,6 +320,18 @@ impl Lfi {
         Ok(Explorer::resume(self.profiles_of(libraries)?, store))
     }
 
+    /// A [`FabricBuilder`](lfi_fabric::FabricBuilder) for the long-running
+    /// multi-tenant service: register workloads, pick a fleet size, and
+    /// `build()` a [`Fabric`](lfi_fabric::Fabric) that multiplexes many
+    /// named jobs — each a plan from [`Lfi::scenario`] — over one shared
+    /// work-stealing worker fleet with crash-safe lease handoff.
+    ///
+    /// The facade itself stays per-call stateless here: plans come from the
+    /// profiling pipeline above, the fabric owns the execution side.
+    pub fn fabric(&self) -> lfi_fabric::FabricBuilder {
+        lfi_fabric::Fabric::builder()
+    }
+
     /// Generates the exhaustive scenario over the given libraries (§4);
     /// shorthand for [`Lfi::scenario`] with [`Exhaustive`].
     ///
@@ -563,6 +575,48 @@ mod tests {
 
         assert!(lfi.explore(&Exhaustive, &["libmissing.so"]).is_err());
         assert!(lfi.resume_exploration(&store, &["libmissing.so"]).is_err());
+    }
+
+    #[test]
+    fn facade_fabric_runs_a_generated_plan() {
+        // The facade generates the plan; the fabric executes it as a job on
+        // its shared fleet.
+        let mut lfi = Lfi::with_options(ProfilerOptions::with_heuristics());
+        lfi.add_library(demo());
+        let plan = lfi.exhaustive_scenario(&["libdemo.so"]).unwrap();
+        let runtime = NativeLibrary::builder("libdemo.so").function("a", |_| 0).function("b", |_| 0).build();
+        let fabric = lfi
+            .fabric()
+            .workers(1)
+            .register(lfi_controller::FnWorkload::new(
+                "demo-ab",
+                move || {
+                    let mut process = Process::new();
+                    process.load(runtime.clone());
+                    process
+                },
+                |process: &mut Process| {
+                    let mut worst = 0i64;
+                    for _ in 0..3 {
+                        worst = worst.min(process.call("a", &[1]).unwrap_or(0));
+                        worst = worst.min(process.call("b", &[1]).unwrap_or(0));
+                    }
+                    if worst < 0 {
+                        ExitStatus::Exited(1)
+                    } else {
+                        ExitStatus::Exited(0)
+                    }
+                },
+            ))
+            .build();
+        let job = fabric.submit(lfi_fabric::JobSpec::new("demo", "demo-ab", plan)).unwrap();
+        assert!(fabric.wait_idle(std::time::Duration::from_secs(30)));
+        let report = fabric.report(job).unwrap();
+        assert_eq!(report.state, lfi_fabric::JobState::Done);
+        assert_eq!(report.coverage.executed, 3);
+        assert_eq!(report.coverage.failures, 3);
+        let reports = fabric.drain();
+        assert_eq!(reports.len(), 1);
     }
 
     #[test]

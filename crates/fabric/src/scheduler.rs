@@ -1,0 +1,919 @@
+//! The multi-tenant scheduler: per-job frontiers, deficit-weighted lease
+//! issuing, crash-safe lease accounting, and the fold from acked cells to
+//! checkpoints and reports.
+//!
+//! The scheduler is a plain synchronous state machine — every method runs
+//! under the fabric's one mutex, takes `now` as a parameter (so expiry is
+//! unit-testable without sleeping), and never blocks.  Workers live in
+//! `fabric.rs`; everything they do against shared state funnels through
+//! here as three calls: [`Scheduler::next_lease`], [`Scheduler::ack`],
+//! [`Scheduler::requeue_panic`].
+
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use lfi_controller::{CancelHandle, ProgressSnapshot, Workload};
+use lfi_explore::{CrashCluster, ExplorationStore, FrontierCell, FunctionCoverage, OutcomeClass};
+use lfi_intern::Symbol;
+use lfi_scenario::FaultCell;
+
+use crate::job::{JobCoverage, JobEvent, JobEventKind, JobId, JobReport, JobSnapshot, JobSpec, JobState};
+
+/// How many events a job's ring buffer retains before the oldest fall off.
+const EVENT_BUFFER_CAP: usize = 4096;
+
+/// A worker that panics this many times on one job marks the job `Failed`.
+const MAX_JOB_PANICS: u64 = 3;
+
+/// The deterministic, cell-derived test-case name: stable across lease
+/// re-issues, worker deaths and checkpoint restores, so reports and
+/// clusters of an interrupted run are byte-identical to a clean one.
+pub(crate) fn case_name(cell: &FaultCell) -> String {
+    match cell.errno {
+        Some(errno) => format!("{}-c{}-r{}-e{}", cell.function.as_str(), cell.call_ordinal, cell.retval, errno),
+        None => format!("{}-c{}-r{}", cell.function.as_str(), cell.call_ordinal, cell.retval),
+    }
+}
+
+/// One lease handed to a worker: a batch of cells plus everything needed to
+/// run them without touching the scheduler.
+pub(crate) struct LeaseAssignment {
+    pub job: JobId,
+    pub lease: u64,
+    pub cells: Vec<FaultCell>,
+    pub workload: Arc<dyn Workload>,
+    pub seed: Option<u64>,
+    pub halt_on_crash: bool,
+}
+
+/// What one executed (or partially executed) cell came back with.
+#[derive(Debug, Clone)]
+pub(crate) struct CellOutcome {
+    pub outcome: OutcomeClass,
+    pub injections: usize,
+    pub triggered: bool,
+    pub stack: Vec<Symbol>,
+    pub case: String,
+}
+
+/// Everything a worker reports when acking a lease.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct LeaseResult {
+    pub events: Vec<JobEventKind>,
+    pub outcomes: Vec<(FaultCell, CellOutcome)>,
+    pub skipped: Vec<FaultCell>,
+}
+
+/// A lease that has been issued but not acked.
+struct OutstandingLease {
+    cells: Vec<FaultCell>,
+    deadline: Instant,
+    cancel: Option<CancelHandle>,
+}
+
+/// Sequence-numbered ring buffer of a job's events.
+#[derive(Default)]
+struct EventBuffer {
+    base: u64,
+    buf: VecDeque<JobEvent>,
+}
+
+impl EventBuffer {
+    fn push(&mut self, kind: JobEventKind) {
+        let seq = self.base + self.buf.len() as u64;
+        self.buf.push_back(JobEvent { seq, kind });
+        while self.buf.len() > EVENT_BUFFER_CAP {
+            self.buf.pop_front();
+            self.base += 1;
+        }
+    }
+
+    /// Events with `seq >= from`, capped at `max`; returns the cursor to
+    /// pass next time.
+    fn read(&self, from: u64, max: usize) -> (u64, Vec<JobEvent>) {
+        let start = from.max(self.base);
+        let offset = (start - self.base) as usize;
+        let events: Vec<JobEvent> = self.buf.iter().skip(offset).take(max).cloned().collect();
+        let next = events.last().map_or(start, |event| event.seq + 1);
+        (next, events)
+    }
+}
+
+/// Already-executed state carried over from a restored
+/// [`ExplorationStore`] checkpoint.
+struct RestoredBase {
+    executed: Vec<FaultCell>,
+    executed_set: HashSet<FaultCell>,
+    skipped: Vec<FaultCell>,
+    coverage: Vec<(Symbol, FunctionCoverage)>,
+    clusters: Vec<CrashCluster>,
+    injections: u64,
+    crashes: u64,
+    failures: u64,
+}
+
+impl RestoredBase {
+    fn from_store(store: &ExplorationStore) -> Self {
+        let crashes = store.clusters.iter().filter(|c| c.is_crash()).map(|c| c.count).sum();
+        let failures = store.clusters.iter().filter(|c| !c.is_crash()).map(|c| c.count).sum();
+        Self {
+            executed_set: store.executed.iter().copied().collect(),
+            executed: store.executed.clone(),
+            skipped: store.unreached.clone(),
+            coverage: store.coverage.clone(),
+            clusters: store.clusters.clone(),
+            injections: store.injections_performed,
+            crashes,
+            failures,
+        }
+    }
+}
+
+/// One job's complete scheduler-side state.
+struct JobRecord {
+    spec: JobSpec,
+    workload: Arc<dyn Workload>,
+    state: JobState,
+    cases_total: usize,
+    frontier: VecDeque<FaultCell>,
+    outstanding: HashMap<u64, OutstandingLease>,
+    done: HashMap<FaultCell, CellOutcome>,
+    skipped: HashSet<FaultCell>,
+    base: Option<RestoredBase>,
+    /// Cells leased cumulatively (re-issues count) — the `started` counter.
+    started: u64,
+    /// Deficit counter for weighted fairness; decremented when a lease's
+    /// cells return unexecuted, so a crashed worker does not eat the job's
+    /// fair share.
+    issued: u64,
+    requeued: u64,
+    panics: u64,
+    events: EventBuffer,
+}
+
+impl JobRecord {
+    fn already_executed(&self, cell: &FaultCell) -> bool {
+        self.done.contains_key(cell) || self.base.as_ref().is_some_and(|b| b.executed_set.contains(cell))
+    }
+
+    fn runnable(&self) -> bool {
+        matches!(self.state, JobState::Queued | JobState::Running) && !self.frontier.is_empty()
+    }
+
+    /// The fairness key: cells issued normalized by weight, ties broken by
+    /// job id at the call site.  Lower runs first.
+    fn deficit(&self) -> u64 {
+        self.issued.saturating_mul(1000) / u64::from(self.spec.weight.max(1))
+    }
+
+    fn set_state(&mut self, state: JobState) {
+        if self.state != state {
+            self.state = state;
+            self.events.push(JobEventKind::State(state));
+        }
+    }
+
+    /// Moves every pending frontier cell to the skipped set (cancel,
+    /// crash-halt, repeated-panic failure).
+    fn skip_frontier(&mut self) {
+        while let Some(cell) = self.frontier.pop_front() {
+            self.events.push(JobEventKind::Skipped { case: case_name(&cell) });
+            self.skipped.insert(cell);
+        }
+    }
+
+    /// Returns a lease's cells to the *front* of the frontier, preserving
+    /// their order, and counts the requeue.
+    fn requeue_cells(&mut self, cells: Vec<FaultCell>) {
+        if cells.is_empty() {
+            return;
+        }
+        self.requeued += cells.len() as u64;
+        self.issued = self.issued.saturating_sub(cells.len() as u64);
+        self.events.push(JobEventKind::Requeued { cells: cells.len() });
+        for cell in cells.into_iter().rev() {
+            self.frontier.push_front(cell);
+        }
+    }
+
+    /// Done when nothing is pending and nothing is out on lease.
+    fn maybe_complete(&mut self) {
+        if self.state == JobState::Running && self.frontier.is_empty() && self.outstanding.is_empty() {
+            self.set_state(JobState::Done);
+        }
+    }
+
+    fn crashes(&self) -> u64 {
+        let new = self.done.values().filter(|o| o.outcome.is_crash()).count() as u64;
+        new + self.base.as_ref().map_or(0, |b| b.crashes)
+    }
+
+    fn failures(&self) -> u64 {
+        let new = self.done.values().filter(|o| matches!(o.outcome, OutcomeClass::Failure(_))).count() as u64;
+        new + self.base.as_ref().map_or(0, |b| b.failures)
+    }
+
+    fn executed_count(&self) -> usize {
+        self.done.len() + self.base.as_ref().map_or(0, |b| b.executed.len())
+    }
+
+    fn injections(&self) -> u64 {
+        let new: u64 = self.done.values().map(|o| o.injections as u64).sum();
+        new + self.base.as_ref().map_or(0, |b| b.injections)
+    }
+
+    fn skipped_count(&self) -> usize {
+        self.skipped.len() + self.base.as_ref().map_or(0, |b| b.skipped.len())
+    }
+
+    /// The done cells in process-independent order — the spine every
+    /// deterministic fold (clusters, coverage, checkpoints) walks.
+    fn done_cells_sorted(&self) -> Vec<FaultCell> {
+        let mut cells: Vec<FaultCell> = self.done.keys().copied().collect();
+        cells.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+        cells
+    }
+
+    /// Base clusters plus the acked cells folded in sorted-cell order.
+    fn merged_clusters(&self) -> Vec<CrashCluster> {
+        let mut clusters: Vec<CrashCluster> = self.base.as_ref().map_or_else(Vec::new, |b| b.clusters.clone());
+        for cell in self.done_cells_sorted() {
+            let outcome = &self.done[&cell];
+            if outcome.outcome == OutcomeClass::Success {
+                continue;
+            }
+            match clusters
+                .iter_mut()
+                .find(|c| c.function == cell.function && c.stack == outcome.stack && c.outcome == outcome.outcome)
+            {
+                Some(cluster) => cluster.count += 1,
+                None => clusters.push(CrashCluster {
+                    function: cell.function,
+                    stack: outcome.stack.clone(),
+                    outcome: outcome.outcome,
+                    count: 1,
+                    example: cell,
+                    example_case: outcome.case.clone(),
+                }),
+            }
+        }
+        clusters
+    }
+
+    /// Base coverage plus the triggered acked cells, sorted by function
+    /// name.
+    fn merged_coverage(&self) -> Vec<(Symbol, FunctionCoverage)> {
+        let mut map: BTreeMap<&'static str, (Symbol, FunctionCoverage)> = BTreeMap::new();
+        if let Some(base) = &self.base {
+            for (symbol, function) in &base.coverage {
+                map.insert(symbol.as_str(), (*symbol, function.clone()));
+            }
+        }
+        for (cell, outcome) in &self.done {
+            if !outcome.triggered {
+                continue;
+            }
+            let entry = map
+                .entry(cell.function.as_str())
+                .or_insert_with(|| (cell.function, FunctionCoverage::default()));
+            entry.1.triggered.insert((cell.call_ordinal, cell.retval, cell.errno));
+        }
+        map.into_values().collect()
+    }
+}
+
+/// The fabric's job table and lease book-keeping — see the module docs.
+pub(crate) struct Scheduler {
+    jobs: BTreeMap<u64, JobRecord>,
+    next_job: u64,
+    next_lease: u64,
+    lease_deadline: Duration,
+    default_lease_batch: usize,
+}
+
+impl Scheduler {
+    pub fn new(default_lease_batch: usize, lease_deadline: Duration) -> Self {
+        Self {
+            jobs: BTreeMap::new(),
+            next_job: 1,
+            next_lease: 1,
+            lease_deadline,
+            default_lease_batch: default_lease_batch.max(1),
+        }
+    }
+
+    /// Admits a job: enumerates the plan's deterministic cells in
+    /// process-independent order, truncates at `max_cases`, and queues it.
+    pub fn submit(&mut self, spec: JobSpec, workload: Arc<dyn Workload>) -> JobId {
+        let mut cells = spec.plan.compile().cells();
+        cells.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+        cells.dedup();
+        if let Some(max) = spec.max_cases {
+            cells.truncate(max);
+        }
+        self.admit(spec, workload, cells, None)
+    }
+
+    /// Admits a job resuming from a checkpoint: the store's frontier (in
+    /// its scheduling order) is the pending work, its executed/coverage/
+    /// cluster state is carried over as the base the new cells fold onto.
+    pub fn submit_restored(&mut self, spec: JobSpec, workload: Arc<dyn Workload>, store: &ExplorationStore) -> JobId {
+        let base = RestoredBase::from_store(store);
+        let cells: Vec<FaultCell> = store
+            .frontier
+            .iter()
+            .map(|entry| entry.cell)
+            .filter(|cell| !base.executed_set.contains(cell))
+            .collect();
+        self.admit(spec, workload, cells, Some(base))
+    }
+
+    fn admit(
+        &mut self,
+        spec: JobSpec,
+        workload: Arc<dyn Workload>,
+        cells: Vec<FaultCell>,
+        base: Option<RestoredBase>,
+    ) -> JobId {
+        let id = JobId(self.next_job);
+        self.next_job += 1;
+        let base_executed = base.as_ref().map_or(0, |b| b.executed.len());
+        let mut record = JobRecord {
+            cases_total: cells.len() + base_executed + base.as_ref().map_or(0, |b| b.skipped.len()),
+            frontier: cells.into(),
+            spec,
+            workload,
+            state: JobState::Queued,
+            outstanding: HashMap::new(),
+            done: HashMap::new(),
+            skipped: HashSet::new(),
+            base,
+            started: 0,
+            issued: 0,
+            requeued: 0,
+            panics: 0,
+            events: EventBuffer::default(),
+        };
+        record.events.push(JobEventKind::State(JobState::Queued));
+        if record.frontier.is_empty() {
+            record.set_state(JobState::Done);
+        }
+        self.jobs.insert(id.0, record);
+        id
+    }
+
+    /// Issues the next lease, picking the runnable job with the smallest
+    /// weighted deficit (ties to the lowest id) — the per-job fairness that
+    /// keeps a 1000-case sweep from starving a 10-case smoke job.
+    pub fn next_lease(&mut self, now: Instant) -> Option<LeaseAssignment> {
+        let id = self
+            .jobs
+            .iter()
+            .filter(|(_, record)| record.runnable())
+            .min_by_key(|(id, record)| (record.deficit(), **id))
+            .map(|(id, _)| *id)?;
+        let record = self.jobs.get_mut(&id).expect("picked job exists");
+        let batch = record.spec.lease_batch.unwrap_or(self.default_lease_batch).max(1);
+        let cells: Vec<FaultCell> = (0..batch).map_while(|_| record.frontier.pop_front()).collect();
+        record.started += cells.len() as u64;
+        record.issued += cells.len() as u64;
+        record.set_state(JobState::Running);
+        let lease = self.next_lease;
+        self.next_lease += 1;
+        record.outstanding.insert(
+            lease,
+            OutstandingLease { cells: cells.clone(), deadline: now + self.lease_deadline, cancel: None },
+        );
+        Some(LeaseAssignment {
+            job: JobId(id),
+            lease,
+            cells,
+            workload: Arc::clone(&record.workload),
+            seed: record.spec.plan.seed,
+            halt_on_crash: record.spec.halt_on_crash,
+        })
+    }
+
+    /// Attaches the campaign run's cancel handle to a lease, so a job
+    /// cancel (or lease expiry) can stop the worker's in-flight run instead
+    /// of letting it finish as a zombie.  Returns `false` — and fires
+    /// nothing — when the lease is already stale; the caller should cancel
+    /// its own run.
+    pub fn attach_cancel(&mut self, job: JobId, lease: u64, handle: CancelHandle) -> bool {
+        let Some(record) = self.jobs.get_mut(&job.0) else {
+            return false;
+        };
+        let cancelled = record.state == JobState::Cancelled;
+        match record.outstanding.get_mut(&lease) {
+            Some(entry) => {
+                if cancelled {
+                    handle.cancel();
+                }
+                entry.cancel = Some(handle);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Acks a lease: folds its outcomes in, requeues its skipped cells, and
+    /// completes the job if this was the last outstanding work.  A stale
+    /// ack — the lease already expired and was re-issued — is discarded
+    /// wholesale (returns `false`), which is what makes re-execution safe:
+    /// only the ack that still holds the lease counts.
+    pub fn ack(&mut self, job: JobId, lease: u64, result: LeaseResult) -> bool {
+        let Some(record) = self.jobs.get_mut(&job.0) else {
+            return false;
+        };
+        if record.outstanding.remove(&lease).is_none() {
+            return false;
+        }
+        record.panics = 0;
+        for kind in result.events {
+            record.events.push(kind);
+        }
+        let mut crash_halt = false;
+        for (cell, outcome) in result.outcomes {
+            crash_halt |= record.spec.halt_on_crash && outcome.outcome.is_crash();
+            if !record.already_executed(&cell) {
+                record.done.insert(cell, outcome);
+            }
+        }
+        if record.state == JobState::Cancelled || record.state == JobState::Failed {
+            for cell in result.skipped {
+                record.skipped.insert(cell);
+            }
+        } else if crash_halt {
+            for cell in result.skipped {
+                record.skipped.insert(cell);
+            }
+            record.skip_frontier();
+            record.set_state(JobState::Done);
+        } else {
+            record.requeue_cells(result.skipped.into_iter().filter(|c| !record.done.contains_key(c)).collect());
+        }
+        record.maybe_complete();
+        true
+    }
+
+    /// A worker died (panicked) holding a lease: every cell of the lease
+    /// goes back to the front of the job's frontier — nothing the dead
+    /// worker half-did was acked, so nothing can be double-counted.  A job
+    /// that kills its workers repeatedly is marked `Failed`.
+    pub fn requeue_panic(&mut self, job: JobId, lease: u64) -> bool {
+        let Some(record) = self.jobs.get_mut(&job.0) else {
+            return false;
+        };
+        let Some(entry) = record.outstanding.remove(&lease) else {
+            return false;
+        };
+        record.panics += 1;
+        if record.state.is_terminal() {
+            for cell in entry.cells {
+                record.skipped.insert(cell);
+            }
+            return true;
+        }
+        record.requeue_cells(entry.cells);
+        if record.panics >= MAX_JOB_PANICS {
+            record.skip_frontier();
+            record.set_state(JobState::Failed);
+        }
+        record.maybe_complete();
+        true
+    }
+
+    /// Expires every lease whose deadline has passed: its cells return to
+    /// the front of the owning job's frontier and a late ack becomes stale.
+    /// Returns how many leases expired.
+    pub fn expire(&mut self, now: Instant) -> usize {
+        let mut expired = 0;
+        for record in self.jobs.values_mut() {
+            let lapsed: Vec<u64> = record
+                .outstanding
+                .iter()
+                .filter(|(_, lease)| lease.deadline <= now)
+                .map(|(id, _)| *id)
+                .collect();
+            for id in lapsed {
+                let lease = record.outstanding.remove(&id).expect("lapsed lease exists");
+                if let Some(handle) = lease.cancel {
+                    handle.cancel();
+                }
+                if record.state.is_terminal() {
+                    for cell in lease.cells {
+                        record.skipped.insert(cell);
+                    }
+                } else {
+                    record.requeue_cells(lease.cells);
+                }
+                expired += 1;
+            }
+        }
+        expired
+    }
+
+    /// Cancels a job: pending cells are counted skipped, in-flight leases
+    /// are cancelled through their campaign handles (their cells surface as
+    /// lease-skipped and join the skipped set at ack).  Idempotent — like
+    /// [`CancelHandle::cancel`], a repeat or a cancel of a terminal job
+    /// changes nothing.
+    pub fn cancel(&mut self, job: JobId) -> Option<JobState> {
+        let record = self.jobs.get_mut(&job.0)?;
+        if record.state.is_terminal() {
+            return Some(record.state);
+        }
+        record.skip_frontier();
+        record.set_state(JobState::Cancelled);
+        for lease in record.outstanding.values() {
+            if let Some(handle) = &lease.cancel {
+                handle.cancel();
+            }
+        }
+        Some(record.state)
+    }
+
+    /// Pauses a job: outstanding leases finish, no new lease is issued.
+    pub fn pause(&mut self, job: JobId) -> Option<JobState> {
+        let record = self.jobs.get_mut(&job.0)?;
+        if matches!(record.state, JobState::Queued | JobState::Running) {
+            record.set_state(JobState::Paused);
+        }
+        Some(record.state)
+    }
+
+    /// Resumes a paused job.
+    pub fn resume(&mut self, job: JobId) -> Option<JobState> {
+        let record = self.jobs.get_mut(&job.0)?;
+        if record.state == JobState::Paused {
+            record.set_state(JobState::Running);
+            record.maybe_complete();
+        }
+        Some(record.state)
+    }
+
+    pub fn snapshot(&self, job: JobId) -> Option<JobSnapshot> {
+        let record = self.jobs.get(&job.0)?;
+        Some(JobSnapshot {
+            id: job,
+            name: record.spec.name.clone(),
+            workload: record.spec.workload.clone(),
+            state: record.state,
+            cases: record.cases_total,
+            pending: record.frontier.len(),
+            outstanding: record.outstanding.values().map(|l| l.cells.len()).sum(),
+            progress: ProgressSnapshot {
+                started: record.started as usize,
+                finished: record.executed_count(),
+                skipped: record.skipped_count(),
+                crashes: record.crashes() as usize,
+                injections: record.injections() as usize,
+            },
+            requeued: record.requeued,
+            clusters: record.merged_clusters().len(),
+        })
+    }
+
+    pub fn snapshots(&self) -> Vec<JobSnapshot> {
+        self.jobs.keys().filter_map(|id| self.snapshot(JobId(*id))).collect()
+    }
+
+    pub fn state(&self, job: JobId) -> Option<JobState> {
+        self.jobs.get(&job.0).map(|record| record.state)
+    }
+
+    pub fn events(&self, job: JobId, from: u64, max: usize) -> Option<(u64, Vec<JobEvent>)> {
+        self.jobs.get(&job.0).map(|record| record.events.read(from, max))
+    }
+
+    /// Serializes a job's complete state as an [`ExplorationStore`] — the
+    /// crash-safe handoff format.  The fold walks acked cells in
+    /// process-independent sort order, so a run interrupted by worker
+    /// deaths checkpoints byte-identically to an uninterrupted one.
+    pub fn checkpoint(&self, job: JobId) -> Option<ExplorationStore> {
+        let record = self.jobs.get(&job.0)?;
+        let mut frontier: Vec<FrontierCell> =
+            record.frontier.iter().map(|cell| FrontierCell { cell: *cell, priority: 0 }).collect();
+        let mut lease_ids: Vec<u64> = record.outstanding.keys().copied().collect();
+        lease_ids.sort_unstable();
+        for id in lease_ids {
+            frontier.extend(record.outstanding[&id].cells.iter().map(|cell| FrontierCell { cell: *cell, priority: 0 }));
+        }
+        let mut executed = record.done_cells_sorted();
+        if let Some(base) = &record.base {
+            executed.extend(base.executed.iter().copied());
+            executed.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+            executed.dedup();
+        }
+        let mut unreached: Vec<FaultCell> = record.skipped.iter().copied().collect();
+        unreached.extend(record.base.as_ref().map_or(&[][..], |b| &b.skipped).iter().copied());
+        unreached.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+        unreached.dedup();
+        Some(ExplorationStore {
+            seed: record.spec.plan.seed.unwrap_or(0),
+            batch_size: record.spec.lease_batch.unwrap_or(self.default_lease_batch),
+            parallelism: 1,
+            halt_on_crash: record.spec.halt_on_crash,
+            case_budget: record.spec.max_cases.map(|max| max as u64),
+            injection_budget: None,
+            time_budget_ms: None,
+            universe: record.cases_total,
+            batch_index: 0,
+            rng_draws: 0,
+            probe_done: true,
+            crash_found: record.crashes() > 0,
+            cases_executed: record.executed_count() as u64,
+            injections_performed: record.injections(),
+            elapsed_ms: 0,
+            frontier,
+            executed,
+            unreached,
+            pruned_functions: Vec::new(),
+            coverage: record.merged_coverage(),
+            clusters: record.merged_clusters(),
+        })
+    }
+
+    /// The job's coverage/cluster report, derived by the same deterministic
+    /// fold as [`Scheduler::checkpoint`].
+    pub fn report(&self, job: JobId) -> Option<JobReport> {
+        let record = self.jobs.get(&job.0)?;
+        let coverage = record.merged_coverage();
+        Some(JobReport {
+            id: job,
+            name: record.spec.name.clone(),
+            state: record.state,
+            coverage: JobCoverage {
+                universe: record.cases_total,
+                executed: record.executed_count(),
+                triggered: coverage.iter().map(|(_, f)| f.triggered.len()).sum(),
+                crashes: record.crashes() as usize,
+                failures: record.failures() as usize,
+                skipped: record.skipped_count(),
+            },
+            clusters: record.merged_clusters(),
+        })
+    }
+
+    pub fn reports(&self) -> Vec<JobReport> {
+        self.jobs.keys().filter_map(|id| self.report(JobId(*id))).collect()
+    }
+
+    pub fn job_ids(&self) -> Vec<JobId> {
+        self.jobs.keys().map(|id| JobId(*id)).collect()
+    }
+
+    /// True when no job can make further progress: every job terminal (or
+    /// paused with nothing in flight) and no lease outstanding.
+    pub fn quiescent(&self) -> bool {
+        self.jobs.values().all(|record| {
+            (record.state.is_terminal() || record.state == JobState::Paused) && record.outstanding.is_empty()
+        })
+    }
+
+    /// Fires the cancel handle of every outstanding lease (fabric
+    /// shutdown), so in-flight campaign runs stop at their next case
+    /// boundary.
+    pub fn cancel_outstanding(&mut self) {
+        for record in self.jobs.values_mut() {
+            for lease in record.outstanding.values() {
+                if let Some(handle) = &lease.cancel {
+                    handle.cancel();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lfi_controller::FnWorkload;
+    use lfi_runtime::ExitStatus;
+    use lfi_runtime::Process;
+    use lfi_scenario::{FaultAction, Plan, PlanEntry, Trigger};
+
+    fn noop_workload() -> Arc<dyn Workload> {
+        FnWorkload::shared("noop", Process::new, |_| ExitStatus::Exited(0))
+    }
+
+    fn plan_with_cells(function: &str, ordinals: std::ops::RangeInclusive<u64>) -> Plan {
+        let mut plan = Plan::new();
+        for ordinal in ordinals {
+            plan = plan.entry(PlanEntry {
+                function: function.into(),
+                trigger: Trigger::on_call(ordinal),
+                action: FaultAction::return_value(-1).with_errno(5),
+            });
+        }
+        plan
+    }
+
+    fn success_result(cells: &[FaultCell]) -> LeaseResult {
+        LeaseResult {
+            events: Vec::new(),
+            outcomes: cells
+                .iter()
+                .map(|cell| {
+                    (
+                        *cell,
+                        CellOutcome {
+                            outcome: OutcomeClass::Success,
+                            injections: 1,
+                            triggered: true,
+                            stack: Vec::new(),
+                            case: case_name(cell),
+                        },
+                    )
+                })
+                .collect(),
+            skipped: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn deficit_fairness_alternates_between_equal_weight_jobs() {
+        let mut sched = Scheduler::new(4, Duration::from_secs(60));
+        let now = Instant::now();
+        let big = sched.submit(JobSpec::new("big", "noop", plan_with_cells("read", 1..=100)), noop_workload());
+        let small = sched.submit(JobSpec::new("small", "noop", plan_with_cells("write", 1..=8)), noop_workload());
+        // Tie at zero deficit goes to the lower id, then strict alternation
+        // until the small job's 8 cells are exhausted (two leases of 4) —
+        // after which only the big job issues.
+        let order: Vec<JobId> = (0..6).map(|_| sched.next_lease(now).unwrap().job).collect();
+        assert_eq!(order, vec![big, small, big, small, big, big]);
+        assert_eq!(sched.snapshot(small).unwrap().pending, 0);
+    }
+
+    #[test]
+    fn weighted_jobs_get_proportional_leases() {
+        let mut sched = Scheduler::new(2, Duration::from_secs(60));
+        let now = Instant::now();
+        let light = sched.submit(JobSpec::new("light", "noop", plan_with_cells("read", 1..=40)), noop_workload());
+        let heavy =
+            sched.submit(JobSpec::new("heavy", "noop", plan_with_cells("write", 1..=40)).weight(2), noop_workload());
+        let picks: Vec<JobId> = (0..9).map(|_| sched.next_lease(now).unwrap().job).collect();
+        let heavy_picks = picks.iter().filter(|id| **id == heavy).count();
+        let light_picks = picks.iter().filter(|id| **id == light).count();
+        assert_eq!(heavy_picks, 6, "weight-2 job gets ~2/3 of leases: {picks:?}");
+        assert_eq!(light_picks, 3);
+    }
+
+    #[test]
+    fn expired_lease_requeues_cells_and_late_ack_is_stale() {
+        let mut sched = Scheduler::new(4, Duration::from_secs(10));
+        let base = Instant::now();
+        let job = sched.submit(JobSpec::new("job", "noop", plan_with_cells("read", 1..=4)), noop_workload());
+        let lease = sched.next_lease(base).unwrap();
+        assert_eq!(lease.cells.len(), 4);
+        assert_eq!(sched.snapshot(job).unwrap().outstanding, 4);
+
+        // Nothing expires before the deadline.
+        assert_eq!(sched.expire(base + Duration::from_secs(9)), 0);
+        assert_eq!(sched.expire(base + Duration::from_secs(11)), 1);
+        let snapshot = sched.snapshot(job).unwrap();
+        assert_eq!(snapshot.outstanding, 0);
+        assert_eq!(snapshot.pending, 4, "expired cells return to the frontier");
+        assert_eq!(snapshot.requeued, 4);
+
+        // The zombie worker's late ack is discarded wholesale.
+        assert!(!sched.ack(job, lease.lease, success_result(&lease.cells)));
+        assert_eq!(sched.snapshot(job).unwrap().progress.finished, 0);
+
+        // The re-issued lease preserves the original cell order.
+        let reissued = sched.next_lease(base + Duration::from_secs(12)).unwrap();
+        assert_eq!(reissued.cells, lease.cells);
+        assert!(sched.ack(job, reissued.lease, success_result(&reissued.cells)));
+        let snapshot = sched.snapshot(job).unwrap();
+        assert_eq!(snapshot.state, JobState::Done);
+        assert_eq!(snapshot.progress.finished, 4, "each cell counted exactly once");
+    }
+
+    #[test]
+    fn repeated_panics_fail_the_job() {
+        let mut sched = Scheduler::new(4, Duration::from_secs(60));
+        let now = Instant::now();
+        let job = sched.submit(JobSpec::new("job", "noop", plan_with_cells("read", 1..=4)), noop_workload());
+        for round in 0..MAX_JOB_PANICS {
+            let lease = sched.next_lease(now).unwrap();
+            assert!(sched.requeue_panic(job, lease.lease), "round {round}");
+        }
+        let snapshot = sched.snapshot(job).unwrap();
+        assert_eq!(snapshot.state, JobState::Failed);
+        assert_eq!(snapshot.pending, 0);
+        assert_eq!(snapshot.progress.skipped, 4, "failed job accounts for every cell");
+        assert!(sched.next_lease(now).is_none());
+        // A successful ack resets the panic streak.
+        let job2 = sched.submit(JobSpec::new("job2", "noop", plan_with_cells("write", 1..=8)), noop_workload());
+        let lease = sched.next_lease(now).unwrap();
+        sched.requeue_panic(job2, lease.lease);
+        let lease = sched.next_lease(now).unwrap();
+        assert!(sched.ack(job2, lease.lease, success_result(&lease.cells)));
+        let lease = sched.next_lease(now).unwrap();
+        sched.requeue_panic(job2, lease.lease);
+        assert_eq!(sched.state(job2), Some(JobState::Running), "streak was reset by the ack");
+    }
+
+    #[test]
+    fn cancel_skips_pending_and_is_idempotent() {
+        let mut sched = Scheduler::new(2, Duration::from_secs(60));
+        let now = Instant::now();
+        let job = sched.submit(JobSpec::new("job", "noop", plan_with_cells("read", 1..=6)), noop_workload());
+        let lease = sched.next_lease(now).unwrap();
+        assert_eq!(sched.cancel(job), Some(JobState::Cancelled));
+        assert_eq!(sched.cancel(job), Some(JobState::Cancelled), "double cancel is a no-op");
+        assert!(sched.next_lease(now).is_none(), "cancelled job issues no leases");
+        // The in-flight lease comes back with its cells skipped mid-run.
+        let result = LeaseResult { skipped: lease.cells.clone(), ..LeaseResult::default() };
+        assert!(sched.ack(job, lease.lease, result));
+        let snapshot = sched.snapshot(job).unwrap();
+        assert_eq!(snapshot.progress.skipped, 6);
+        assert_eq!(snapshot.pending + snapshot.outstanding, 0);
+        assert!(sched.quiescent());
+    }
+
+    #[test]
+    fn pause_withholds_leases_and_resume_restores_them() {
+        let mut sched = Scheduler::new(2, Duration::from_secs(60));
+        let now = Instant::now();
+        let job = sched.submit(JobSpec::new("job", "noop", plan_with_cells("read", 1..=4)), noop_workload());
+        assert_eq!(sched.pause(job), Some(JobState::Paused));
+        assert!(sched.next_lease(now).is_none());
+        assert!(sched.quiescent(), "paused with nothing in flight is quiescent");
+        assert_eq!(sched.resume(job), Some(JobState::Running));
+        assert!(sched.next_lease(now).is_some());
+    }
+
+    #[test]
+    fn crash_halt_completes_job_and_skips_remainder() {
+        let mut sched = Scheduler::new(2, Duration::from_secs(60));
+        let now = Instant::now();
+        let job =
+            sched.submit(JobSpec::new("job", "noop", plan_with_cells("read", 1..=6)).halt_on_crash(), noop_workload());
+        let lease = sched.next_lease(now).unwrap();
+        let mut result = success_result(&lease.cells[..1]);
+        result.outcomes[0].1.outcome = OutcomeClass::Crash(lfi_runtime::Signal::Segv);
+        result.skipped = lease.cells[1..].to_vec();
+        assert!(sched.ack(job, lease.lease, result));
+        let snapshot = sched.snapshot(job).unwrap();
+        assert_eq!(snapshot.state, JobState::Done);
+        assert_eq!(snapshot.progress.finished, 1);
+        assert_eq!(snapshot.progress.skipped, 5);
+        assert_eq!(snapshot.clusters, 1);
+    }
+
+    #[test]
+    fn checkpoint_restores_into_equivalent_job() {
+        let mut sched = Scheduler::new(4, Duration::from_secs(60));
+        let now = Instant::now();
+        let spec = JobSpec::new("sweep", "noop", plan_with_cells("read", 1..=12));
+        let job = sched.submit(spec.clone(), noop_workload());
+        let first = sched.next_lease(now).unwrap();
+        assert!(sched.ack(job, first.lease, success_result(&first.cells)));
+        // Take a mid-run checkpoint: one lease outstanding, one acked.
+        let second = sched.next_lease(now).unwrap();
+        let store = sched.checkpoint(job).unwrap();
+        assert_eq!(store.cases_executed, 4);
+        assert_eq!(store.frontier.len(), 8, "pending plus outstanding cells");
+        assert_eq!(store.universe, 12);
+        let xml = store.to_xml();
+        let reloaded = ExplorationStore::from_xml(&xml).unwrap();
+        assert_eq!(reloaded, store);
+        drop(second);
+
+        // A fresh scheduler resumes from the checkpoint and finishes.
+        let mut resumed = Scheduler::new(4, Duration::from_secs(60));
+        let job2 = resumed.submit_restored(spec, noop_workload(), &reloaded);
+        let mut acked = 0;
+        while let Some(lease) = resumed.next_lease(now) {
+            acked += lease.cells.len();
+            assert!(resumed.ack(job2, lease.lease, success_result(&lease.cells)));
+        }
+        assert_eq!(acked, 8, "only the unexecuted cells re-run");
+        let report = resumed.report(job2).unwrap();
+        assert_eq!(report.state, JobState::Done);
+        assert_eq!(report.coverage.universe, 12);
+        assert_eq!(report.coverage.executed, 12, "union coverage spans both halves");
+        assert_eq!(report.coverage.triggered, 12);
+        let final_store = resumed.checkpoint(job2).unwrap();
+        assert_eq!(final_store.executed.len(), 12);
+        assert!(final_store.frontier.is_empty());
+    }
+
+    #[test]
+    fn empty_plan_job_is_immediately_done() {
+        let mut sched = Scheduler::new(4, Duration::from_secs(60));
+        let job = sched.submit(JobSpec::new("empty", "noop", Plan::new()), noop_workload());
+        assert_eq!(sched.state(job), Some(JobState::Done));
+        assert!(sched.next_lease(Instant::now()).is_none());
+        let (next, events) = sched.events(job, 0, 16).unwrap();
+        assert_eq!(next, 2);
+        assert_eq!(events[0].kind, JobEventKind::State(JobState::Queued));
+        assert_eq!(events[1].kind, JobEventKind::State(JobState::Done));
+        // Reading past the end leaves the cursor in place.
+        let (next, rest) = sched.events(job, next, 16).unwrap();
+        assert_eq!(next, 2);
+        assert!(rest.is_empty());
+    }
+}

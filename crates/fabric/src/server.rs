@@ -1,0 +1,393 @@
+//! Serving the wire protocol: request dispatch on a [`FabricHandle`], an
+//! in-process duplex transport, a `std::net::TcpListener` front end, and
+//! the [`FabricClient`] that speaks both.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use lfi_explore::ExplorationStore;
+
+use crate::fabric::FabricHandle;
+use crate::job::{JobEvent, JobId, JobSnapshot, JobSpec, JobState};
+use crate::wire::{Request, Response, WireError};
+
+impl FabricHandle {
+    /// Dispatches one parsed request against this fabric.
+    pub fn handle_request(&self, request: Request) -> Response {
+        match request {
+            Request::Ping => Response::Pong,
+            Request::Jobs => {
+                Response::Jobs { jobs: self.jobs().into_iter().map(|job| (job.id, job.name, job.state)).collect() }
+            }
+            Request::Submit { spec } => match self.submit(spec) {
+                Ok(job) => Response::Submitted { job },
+                Err(error) => Response::Error { message: error.to_string() },
+            },
+            Request::Status { job } => match self.status(job) {
+                Some(snapshot) => Response::Status { snapshot },
+                None => Response::Error { message: format!("no job with id {job}") },
+            },
+            Request::Events { job, after, max } => match self.events(job, after, max.min(1024)) {
+                Some((next, events)) => Response::Events { job, next, events },
+                None => Response::Error { message: format!("no job with id {job}") },
+            },
+            Request::Cancel { job } => match self.cancel(job) {
+                Some(state) => Response::StateChanged { job, state },
+                None => Response::Error { message: format!("no job with id {job}") },
+            },
+            Request::Pause { job } => match self.pause(job) {
+                Some(state) => Response::StateChanged { job, state },
+                None => Response::Error { message: format!("no job with id {job}") },
+            },
+            Request::Resume { job } => match self.resume(job) {
+                Some(state) => Response::StateChanged { job, state },
+                None => Response::Error { message: format!("no job with id {job}") },
+            },
+            Request::Checkpoint { job } => match self.checkpoint(job) {
+                Some(store) => Response::Checkpoint { job, store_xml: store.to_xml() },
+                None => Response::Error { message: format!("no job with id {job}") },
+            },
+            Request::Drain => {
+                self.begin_drain();
+                Response::Draining
+            }
+        }
+    }
+
+    /// Parses one request line and renders the response line — the whole
+    /// server side of the protocol in one call.  A malformed line becomes
+    /// an `error` response, never a dropped connection.
+    pub fn handle_line(&self, line: &str) -> String {
+        match Request::parse(line.trim_end()) {
+            Ok(request) => self.handle_request(request),
+            Err(error) => Response::Error { message: error.to_string() },
+        }
+        .encode()
+    }
+
+    /// Connects an in-process duplex client: a service thread owns the
+    /// other end of a channel pair and answers until the client drops.
+    pub fn connect(&self) -> FabricClient {
+        let (request_tx, request_rx) = std::sync::mpsc::channel::<String>();
+        let (response_tx, response_rx) = std::sync::mpsc::channel::<String>();
+        let handle = self.clone();
+        std::thread::Builder::new()
+            .name("lfi-fabric-duplex".into())
+            .spawn(move || {
+                while let Ok(line) = request_rx.recv() {
+                    if response_tx.send(handle.handle_line(&line)).is_err() {
+                        break;
+                    }
+                }
+            })
+            .expect("duplex service thread spawns");
+        FabricClient { transport: Transport::Duplex { tx: request_tx, rx: response_rx } }
+    }
+
+    /// Serves the protocol over TCP: one accept loop thread, one thread
+    /// per connection, newline-delimited requests until the peer closes.
+    /// Returns a guard that stops the accept loop when dropped.
+    ///
+    /// # Errors
+    ///
+    /// Propagates listener configuration failures.
+    pub fn serve_tcp(&self, listener: TcpListener) -> std::io::Result<ServerGuard> {
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let connections: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept_stop = Arc::clone(&stop);
+        let accept_connections = Arc::clone(&connections);
+        let handle = self.clone();
+        let acceptor = std::thread::Builder::new()
+            .name("lfi-fabric-accept".into())
+            .spawn(move || {
+                while !accept_stop.load(Ordering::Acquire) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            let handle = handle.clone();
+                            let worker = std::thread::Builder::new()
+                                .name("lfi-fabric-conn".into())
+                                .spawn(move || serve_connection(&handle, stream))
+                                .expect("connection thread spawns");
+                            let mut guard =
+                                accept_connections.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                            guard.push(worker);
+                        }
+                        Err(error) if error.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(10));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })
+            .expect("accept thread spawns");
+        Ok(ServerGuard { addr, stop, acceptor: Some(acceptor), connections })
+    }
+}
+
+/// One TCP connection: newline-delimited requests answered in order.
+fn serve_connection(handle: &FabricHandle, stream: TcpStream) {
+    let Ok(write_half) = stream.try_clone() else { return };
+    let mut writer = write_half;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = handle.handle_line(&line);
+        if writer.write_all(response.as_bytes()).is_err() || writer.write_all(b"\n").is_err() {
+            break;
+        }
+        let _ = writer.flush();
+    }
+}
+
+/// Keeps a [`FabricHandle::serve_tcp`] accept loop alive; dropping it
+/// stops accepting and joins the server threads (connections must be
+/// closed by their peers first).
+pub struct ServerGuard {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl ServerGuard {
+    /// The address the server is listening on (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop (idempotent; also done on drop).
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::Release);
+    }
+}
+
+impl Drop for ServerGuard {
+    fn drop(&mut self) {
+        self.stop();
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        let connections =
+            std::mem::take(&mut *self.connections.lock().unwrap_or_else(std::sync::PoisonError::into_inner));
+        for connection in connections {
+            let _ = connection.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for ServerGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerGuard").field("addr", &self.addr).finish()
+    }
+}
+
+enum Transport {
+    Duplex {
+        tx: Sender<String>,
+        rx: Receiver<String>,
+    },
+    Tcp {
+        reader: BufReader<TcpStream>,
+        writer: TcpStream,
+    },
+}
+
+/// A typed client for the wire protocol, over either transport.
+pub struct FabricClient {
+    transport: Transport,
+}
+
+impl FabricClient {
+    /// Connects over TCP.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn tcp(addr: SocketAddr) -> std::io::Result<FabricClient> {
+        let stream = TcpStream::connect(addr)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(FabricClient { transport: Transport::Tcp { reader, writer: stream } })
+    }
+
+    /// Sends one request and parses the response.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Transport`] when the connection drops,
+    /// [`WireError::Malformed`] when the peer breaks the protocol.
+    pub fn request(&mut self, request: &Request) -> Result<Response, WireError> {
+        let line = request.encode();
+        let reply = match &mut self.transport {
+            Transport::Duplex { tx, rx } => {
+                tx.send(line)
+                    .map_err(|_| WireError::Transport { message: "duplex service gone".into() })?;
+                rx.recv().map_err(|_| WireError::Transport { message: "duplex service gone".into() })?
+            }
+            Transport::Tcp { reader, writer } => {
+                writer
+                    .write_all(format!("{line}\n").as_bytes())
+                    .map_err(|error| WireError::Transport { message: error.to_string() })?;
+                let mut reply = String::new();
+                let read = reader
+                    .read_line(&mut reply)
+                    .map_err(|error| WireError::Transport { message: error.to_string() })?;
+                if read == 0 {
+                    return Err(WireError::Transport { message: "connection closed".into() });
+                }
+                reply
+            }
+        };
+        Response::parse(reply.trim_end())
+    }
+
+    fn expect_error<T>(response: Response) -> Result<T, WireError> {
+        match response {
+            Response::Error { message } => Err(WireError::Malformed { message }),
+            other => Err(WireError::malformed(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// `ping` → `pong`.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on transport failure or an unexpected response.
+    pub fn ping(&mut self) -> Result<(), WireError> {
+        match self.request(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Self::expect_error(other),
+        }
+    }
+
+    /// Submits a job and returns its id.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on transport failure or a server-side error (e.g. an
+    /// unknown workload name).
+    pub fn submit(&mut self, spec: JobSpec) -> Result<JobId, WireError> {
+        match self.request(&Request::Submit { spec })? {
+            Response::Submitted { job } => Ok(job),
+            other => Self::expect_error(other),
+        }
+    }
+
+    /// Lists every job as `(id, name, state)`.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on transport failure or an unexpected response.
+    pub fn jobs(&mut self) -> Result<Vec<(JobId, String, JobState)>, WireError> {
+        match self.request(&Request::Jobs)? {
+            Response::Jobs { jobs } => Ok(jobs),
+            other => Self::expect_error(other),
+        }
+    }
+
+    /// Snapshots one job.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on transport failure or an unknown job.
+    pub fn status(&mut self, job: JobId) -> Result<JobSnapshot, WireError> {
+        match self.request(&Request::Status { job })? {
+            Response::Status { snapshot } => Ok(snapshot),
+            other => Self::expect_error(other),
+        }
+    }
+
+    /// Polls a job's event stream from the `after` cursor; returns the
+    /// next cursor and the events.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on transport failure or an unknown job.
+    pub fn events(&mut self, job: JobId, after: u64, max: usize) -> Result<(u64, Vec<JobEvent>), WireError> {
+        match self.request(&Request::Events { job, after, max })? {
+            Response::Events { next, events, .. } => Ok((next, events)),
+            other => Self::expect_error(other),
+        }
+    }
+
+    /// Cancels a job; returns its state after the request.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on transport failure or an unknown job.
+    pub fn cancel(&mut self, job: JobId) -> Result<JobState, WireError> {
+        match self.request(&Request::Cancel { job })? {
+            Response::StateChanged { state, .. } => Ok(state),
+            other => Self::expect_error(other),
+        }
+    }
+
+    /// Pauses a job; returns its state after the request.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on transport failure or an unknown job.
+    pub fn pause(&mut self, job: JobId) -> Result<JobState, WireError> {
+        match self.request(&Request::Pause { job })? {
+            Response::StateChanged { state, .. } => Ok(state),
+            other => Self::expect_error(other),
+        }
+    }
+
+    /// Resumes a job; returns its state after the request.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on transport failure or an unknown job.
+    pub fn resume(&mut self, job: JobId) -> Result<JobState, WireError> {
+        match self.request(&Request::Resume { job })? {
+            Response::StateChanged { state, .. } => Ok(state),
+            other => Self::expect_error(other),
+        }
+    }
+
+    /// Fetches a job's crash-safe checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on transport failure, an unknown job, or a store
+    /// document that does not parse.
+    pub fn checkpoint(&mut self, job: JobId) -> Result<ExplorationStore, WireError> {
+        match self.request(&Request::Checkpoint { job })? {
+            Response::Checkpoint { store_xml, .. } => ExplorationStore::from_xml(&store_xml)
+                .map_err(|error| WireError::malformed(format!("checkpoint is not store XML: {error}"))),
+            other => Self::expect_error(other),
+        }
+    }
+
+    /// Asks the fabric to drain.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on transport failure or an unexpected response.
+    pub fn drain(&mut self) -> Result<(), WireError> {
+        match self.request(&Request::Drain)? {
+            Response::Draining => Ok(()),
+            other => Self::expect_error(other),
+        }
+    }
+}
+
+impl std::fmt::Debug for FabricClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let transport = match &self.transport {
+            Transport::Duplex { .. } => "duplex",
+            Transport::Tcp { .. } => "tcp",
+        };
+        f.debug_struct("FabricClient").field("transport", &transport).finish()
+    }
+}

@@ -108,8 +108,8 @@ fn main() {
             CaseEvent::Skipped { index, name, reason } => println!("  case {index} skipped ({reason:?}): {name}"),
         }
     }
-    let progress = run.progress();
-    println!("progress: {}/{} finished, {} injections", progress.finished, progress.cases, progress.injections);
+    let snapshot = run.snapshot();
+    println!("progress: {}/{} finished, {} injections", snapshot.finished, run.case_count(), snapshot.injections);
 
     let report = run.into_report();
     println!("== campaign report ==\n{}", report.to_text());

@@ -61,6 +61,7 @@
 //! | fault scenarios ("faultloads")     | [`scenario`]: the `ScenarioGenerator` trait, generators, combinators |
 //! | LFI controller / interceptors      | [`controller`]: `Injector`, the `Workload` trait + registry, and the `Campaign` builder with streaming `CampaignRun` sessions, over [`runtime`] |
 //! | adaptive fault-space exploration   | [`explore`]: coverage-guided `Explorer` + resumable `ExplorationStore` |
+//! | multi-tenant campaign service      | [`fabric`]: `Fabric` work-stealing fleet, crash-safe job handoff, wire protocol (see [`Lfi::fabric`](core::Lfi::fabric)) |
 //! | evaluated libraries & applications | [`corpus`], [`apps`] |
 //! | end-to-end facade & experiments    | [`core`] (re-exported as [`Lfi`]) |
 
@@ -135,6 +136,13 @@ pub mod controller {
 /// Coverage-guided, resumable fault-space exploration over campaigns.
 pub mod explore {
     pub use lfi_explore::*;
+}
+
+/// The multi-tenant campaign service: named jobs over one shared
+/// work-stealing worker fleet, with crash-safe lease handoff and a
+/// line-delimited wire protocol (in-process duplex or TCP).
+pub mod fabric {
+    pub use lfi_fabric::*;
 }
 
 /// The synthetic library corpus (libc, kernel image, Table 1/2 libraries).

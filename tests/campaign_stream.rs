@@ -172,6 +172,55 @@ fn cancellation_mid_run_leaves_a_consistent_report_at_any_parallelism() {
 }
 
 #[test]
+fn cancel_handle_is_idempotent_and_inert_after_drain() {
+    // Double-cancel mid-run: the second call is a no-op, the report is as
+    // consistent as after a single cancel.
+    let mut run =
+        Campaign::new()
+            .cases(mixed_cases(48))
+            .parallelism(4)
+            .start(FnWorkload::new("mixed-reader", setup, workload));
+    let cancel = run.cancel_handle();
+    let mut outcomes_seen = 0;
+    let mut cancelled_skips = 0;
+    for event in run.by_ref() {
+        match event {
+            CaseEvent::Outcome { .. } => {
+                outcomes_seen += 1;
+                if outcomes_seen == 3 {
+                    cancel.cancel();
+                    cancel.cancel(); // idempotent: already-cancelled is a no-op
+                }
+            }
+            CaseEvent::Skipped { reason, .. } => {
+                assert_eq!(reason, SkipReason::Cancelled);
+                cancelled_skips += 1;
+            }
+            _ => {}
+        }
+    }
+    // Cancelling again after the stream drained changes nothing either.
+    cancel.cancel();
+    let report = run.into_report();
+    assert_eq!(report.outcomes.len() + report.cases_skipped, 48);
+    assert!(report.cases_skipped > 0, "the tail was skipped");
+    assert_eq!(report.cases_skipped, cancelled_skips, "every skip carried SkipReason::Cancelled exactly once");
+
+    // Cancel after the stream already drained naturally: the handle
+    // outlives the run's work and stays inert — no skips appear.
+    let mut run = Campaign::new()
+        .cases(mixed_cases(6))
+        .start(FnWorkload::new("mixed-reader", setup, workload));
+    let cancel = run.cancel_handle();
+    for _ in run.by_ref() {}
+    cancel.cancel();
+    cancel.cancel();
+    let report = run.into_report();
+    assert_eq!(report.outcomes.len(), 6);
+    assert_eq!(report.cases_skipped, 0, "cancel after drain skips nothing");
+}
+
+#[test]
 fn blocking_run_equals_the_collected_stream() {
     let blocking = Campaign::new().cases(mixed_cases(10)).run(setup, workload);
     let streamed = Campaign::new()
