@@ -110,6 +110,15 @@ impl SimWorld {
     pub fn heap_used(&self) -> i64 {
         self.heap_used
     }
+
+    /// Returns the world to its just-created state (no streams, empty heap,
+    /// descriptor and pointer counters rewound), preserving the configured
+    /// heap limit.  This is the arena reset hook for pooled app processes:
+    /// [`base_process`] never mutates the world it closes over, so a reset
+    /// world is indistinguishable from a freshly built one.
+    pub fn reset(&mut self) {
+        *self = Self::with_heap_limit(self.heap_limit);
+    }
 }
 
 /// A handle to shared world state, cloneable into library closures.

@@ -1,23 +1,38 @@
 //! The simulated applications as first-class [`Workload`]s, plus the
 //! [`registry`] that collects them for named lookup.
 //!
-//! Each workload's [`Workload::setup`] builds a fresh [`SimWorld`] and a
-//! process with the native libraries loaded over it — the paper's
-//! developer-provided start script — so every campaign test case runs
-//! against pristine application state.  Per-case state lives entirely in
-//! the returned process (the library closures capture the world), which is
-//! what lets the same shared workload object drive concurrent cases.
+//! Each workload owns a [`ProcessArena`]: processes (a fresh [`SimWorld`]
+//! with the native libraries loaded over it — the paper's developer-provided
+//! start script) are built once and checked out per campaign case.  Returning
+//! a checkout restores the process to its post-build snapshot and resets its
+//! world via [`SimWorld::reset`], so every case still runs against pristine
+//! application state while skipping the library-construction cost.  Each
+//! pooled process closes over its *own* world, which is what lets the same
+//! shared workload object drive concurrent cases; cloning a workload shares
+//! its arena.
 //!
 //! [`SimWorld`]: crate::SimWorld
+//! [`SimWorld::reset`]: crate::SimWorld::reset
 
 use lfi_controller::{TestCase, Workload, WorkloadRegistry};
-use lfi_runtime::{ExitStatus, Process, Signal};
+use lfi_runtime::{ExitStatus, PooledProcess, PreparedProcess, Process, ProcessArena, Signal};
 
 use crate::apache::ab::run_ab;
 use crate::apache::{ApacheServer, RequestKind};
 use crate::mysql::MysqlServer;
 use crate::native::{base_process, new_world};
 use crate::pidgin::PidginApp;
+
+/// Builds the arena shared by an app workload's cases: every pooled process
+/// gets its own fresh world (library closures capture it), and the reset hook
+/// rewinds that world whenever the process returns to the pool.
+fn app_arena(with_apr: bool) -> ProcessArena {
+    ProcessArena::new(move || {
+        let world = new_world();
+        let process = base_process(&world, with_apr);
+        PreparedProcess::with_reset(process, move |_| world.lock().reset())
+    })
+}
 
 /// Resolves every named function passively (no calls are dispatched, so the
 /// interceptor's call ordinals are untouched) — the shared health-check
@@ -28,16 +43,22 @@ fn resolves_all(process: &mut Process, functions: &[&str]) -> bool {
 
 /// The §6.1 Pidgin login sequence: resolver child + parent over a pipe,
 /// with the unchecked-write bug intact.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct PidginLogin {
     /// Host names the login resolves (the number of resolver round trips).
     pub dns_requests: usize,
+    arena: ProcessArena,
 }
 
 impl PidginLogin {
     /// The default login (4 resolutions, like [`PidginApp::new`]).
     pub fn new() -> Self {
-        Self { dns_requests: PidginApp::new().dns_requests }
+        Self::with_dns_requests(PidginApp::new().dns_requests)
+    }
+
+    /// A login resolving `dns_requests` host names.
+    pub fn with_dns_requests(dns_requests: usize) -> Self {
+        Self { dns_requests, arena: app_arena(false) }
     }
 }
 
@@ -52,8 +73,8 @@ impl Workload for PidginLogin {
         "pidgin-login"
     }
 
-    fn setup(&self, _case: &TestCase) -> Process {
-        base_process(&new_world(), false)
+    fn setup(&self, _case: &TestCase) -> PooledProcess {
+        self.arena.checkout()
     }
 
     fn health_check(&self, process: &mut Process) -> bool {
@@ -67,16 +88,22 @@ impl Workload for PidginLogin {
 
 /// The §6.1 MySQL regression test suite, folded to an exit status: SIGSEGV
 /// when any unchecked allocation crashed a test case, success otherwise.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct MysqlSuite {
     /// Test cases the suite runs per campaign case.
     pub cases: usize,
+    arena: ProcessArena,
 }
 
 impl MysqlSuite {
     /// The default suite length (200 cases, the §6.1 configuration).
     pub fn new() -> Self {
-        Self { cases: 200 }
+        Self::with_cases(200)
+    }
+
+    /// A suite running `cases` test cases per campaign case.
+    pub fn with_cases(cases: usize) -> Self {
+        Self { cases, arena: app_arena(false) }
     }
 }
 
@@ -91,8 +118,8 @@ impl Workload for MysqlSuite {
         "mysql-suite"
     }
 
-    fn setup(&self, _case: &TestCase) -> Process {
-        base_process(&new_world(), false)
+    fn setup(&self, _case: &TestCase) -> PooledProcess {
+        self.arena.checkout()
     }
 
     fn health_check(&self, process: &mut Process) -> bool {
@@ -119,6 +146,7 @@ pub struct ApacheLoad {
     pub kind: RequestKind,
     /// Requests per campaign case.
     pub requests: u64,
+    arena: ProcessArena,
 }
 
 impl ApacheLoad {
@@ -129,7 +157,7 @@ impl ApacheLoad {
             RequestKind::StaticHtml => "apache-static".to_owned(),
             RequestKind::Php => "apache-php".to_owned(),
         };
-        Self { name, kind, requests }
+        Self { name, kind, requests, arena: app_arena(true) }
     }
 }
 
@@ -138,8 +166,8 @@ impl Workload for ApacheLoad {
         &self.name
     }
 
-    fn setup(&self, _case: &TestCase) -> Process {
-        base_process(&new_world(), true)
+    fn setup(&self, _case: &TestCase) -> PooledProcess {
+        self.arena.checkout()
     }
 
     fn health_check(&self, process: &mut Process) -> bool {
@@ -196,6 +224,23 @@ mod tests {
     }
 
     #[test]
+    fn arena_checkouts_leave_no_state_behind() {
+        let workload = PidginLogin::new();
+        let case = TestCase::new("reuse", Plan::new());
+        {
+            let mut process = workload.setup(&case);
+            assert!(workload.run(&mut process).is_success());
+        }
+        // The second case draws the same pooled process; the restore + world
+        // reset must make it indistinguishable from a fresh build: errno is
+        // clear and the first descriptor opened is 3 again.
+        let mut process = workload.setup(&case);
+        assert_eq!(process.state().errno(), 0, "process state rewound");
+        assert_eq!(process.call("pipe", &[]).unwrap(), 3, "world descriptors rewound");
+        assert_eq!(workload.arena.stats().builds, 1, "one build served both cases");
+    }
+
+    #[test]
     fn pidgin_login_workload_succeeds_clean_and_crashes_under_the_size_write_fault() {
         let baseline = Campaign::new()
             .case(TestCase::new("clean-login", Plan::new()))
@@ -233,7 +278,7 @@ mod tests {
                     action: FaultAction::return_value(0).with_errno(12),
                 }),
             ))
-            .run_workload(MysqlSuite { cases: 60 });
+            .run_workload(MysqlSuite::with_cases(60));
         assert!(report.outcomes[0].status.is_success());
         assert_eq!(report.crashes().count(), 1);
     }

@@ -17,7 +17,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use lfi_controller::{Campaign, CaseEvent, FnWorkload, Injector, TestCase};
-use lfi_runtime::{ExitStatus, NativeLibrary, Process};
+use lfi_runtime::{ExitStatus, NativeLibrary, Process, ProcessArena};
 use lfi_scenario::{FaultAction, Plan, PlanEntry, Trigger};
 
 /// Cases per campaign and dispatched calls per case: enough dispatch work
@@ -71,6 +71,30 @@ fn bench_campaign_stream(c: &mut Criterion) {
             let mut outcomes = 0usize;
             for case in cases() {
                 let mut process = setup();
+                let injector = Injector::new(case.plan.clone());
+                process.preload(injector.synthesize_interceptor());
+                let status = workload(&mut process);
+                let log = injector.log();
+                black_box(log.replay_plan());
+                black_box(log);
+                black_box(status);
+                outcomes += 1;
+            }
+            black_box(outcomes)
+        })
+    });
+
+    group.bench_function("inline_loop_arena", |b| {
+        // The same serial loop with per-case setup drawn from a process
+        // arena: the pooled process is restored (not rebuilt) between cases,
+        // and the plan's single deterministic entry compiles to the
+        // specialized stub — the post-PR per-case floor.
+        let arena = ProcessArena::new(setup);
+        arena.prewarm(1);
+        b.iter(|| {
+            let mut outcomes = 0usize;
+            for case in cases() {
+                let mut process = arena.checkout();
                 let injector = Injector::new(case.plan.clone());
                 process.preload(injector.synthesize_interceptor());
                 let status = workload(&mut process);

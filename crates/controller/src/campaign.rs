@@ -448,10 +448,10 @@ where
         "per-case-runner"
     }
 
-    fn setup(&self, case: &TestCase) -> Process {
+    fn setup(&self, case: &TestCase) -> lfi_runtime::PooledProcess {
         let (process, workload) = (self.runner)(case);
         self.pending.lock().insert(std::thread::current().id(), workload);
-        process
+        process.into()
     }
 
     fn run(&self, process: &mut Process) -> ExitStatus {
@@ -896,8 +896,8 @@ mod tests {
             "unhealthy"
         }
 
-        fn setup(&self, _case: &TestCase) -> Process {
-            setup()
+        fn setup(&self, _case: &TestCase) -> lfi_runtime::PooledProcess {
+            setup().into()
         }
 
         fn run(&self, _process: &mut Process) -> ExitStatus {

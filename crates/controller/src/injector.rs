@@ -3,14 +3,20 @@
 //!
 //! The per-call dispatch path is string-free and sharded: a plan is compiled
 //! once into per-function slots ([`lfi_scenario::CompiledPlan`]), each
-//! synthesized stub captures its slot index, and per-function counters, RNG
-//! streams and observed-return tallies live behind per-slot locks.  The one
-//! injector-wide lock guards only the injection log, and is taken only when
-//! a trigger actually fires — pass-through traffic on different functions
-//! never contends.
+//! synthesized stub captures its slot index, per-function call counters are
+//! lock-free atomics, and RNG streams and observed-return tallies live
+//! behind per-slot locks.  The one injector-wide lock guards only the
+//! injection log, and is taken only when a trigger actually fires —
+//! pass-through traffic on different functions never contends.
+//!
+//! Stubs are additionally *specialized* at synthesis time: a slot whose plan
+//! entries reduce to a single deterministic `(nth-call, retval, errno)` fault
+//! (the shape every exploration [`FaultCell`](lfi_scenario::FaultCell)
+//! compiles to) gets a stub with those parameters baked in, so its hot
+//! pass-through path never walks entries or branches on trigger kinds.
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -20,7 +26,7 @@ use rand::{Rng, SeedableRng};
 use lfi_intern::Symbol;
 use lfi_profile::{FaultProfile, SideEffectKind};
 use lfi_runtime::{CallContext, NativeLibrary};
-use lfi_scenario::{CompiledEntry, CompiledFunction, CompiledSideEffect, Plan};
+use lfi_scenario::{CompiledEntry, CompiledFunction, CompiledSideEffect, Plan, StubSpecialization};
 
 use crate::{InjectionRecord, TestLog};
 
@@ -59,15 +65,19 @@ struct InjectorShared {
     budget: Option<Arc<AtomicUsize>>,
 }
 
-/// The per-function shard: immutable compiled entries plus the mutable
-/// trigger state, each behind its own lock.
+/// The per-function shard: immutable compiled entries, the call counter, and
+/// the remaining mutable trigger state behind its own lock.
 struct FunctionSlot {
     function: CompiledFunction,
+    /// Calls intercepted so far — the `call_count` static of the paper's
+    /// stub.  Hoisted out of the slot lock so specialized stubs (and the
+    /// counting half of the general stub) dispatch on a single atomic
+    /// increment; each intercepted call still observes a unique ordinal.
+    calls: AtomicU64,
     state: Mutex<SlotState>,
 }
 
 struct SlotState {
-    call_count: u64,
     rng: StdRng,
     /// Return values observed on calls that reached the original definition,
     /// with occurrence counts — the raw material for dynamic profile
@@ -156,8 +166,8 @@ impl Injector {
             .enumerate()
             .map(|(index, function)| FunctionSlot {
                 function,
+                calls: AtomicU64::new(0),
                 state: Mutex::new(SlotState {
-                    call_count: 0,
                     rng: StdRng::seed_from_u64(slot_seed(seed, index)),
                     observed: BTreeMap::new(),
                 }),
@@ -231,11 +241,25 @@ impl Injector {
     /// and libaprutil interceptors simultaneously); they do not interfere
     /// because stubs are keyed purely by function symbol.  Each stub captures
     /// its slot index, so per-call dispatch performs no name lookup at all.
+    ///
+    /// Stubs are specialized per slot at synthesis time (see
+    /// [`StubSpecialization`]): a function whose entries reduce to one
+    /// deterministic `(nth-call, retval, errno)` fault gets a stub with those
+    /// parameters baked in, whose miss path is a single counter bump and
+    /// compare; every other entry mix gets the general entry-walking stub.
     pub fn synthesize_interceptor_named(&self, library_name: &str) -> NativeLibrary {
         let mut builder = NativeLibrary::builder(library_name);
         for (slot_index, slot) in self.shared.slots.iter().enumerate() {
             let engine = self.clone();
-            builder = builder.function_sym(slot.function.symbol, move |ctx| engine.stub_body(slot_index, ctx));
+            builder = match slot.function.specialization() {
+                StubSpecialization::DeterministicFault { ordinal, retval, errno } => builder
+                    .function_sym(slot.function.symbol, move |ctx| {
+                        engine.deterministic_stub(slot_index, ordinal, retval, errno, ctx)
+                    }),
+                StubSpecialization::General => {
+                    builder.function_sym(slot.function.symbol, move |ctx| engine.stub_body(slot_index, ctx))
+                }
+            };
         }
         builder.build()
     }
@@ -255,7 +279,7 @@ impl Injector {
             .slots
             .iter()
             .filter_map(|slot| {
-                let count = slot.state.lock().call_count;
+                let count = slot.calls.load(Ordering::Relaxed);
                 (count > 0).then_some((slot.function.symbol, count))
             })
             .collect();
@@ -273,8 +297,8 @@ impl Injector {
     /// record, keeping the plan (used between repetitions of a workload).
     pub fn reset(&self) {
         for (index, slot) in self.shared.slots.iter().enumerate() {
+            slot.calls.store(0, Ordering::Relaxed);
             let mut state = slot.state.lock();
-            state.call_count = 0;
             state.rng = StdRng::seed_from_u64(slot_seed(self.shared.seed, index));
             state.observed.clear();
         }
@@ -321,13 +345,50 @@ impl Injector {
         }
     }
 
+    /// The specialized stub for a [`StubSpecialization::DeterministicFault`]
+    /// slot: the trigger parameters are baked in at synthesis time, so the
+    /// pass-through path is one atomic counter bump and one compare — no
+    /// entry walk, no trigger-kind branching, no slot lock.  Behaviour
+    /// (counters, budget, log records, observed returns) is identical to the
+    /// general stub running the same single-entry plan.
+    fn deterministic_stub(
+        &self,
+        slot_index: usize,
+        ordinal: u64,
+        retval: Option<i64>,
+        errno: Option<i64>,
+        ctx: &mut CallContext<'_>,
+    ) -> i64 {
+        let slot = &self.shared.slots[slot_index];
+        let call_number = slot.calls.fetch_add(1, Ordering::Relaxed) + 1;
+        if call_number != ordinal || !self.try_consume_budget() {
+            let result = ctx.call_next().unwrap_or(0);
+            self.record_observed(slot_index, result);
+            return result;
+        }
+        if let Some(errno) = errno {
+            ctx.set_errno(errno);
+        }
+        let stack = ctx.stack().to_vec();
+        self.shared.log.lock().push(RawInjection {
+            slot: slot_index as u32,
+            entry: 0,
+            choice: None,
+            call_number,
+            retval,
+            errno,
+            call_original: false,
+            stack,
+        });
+        retval.unwrap_or(0)
+    }
+
     /// Evaluates the slot's triggers for one intercepted call.  Holds only
     /// the slot's own lock; calls to other functions proceed in parallel.
     fn decide(&self, slot_index: usize, ctx: &CallContext<'_>) -> Option<Decision> {
         let slot = &self.shared.slots[slot_index];
+        let call_number = slot.calls.fetch_add(1, Ordering::Relaxed) + 1;
         let mut state = slot.state.lock();
-        state.call_count += 1;
-        let call_number = state.call_count;
 
         // The stack excluding the frame of the intercepted call itself: what
         // the paper's `<stacktrace>` frames are matched against.  Inspected
@@ -825,6 +886,77 @@ mod tests {
         assert_eq!(process.call("read", &[3, 0, 8]).unwrap(), 8);
         assert_eq!(process.call("read", &[3, 0, 8]).unwrap(), -9);
         assert_eq!(injector.log().injection_count(), 1);
+    }
+
+    #[test]
+    fn specialized_and_general_stubs_are_observably_identical() {
+        // The same deterministic fault, expressed two ways: alone (compiles
+        // to the specialized stub) and alongside a never-firing second entry
+        // (defeats specialization, runs the general entry walk).  Results,
+        // errno, logs and observed returns must not differ.
+        let fault = PlanEntry {
+            function: "read".into(),
+            trigger: Trigger::on_call(3),
+            action: FaultAction::return_value(-1).with_errno(9),
+        };
+        let never = PlanEntry {
+            function: "read".into(),
+            trigger: Trigger::on_call(u64::MAX),
+            action: FaultAction::return_value(-2),
+        };
+        let specialized = Plan::new().entry(fault.clone());
+        let general = Plan::new().entry(fault).entry(never);
+        assert_ne!(
+            specialized.compile().functions[0].specialization(),
+            general.compile().functions[0].specialization(),
+            "the two plans must exercise different stub shapes"
+        );
+
+        let drive = |plan: Plan| {
+            let (mut process, injector) = process_with(plan);
+            let results: Vec<i64> = (0..6).map(|_| process.call("read", &[3, 0, 64]).unwrap()).collect();
+            (results, process.state().errno(), injector.log(), injector.observed_returns())
+        };
+        let (results_s, errno_s, log_s, observed_s) = drive(specialized);
+        let (results_g, errno_g, log_g, observed_g) = drive(general);
+        assert_eq!(results_s, results_g);
+        assert_eq!(errno_s, errno_g);
+        assert_eq!(log_s.injections, log_g.injections);
+        assert_eq!(log_s.intercepted_calls, log_g.intercepted_calls);
+        assert_eq!(log_s.calls_per_function, log_g.calls_per_function);
+        assert_eq!(observed_s, observed_g);
+    }
+
+    #[test]
+    fn specialized_stub_honours_the_shared_budget_and_reset() {
+        // One token across two deterministic single-entry plans: only the
+        // first trigger to fire injects; the other call passes through.
+        let budget = Arc::new(AtomicUsize::new(1));
+        let plan_for = |function: &str| {
+            Plan::new().entry(PlanEntry {
+                function: function.into(),
+                trigger: Trigger::on_call(1),
+                action: FaultAction::return_value(-1).with_errno(9),
+            })
+        };
+        let read_injector = Injector::with_budget(plan_for("read"), Some(Arc::clone(&budget)));
+        let write_injector = Injector::with_budget(plan_for("write"), Some(Arc::clone(&budget)));
+        let mut process = Process::new();
+        process.load(libc());
+        process.preload(read_injector.synthesize_interceptor_named("lfi_read.so"));
+        process.preload(write_injector.synthesize_interceptor_named("lfi_write.so"));
+        assert_eq!(process.call("read", &[3, 0, 8]).unwrap(), -1);
+        assert_eq!(process.call("write", &[1, 0, 8]).unwrap(), 8, "budget spent: pass through");
+        assert_eq!(read_injector.log().injection_count(), 1);
+        assert_eq!(write_injector.log().injection_count(), 0);
+        // The pass-through miss still fed the observation record.
+        assert_eq!(write_injector.observed_returns()["write"][&8], 1);
+
+        // reset() rewinds the specialized stub's atomic counter too.
+        read_injector.reset();
+        assert_eq!(read_injector.log().intercepted_calls, 0);
+        budget.store(1, Ordering::SeqCst);
+        assert_eq!(process.call("read", &[3, 0, 8]).unwrap(), -1, "ordinal 1 fires again after reset");
     }
 
     #[test]

@@ -14,7 +14,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
 
-use lfi_runtime::{ExitStatus, Process};
+use lfi_runtime::{ExitStatus, PooledProcess, Process};
 
 use crate::TestCase;
 
@@ -42,9 +42,13 @@ pub trait Workload: Send + Sync {
     /// Stable, human-readable workload name (registry key, report label).
     fn name(&self) -> &str;
 
-    /// Builds a fresh process for one test case — the paper's start script.
-    /// Called once per case, possibly concurrently for different cases.
-    fn setup(&self, case: &TestCase) -> Process;
+    /// Builds (or checks out of a `ProcessArena`) a process for one test
+    /// case — the paper's start script.  Called once per case, possibly
+    /// concurrently for different cases.  Workloads without an arena return
+    /// `process.into()`; arena-backed workloads return the checkout guard,
+    /// and the campaign's drop of the guard restores the process to the
+    /// pool after the case.
+    fn setup(&self, case: &TestCase) -> PooledProcess;
 
     /// Exercises the prepared process and reports how the run ended.
     fn run(&self, process: &mut Process) -> ExitStatus;
@@ -126,8 +130,8 @@ where
         &self.name
     }
 
-    fn setup(&self, _case: &TestCase) -> Process {
-        (self.setup)()
+    fn setup(&self, _case: &TestCase) -> PooledProcess {
+        (self.setup)().into()
     }
 
     fn run(&self, process: &mut Process) -> ExitStatus {

@@ -1,0 +1,809 @@
+//! Pre-decoded SimISA bodies: the execution fast path.
+//!
+//! [`crate::vm::Vm::run`] is the *reference* interpreter: it re-interprets
+//! every operand on every step and keeps stack/TLS/global state in
+//! `HashMap`s, which makes each step pay a hash probe per location touched.
+//! That is fine for deriving ground truth over a handful of error paths, but
+//! a fault-injection campaign executes the same few bodies millions of times.
+//!
+//! [`DecodedBody::compile`] performs all the per-step work that does not
+//! depend on run-time values exactly once:
+//!
+//! * every `Loc` operand is resolved to a direct index into **one** dense
+//!   frame vector — registers, stack slots, TLS slots and global slots share
+//!   a single `Vec<i64>` (the set of offsets a body can touch is statically
+//!   known), so a run-time access is a bounds-checked index instead of a
+//!   hash probe, and the per-operand branch is only slot-vs-argument;
+//! * the common instruction forms are *specialized*: an ALU op on a slot
+//!   with an immediate or slot operand, a compare against an immediate, a
+//!   move-immediate into a slot, each get their own opcode so the dispatch
+//!   loop does no operand-shape matching at run time;
+//! * static jump targets are validated once, at compile time, instead of on
+//!   every taken branch;
+//! * `Load`/`Store` instructions carry their module-data slot (the
+//!   `PIC_BASE` aliasing rule) pre-resolved.
+//!
+//! Execution policy is kept out of the hot loop with an
+//! [`ExecutionController`] in the candy VM style: the dispatch loop is
+//! generic over the controller, so a [`RunForever`] controller compiles to a
+//! branchless `true` and a [`StepBudget`] to a single counter compare —
+//! no virtual call, no `Option` probe per step.
+//!
+//! The decoded interpreter is pinned outcome-identical to the reference
+//! interpreter (same [`ExecOutcome`], same errors) by unit tests here and a
+//! property test in the workspace test suite.
+
+use std::collections::HashMap;
+
+use crate::vm::{CallEnv, ExecOutcome, StoreEvent, PIC_BASE};
+use crate::{BinAluOp, Cond, Inst, IsaError, Loc, Operand, Platform, Reg};
+
+/// Decides, before each instruction, whether execution may continue — the
+/// step-budget policy of the dispatch loop, kept out of the loop body by
+/// monomorphisation.
+///
+/// The contract mirrors the reference interpreter: [`should_continue`] is
+/// consulted *before* each fetch, and [`instruction_executed`] is invoked
+/// once per executed instruction (including the final `ret`).  When
+/// [`should_continue`] returns `false` the run stops with [`halt_error`].
+///
+/// [`should_continue`]: ExecutionController::should_continue
+/// [`instruction_executed`]: ExecutionController::instruction_executed
+/// [`halt_error`]: ExecutionController::halt_error
+pub trait ExecutionController {
+    /// May the next instruction execute?
+    fn should_continue(&mut self) -> bool;
+
+    /// One instruction has executed.
+    fn instruction_executed(&mut self);
+
+    /// The error reported when [`ExecutionController::should_continue`]
+    /// denies further execution.
+    fn halt_error(&self) -> IsaError;
+}
+
+/// An [`ExecutionController`] that never halts execution (the body's own
+/// `ret`, or a dynamic error, ends the run).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunForever;
+
+impl ExecutionController for RunForever {
+    #[inline(always)]
+    fn should_continue(&mut self) -> bool {
+        true
+    }
+
+    #[inline(always)]
+    fn instruction_executed(&mut self) {}
+
+    fn halt_error(&self) -> IsaError {
+        IsaError::StepLimitExceeded { limit: u64::MAX }
+    }
+}
+
+/// An [`ExecutionController`] enforcing the same step budget as
+/// [`crate::vm::VmOptions::step_limit`]: the `n+1`-th instruction is refused
+/// once `n == limit` instructions have executed.
+#[derive(Debug, Clone, Copy)]
+pub struct StepBudget {
+    limit: u64,
+    executed: u64,
+}
+
+impl StepBudget {
+    /// A budget admitting at most `limit` instructions.
+    pub fn new(limit: u64) -> Self {
+        Self { limit, executed: 0 }
+    }
+
+    /// Number of instructions executed so far under this budget.
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+}
+
+impl ExecutionController for StepBudget {
+    #[inline(always)]
+    fn should_continue(&mut self) -> bool {
+        self.executed < self.limit
+    }
+
+    #[inline(always)]
+    fn instruction_executed(&mut self) {
+        self.executed += 1;
+    }
+
+    fn halt_error(&self) -> IsaError {
+        IsaError::StepLimitExceeded { limit: self.limit }
+    }
+}
+
+/// One key of the unified frame: which architectural location a frame slot
+/// stands for.  Registers are normalised modulo [`Reg::COUNT`] so aliasing
+/// register names share a slot, exactly like the reference register file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum SlotKey {
+    Reg(u8),
+    Stack(i32),
+    Tls(u32),
+    Global(u32),
+}
+
+/// A location resolved at decode time: either a direct index into the dense
+/// frame vector, or an incoming argument (bounds-checked against `args` at
+/// run time, exactly like the reference interpreter).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DLoc {
+    Slot(u32),
+    Arg(u32),
+}
+
+/// A pre-resolved right-hand operand (fallback forms only — the hot
+/// specialised opcodes carry their operands inline).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DOperand {
+    Imm(i64),
+    Loc(DLoc),
+}
+
+/// One pre-decoded instruction.  The common forms are specialised on operand
+/// shape at compile time (`*S` suffix: slot destination; `SI`/`SS`:
+/// slot-immediate / slot-slot) so the dispatch loop reads and writes the
+/// frame directly; generic fallbacks cover argument-operand shapes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DInst {
+    MovImmS {
+        dst: u32,
+        imm: i64,
+    },
+    MovSS {
+        dst: u32,
+        src: u32,
+    },
+    AluSI {
+        op: BinAluOp,
+        dst: u32,
+        imm: i64,
+    },
+    AluSS {
+        op: BinAluOp,
+        dst: u32,
+        src: u32,
+    },
+    NegS {
+        dst: u32,
+    },
+    CmpSI {
+        a: u32,
+        imm: i64,
+    },
+    CmpSS {
+        a: u32,
+        b: u32,
+    },
+    MovImm {
+        dst: DLoc,
+        imm: i64,
+    },
+    Mov {
+        dst: DLoc,
+        src: DLoc,
+    },
+    Alu {
+        op: BinAluOp,
+        dst: DLoc,
+        src: DOperand,
+    },
+    Neg {
+        dst: DLoc,
+    },
+    Cmp {
+        a: DLoc,
+        b: DOperand,
+    },
+    Jmp {
+        target: u32,
+    },
+    JmpCond {
+        cond: Cond,
+        target: u32,
+    },
+    JmpIndirect {
+        loc: DLoc,
+    },
+    Call {
+        sym: u32,
+    },
+    CallIndirect {
+        loc: DLoc,
+    },
+    Load {
+        dst: u32,
+        base: u32,
+        global_slot: Option<u32>,
+    },
+    Store {
+        base: u32,
+        offset: i32,
+        src: DOperand,
+        global_slot: Option<u32>,
+    },
+    LeaPicBase {
+        dst: u32,
+    },
+    Syscall {
+        num: u32,
+    },
+    Ret,
+    Nop,
+}
+
+/// Builds the dense slot index for the unified frame during compilation.
+#[derive(Debug, Default)]
+struct SlotMap {
+    index: HashMap<SlotKey, u32>,
+    keys: Vec<SlotKey>,
+}
+
+impl SlotMap {
+    fn slot(&mut self, key: SlotKey) -> u32 {
+        if let Some(&slot) = self.index.get(&key) {
+            return slot;
+        }
+        let slot = self.keys.len() as u32;
+        self.index.insert(key, slot);
+        self.keys.push(key);
+        slot
+    }
+}
+
+#[inline(always)]
+fn alu(op: BinAluOp, lhs: i64, rhs: i64) -> i64 {
+    match op {
+        BinAluOp::Add => lhs.wrapping_add(rhs),
+        BinAluOp::Sub => lhs.wrapping_sub(rhs),
+        BinAluOp::And => lhs & rhs,
+        BinAluOp::Or => lhs | rhs,
+        BinAluOp::Xor => lhs ^ rhs,
+        BinAluOp::Mul => lhs.wrapping_mul(rhs),
+    }
+}
+
+/// A function body compiled for the fast dispatch loop.
+///
+/// Compile once with [`DecodedBody::compile`], execute any number of times
+/// with [`DecodedBody::run`]; execution is outcome-identical to
+/// [`crate::vm::Vm::run`] on the same body (same [`ExecOutcome`], including
+/// step counts, store events and the TLS/global write maps, and the same
+/// dynamic errors).
+///
+/// The one *static* difference is deliberate: out-of-range `Jmp`/`JmpCond`
+/// targets are rejected at compile time with [`IsaError::JumpOutOfRange`],
+/// even when the reference interpreter would never reach them.
+#[derive(Debug, Clone)]
+pub struct DecodedBody {
+    insts: Vec<DInst>,
+    return_loc: DLoc,
+    /// Total slots in the unified frame (registers + stack + TLS + globals).
+    frame_len: usize,
+    /// `(frame slot, TLS offset)` pairs, for assembling the outcome map.
+    tls_slots: Vec<(u32, u32)>,
+    /// `(frame slot, global offset)` pairs, for assembling the outcome map.
+    global_slots: Vec<(u32, u32)>,
+}
+
+impl DecodedBody {
+    /// Compiles `body` for `platform`'s ABI.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::JumpOutOfRange`] if any `Jmp`/`JmpCond` names an
+    /// instruction index outside the body.
+    pub fn compile(platform: Platform, body: &[Inst]) -> Result<Self, IsaError> {
+        let mut slots = SlotMap::default();
+        let len = body.len();
+
+        fn resolve(loc: Loc, slots: &mut SlotMap) -> DLoc {
+            match loc {
+                Loc::Reg(Reg(r)) => DLoc::Slot(slots.slot(SlotKey::Reg(r % Reg::COUNT))),
+                Loc::Stack(off) => DLoc::Slot(slots.slot(SlotKey::Stack(off))),
+                Loc::Arg(n) => DLoc::Arg(u32::from(n)),
+                Loc::Global(off) => DLoc::Slot(slots.slot(SlotKey::Global(off))),
+                Loc::Tls(off) => DLoc::Slot(slots.slot(SlotKey::Tls(off))),
+            }
+        }
+        macro_rules! resolve {
+            ($loc:expr) => {
+                resolve($loc, &mut slots)
+            };
+        }
+        let check = |target: u32| -> Result<u32, IsaError> {
+            if (target as usize) < len {
+                Ok(target)
+            } else {
+                Err(IsaError::JumpOutOfRange { target: i64::from(target), len })
+            }
+        };
+        macro_rules! reg {
+            ($r:expr) => {
+                slots.slot(SlotKey::Reg($r.0 % Reg::COUNT))
+            };
+        }
+        macro_rules! operand {
+            ($op:expr) => {
+                match $op {
+                    Operand::Imm(v) => DOperand::Imm(v),
+                    Operand::Loc(l) => DOperand::Loc(resolve!(l)),
+                }
+            };
+        }
+
+        let mut insts = Vec::with_capacity(len);
+        for inst in body {
+            let dinst = match *inst {
+                Inst::MovImm { dst, imm } => match resolve!(dst) {
+                    DLoc::Slot(dst) => DInst::MovImmS { dst, imm },
+                    dst => DInst::MovImm { dst, imm },
+                },
+                Inst::Mov { dst, src } => match (resolve!(dst), resolve!(src)) {
+                    (DLoc::Slot(dst), DLoc::Slot(src)) => DInst::MovSS { dst, src },
+                    (dst, src) => DInst::Mov { dst, src },
+                },
+                Inst::Alu { op, dst, src } => match (resolve!(dst), src) {
+                    (DLoc::Slot(dst), Operand::Imm(imm)) => DInst::AluSI { op, dst, imm },
+                    (DLoc::Slot(dst), Operand::Loc(l)) => match resolve!(l) {
+                        DLoc::Slot(src) => DInst::AluSS { op, dst, src },
+                        src => DInst::Alu { op, dst: DLoc::Slot(dst), src: DOperand::Loc(src) },
+                    },
+                    (dst, src) => DInst::Alu { op, dst, src: operand!(src) },
+                },
+                Inst::Neg { dst } => match resolve!(dst) {
+                    DLoc::Slot(dst) => DInst::NegS { dst },
+                    dst => DInst::Neg { dst },
+                },
+                Inst::Cmp { a, b } => match (resolve!(a), b) {
+                    (DLoc::Slot(a), Operand::Imm(imm)) => DInst::CmpSI { a, imm },
+                    (DLoc::Slot(a), Operand::Loc(l)) => match resolve!(l) {
+                        DLoc::Slot(b) => DInst::CmpSS { a, b },
+                        b => DInst::Cmp { a: DLoc::Slot(a), b: DOperand::Loc(b) },
+                    },
+                    (a, b) => DInst::Cmp { a, b: operand!(b) },
+                },
+                Inst::Jmp { target } => DInst::Jmp { target: check(target)? },
+                Inst::JmpCond { cond, target } => DInst::JmpCond { cond, target: check(target)? },
+                Inst::JmpIndirect { loc } => DInst::JmpIndirect { loc: resolve!(loc) },
+                Inst::Call { sym } => DInst::Call { sym },
+                Inst::CallIndirect { loc } => DInst::CallIndirect { loc: resolve!(loc) },
+                Inst::Load { dst, base, offset } => {
+                    let global_slot = (offset >= 0).then(|| slots.slot(SlotKey::Global(offset as u32)));
+                    DInst::Load { dst: reg!(dst), base: reg!(base), global_slot }
+                }
+                Inst::Store { base, offset, src } => {
+                    let src = operand!(src);
+                    let global_slot = (offset >= 0).then(|| slots.slot(SlotKey::Global(offset as u32)));
+                    DInst::Store { base: reg!(base), offset, src, global_slot }
+                }
+                Inst::LeaPicBase { dst } => DInst::LeaPicBase { dst: reg!(dst) },
+                Inst::Syscall { num } => DInst::Syscall { num },
+                Inst::Ret => DInst::Ret,
+                Inst::Nop => DInst::Nop,
+            };
+            insts.push(dinst);
+        }
+        let return_loc = resolve!(platform.abi().return_loc());
+
+        let mut tls_slots = Vec::new();
+        let mut global_slots = Vec::new();
+        for (slot, key) in slots.keys.iter().enumerate() {
+            match *key {
+                SlotKey::Tls(off) => tls_slots.push((slot as u32, off)),
+                SlotKey::Global(off) => global_slots.push((slot as u32, off)),
+                SlotKey::Reg(_) | SlotKey::Stack(_) => {}
+            }
+        }
+
+        Ok(Self { insts, return_loc, frame_len: slots.keys.len(), tls_slots, global_slots })
+    }
+
+    /// Number of instructions in the compiled body.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// True when the body holds no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Executes the compiled body under `controller`'s step policy,
+    /// resolving calls and syscalls through `env`.
+    ///
+    /// # Errors
+    ///
+    /// The same dynamic errors as [`crate::vm::Vm::run`]: an indirect jump
+    /// out of range, falling off the end of the body, an unresolved call, or
+    /// the controller's [`ExecutionController::halt_error`].
+    pub fn run<C: ExecutionController>(
+        &self,
+        args: &[i64],
+        env: &mut dyn CallEnv,
+        controller: &mut C,
+    ) -> Result<ExecOutcome, IsaError> {
+        let mut frame = vec![0i64; self.frame_len];
+        // One written-bit per frame slot; only the TLS/global slots are read
+        // back at `ret`, reproducing the reference's insert-only write maps.
+        let mut written = vec![false; self.frame_len];
+        let mut stores: Vec<StoreEvent> = Vec::new();
+        let mut flags: (i64, i64) = (0, 0);
+        let mut pc: usize = 0;
+        let mut steps: u64 = 0;
+
+        macro_rules! read {
+            ($loc:expr) => {
+                match $loc {
+                    DLoc::Slot(s) => frame[s as usize],
+                    DLoc::Arg(n) => args.get(n as usize).copied().unwrap_or(0),
+                }
+            };
+        }
+        macro_rules! write {
+            ($loc:expr, $value:expr) => {
+                match $loc {
+                    DLoc::Slot(s) => {
+                        frame[s as usize] = $value;
+                        written[s as usize] = true;
+                    }
+                    // Writes to argument slots go to the caller's copy; they
+                    // are not observable after return (reference semantics).
+                    DLoc::Arg(_) => {}
+                }
+            };
+        }
+        macro_rules! operand {
+            ($op:expr) => {
+                match $op {
+                    DOperand::Imm(v) => v,
+                    DOperand::Loc(l) => read!(l),
+                }
+            };
+        }
+
+        loop {
+            if !controller.should_continue() {
+                return Err(controller.halt_error());
+            }
+            let Some(inst) = self.insts.get(pc) else {
+                return Err(IsaError::FellOffEnd);
+            };
+            steps += 1;
+            controller.instruction_executed();
+            let mut next_pc = pc + 1;
+            match *inst {
+                DInst::MovImmS { dst, imm } => {
+                    frame[dst as usize] = imm;
+                    written[dst as usize] = true;
+                }
+                DInst::MovSS { dst, src } => {
+                    frame[dst as usize] = frame[src as usize];
+                    written[dst as usize] = true;
+                }
+                DInst::AluSI { op, dst, imm } => {
+                    let d = dst as usize;
+                    frame[d] = alu(op, frame[d], imm);
+                    written[d] = true;
+                }
+                DInst::AluSS { op, dst, src } => {
+                    let rhs = frame[src as usize];
+                    let d = dst as usize;
+                    frame[d] = alu(op, frame[d], rhs);
+                    written[d] = true;
+                }
+                DInst::NegS { dst } => {
+                    let d = dst as usize;
+                    frame[d] = frame[d].wrapping_neg();
+                    written[d] = true;
+                }
+                DInst::CmpSI { a, imm } => flags = (frame[a as usize], imm),
+                DInst::CmpSS { a, b } => flags = (frame[a as usize], frame[b as usize]),
+                DInst::MovImm { dst, imm } => write!(dst, imm),
+                DInst::Mov { dst, src } => {
+                    let v = read!(src);
+                    write!(dst, v);
+                }
+                DInst::Alu { op, dst, src } => {
+                    let rhs = operand!(src);
+                    let lhs = read!(dst);
+                    let result = alu(op, lhs, rhs);
+                    write!(dst, result);
+                }
+                DInst::Neg { dst } => {
+                    let v = read!(dst);
+                    write!(dst, v.wrapping_neg());
+                }
+                DInst::Cmp { a, b } => flags = (read!(a), operand!(b)),
+                DInst::Jmp { target } => next_pc = target as usize,
+                DInst::JmpCond { cond, target } => {
+                    if cond.holds(flags.0, flags.1) {
+                        next_pc = target as usize;
+                    }
+                }
+                DInst::JmpIndirect { loc } => {
+                    let target = read!(loc);
+                    next_pc = match usize::try_from(target) {
+                        Ok(t) if t < self.insts.len() => t,
+                        _ => return Err(IsaError::JumpOutOfRange { target, len: self.insts.len() }),
+                    };
+                }
+                DInst::Call { sym } => {
+                    let v = env.call(sym)?;
+                    write!(self.return_loc, v);
+                }
+                DInst::CallIndirect { loc } => {
+                    let target = read!(loc);
+                    let v = env.call_indirect(target)?;
+                    write!(self.return_loc, v);
+                }
+                DInst::Load { dst, base, global_slot } => {
+                    let v = match global_slot {
+                        Some(slot) if frame[base as usize] == PIC_BASE => frame[slot as usize],
+                        _ => 0,
+                    };
+                    frame[dst as usize] = v;
+                    written[dst as usize] = true;
+                }
+                DInst::Store { base, offset, src, global_slot } => {
+                    let base_v = frame[base as usize];
+                    let value = operand!(src);
+                    stores.push(StoreEvent { base_value: base_v, offset, value });
+                    if let Some(slot) = global_slot {
+                        if base_v == PIC_BASE {
+                            frame[slot as usize] = value;
+                            written[slot as usize] = true;
+                        }
+                    }
+                }
+                DInst::LeaPicBase { dst } => {
+                    frame[dst as usize] = PIC_BASE;
+                    written[dst as usize] = true;
+                }
+                DInst::Syscall { num } => {
+                    let v = env.syscall(num);
+                    write!(self.return_loc, v);
+                }
+                DInst::Ret => {
+                    let return_value = read!(self.return_loc);
+                    let tls_writes = self
+                        .tls_slots
+                        .iter()
+                        .filter(|&&(slot, _)| written[slot as usize])
+                        .map(|&(slot, off)| (off, frame[slot as usize]))
+                        .collect();
+                    let global_writes = self
+                        .global_slots
+                        .iter()
+                        .filter(|&&(slot, _)| written[slot as usize])
+                        .map(|&(slot, off)| (off, frame[slot as usize]))
+                        .collect();
+                    return Ok(ExecOutcome { return_value, tls_writes, global_writes, stores, steps });
+                }
+                DInst::Nop => {}
+            }
+            pc = next_pc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vm::{ConstEnv, FnEnv, Vm, VmOptions};
+
+    fn abi_ret() -> Loc {
+        Platform::LinuxX86.abi().return_loc()
+    }
+
+    fn both(body: &[Inst], args: &[i64]) -> (Result<ExecOutcome, IsaError>, Result<ExecOutcome, IsaError>) {
+        let reference = Vm::new(Platform::LinuxX86).run(body, args, &mut ConstEnv::default());
+        let decoded = DecodedBody::compile(Platform::LinuxX86, body).unwrap().run(
+            args,
+            &mut ConstEnv::default(),
+            &mut StepBudget::new(VmOptions::default().step_limit),
+        );
+        (reference, decoded)
+    }
+
+    #[test]
+    fn matches_reference_on_basics() {
+        let abi = Platform::LinuxX86.abi();
+        let errno_off = abi.errno_tls_offset() as i32;
+        let body = vec![
+            Inst::Syscall { num: 6 },
+            Inst::LeaPicBase { dst: Reg(3) },
+            Inst::Mov { dst: Loc::Reg(Reg(2)), src: abi.return_loc() },
+            Inst::Neg { dst: Loc::Reg(Reg(2)) },
+            Inst::Store { base: Reg(3), offset: errno_off, src: Operand::Loc(Loc::Reg(Reg(2))) },
+            Inst::MovImm { dst: Loc::Tls(0x10), imm: 5 },
+            Inst::MovImm { dst: Loc::Global(0x20), imm: 6 },
+            Inst::MovImm { dst: abi.return_loc(), imm: -1 },
+            Inst::Ret,
+        ];
+        let mut env = ConstEnv { call_result: 0, syscall_result: -9 };
+        let reference = Vm::new(Platform::LinuxX86).run(&body, &[], &mut env.clone()).unwrap();
+        let decoded = DecodedBody::compile(Platform::LinuxX86, &body)
+            .unwrap()
+            .run(&[], &mut env, &mut RunForever)
+            .unwrap();
+        assert_eq!(reference, decoded);
+        assert_eq!(decoded.return_value, -1);
+        assert_eq!(decoded.tls_writes.get(&0x10), Some(&5));
+        assert_eq!(decoded.global_writes.get(&0x20), Some(&6));
+    }
+
+    #[test]
+    fn branches_like_reference() {
+        let body = vec![
+            Inst::Cmp { a: Loc::Arg(0), b: Operand::Imm(0) },
+            Inst::JmpCond { cond: Cond::Ne, target: 4 },
+            Inst::MovImm { dst: abi_ret(), imm: 0 },
+            Inst::Ret,
+            Inst::MovImm { dst: abi_ret(), imm: 5 },
+            Inst::Ret,
+        ];
+        for args in [[0i64], [1i64]] {
+            let (reference, decoded) = both(&body, &args);
+            assert_eq!(reference.unwrap(), decoded.unwrap());
+        }
+    }
+
+    #[test]
+    fn stack_slots_round_trip() {
+        let body = vec![
+            Inst::MovImm { dst: Loc::Stack(-8), imm: 11 },
+            Inst::Mov { dst: Loc::Stack(4), src: Loc::Stack(-8) },
+            Inst::Alu { op: BinAluOp::Add, dst: Loc::Stack(4), src: Operand::Loc(Loc::Stack(-16)) },
+            Inst::Mov { dst: abi_ret(), src: Loc::Stack(4) },
+            Inst::Ret,
+        ];
+        let (reference, decoded) = both(&body, &[]);
+        assert_eq!(reference.unwrap(), decoded.unwrap());
+    }
+
+    #[test]
+    fn argument_operands_fall_back_to_generic_forms() {
+        // Arg as ALU source, Cmp operand, Mov source and (discarded) write
+        // destination — every generic fallback arm, pinned to the reference.
+        let body = vec![
+            Inst::MovImm { dst: Loc::Arg(0), imm: 99 },
+            Inst::Mov { dst: Loc::Reg(Reg(1)), src: Loc::Arg(0) },
+            Inst::Alu { op: BinAluOp::Add, dst: Loc::Reg(Reg(1)), src: Operand::Loc(Loc::Arg(1)) },
+            Inst::Cmp { a: Loc::Arg(0), b: Operand::Loc(Loc::Arg(1)) },
+            Inst::JmpCond { cond: Cond::Gt, target: 6 },
+            Inst::Nop,
+            Inst::Mov { dst: abi_ret(), src: Loc::Reg(Reg(1)) },
+            Inst::Ret,
+        ];
+        for args in [[7i64, 3], [3i64, 7]] {
+            let (reference, decoded) = both(&body, &args);
+            assert_eq!(reference.unwrap(), decoded.unwrap());
+        }
+    }
+
+    #[test]
+    fn static_jump_out_of_range_fails_at_compile_time() {
+        let body = vec![Inst::Jmp { target: 17 }];
+        let err = DecodedBody::compile(Platform::LinuxX86, &body).unwrap_err();
+        assert_eq!(err, IsaError::JumpOutOfRange { target: 17, len: 1 });
+        let body = vec![Inst::JmpCond { cond: Cond::Eq, target: 9 }, Inst::Ret];
+        let err = DecodedBody::compile(Platform::LinuxX86, &body).unwrap_err();
+        assert_eq!(err, IsaError::JumpOutOfRange { target: 9, len: 2 });
+    }
+
+    #[test]
+    fn negative_indirect_target_reports_original_value() {
+        let body = vec![Inst::MovImm { dst: Loc::Reg(Reg(1)), imm: -3 }, Inst::JmpIndirect { loc: Loc::Reg(Reg(1)) }];
+        let (reference, decoded) = both(&body, &[]);
+        assert_eq!(reference.unwrap_err(), IsaError::JumpOutOfRange { target: -3, len: 2 });
+        assert_eq!(decoded.unwrap_err(), IsaError::JumpOutOfRange { target: -3, len: 2 });
+    }
+
+    #[test]
+    fn step_budget_matches_reference_step_limit() {
+        let body = vec![Inst::Jmp { target: 0 }];
+        let reference = Vm::with_options(Platform::LinuxX86, VmOptions { step_limit: 64 }).run(
+            &body,
+            &[],
+            &mut ConstEnv::default(),
+        );
+        let decoded = DecodedBody::compile(Platform::LinuxX86, &body).unwrap().run(
+            &[],
+            &mut ConstEnv::default(),
+            &mut StepBudget::new(64),
+        );
+        assert_eq!(reference.unwrap_err(), IsaError::StepLimitExceeded { limit: 64 });
+        assert_eq!(decoded.unwrap_err(), IsaError::StepLimitExceeded { limit: 64 });
+    }
+
+    #[test]
+    fn budget_boundary_admits_exact_fit() {
+        // A body that returns on its n-th instruction runs under a budget of
+        // exactly n, in both interpreters.
+        let body = vec![Inst::Nop, Inst::MovImm { dst: abi_ret(), imm: 3 }, Inst::Ret];
+        let reference =
+            Vm::with_options(Platform::LinuxX86, VmOptions { step_limit: 3 }).run(&body, &[], &mut ConstEnv::default());
+        let mut budget = StepBudget::new(3);
+        let decoded =
+            DecodedBody::compile(Platform::LinuxX86, &body)
+                .unwrap()
+                .run(&[], &mut ConstEnv::default(), &mut budget);
+        assert_eq!(reference.unwrap(), decoded.unwrap());
+        assert_eq!(budget.executed(), 3);
+    }
+
+    #[test]
+    fn fell_off_end_and_unresolved_call_match_reference() {
+        let (reference, decoded) = both(&[Inst::Nop], &[]);
+        assert_eq!(reference.unwrap_err(), IsaError::FellOffEnd);
+        assert_eq!(decoded.unwrap_err(), IsaError::FellOffEnd);
+
+        let body = vec![Inst::Call { sym: 3 }, Inst::Ret];
+        let err = DecodedBody::compile(Platform::LinuxX86, &body)
+            .unwrap()
+            .run(&[], &mut FnEnv::new(|sym| Err(IsaError::UnresolvedCall { sym }), |_| 0), &mut RunForever)
+            .unwrap_err();
+        assert_eq!(err, IsaError::UnresolvedCall { sym: 3 });
+    }
+
+    #[test]
+    fn sparc_return_register_is_respected() {
+        let abi = Platform::SolarisSparc.abi();
+        let body = vec![
+            Inst::MovImm { dst: Loc::Reg(Reg(0)), imm: 42 },
+            Inst::MovImm { dst: abi.return_loc(), imm: -2 },
+            Inst::Ret,
+        ];
+        let out = DecodedBody::compile(Platform::SolarisSparc, &body)
+            .unwrap()
+            .run(&[], &mut ConstEnv::default(), &mut RunForever)
+            .unwrap();
+        assert_eq!(out.return_value, -2);
+    }
+
+    #[test]
+    fn loads_alias_pic_stores_like_reference() {
+        let body = vec![
+            Inst::LeaPicBase { dst: Reg(5) },
+            Inst::Store { base: Reg(5), offset: 0x40, src: Operand::Imm(77) },
+            Inst::Load { dst: Reg(1), base: Reg(5), offset: 0x40 },
+            Inst::Mov { dst: abi_ret(), src: Loc::Reg(Reg(1)) },
+            Inst::Ret,
+        ];
+        let (reference, decoded) = both(&body, &[]);
+        let (reference, decoded) = (reference.unwrap(), decoded.unwrap());
+        assert_eq!(reference, decoded);
+        assert_eq!(decoded.return_value, 77);
+        // A load through a non-PIC base reads zero in both interpreters.
+        let body = vec![Inst::Load { dst: Reg(1), base: Reg(2), offset: 0x40 }, Inst::Ret];
+        let (reference, decoded) = both(&body, &[]);
+        assert_eq!(reference.unwrap(), decoded.unwrap());
+    }
+
+    #[test]
+    fn global_locs_alias_pic_relative_stores() {
+        // The same global offset reached both as `Loc::Global` and through a
+        // PIC-relative store shares one frame slot in the decoded body, just
+        // as both paths hit one HashMap entry in the reference.
+        let body = vec![
+            Inst::MovImm { dst: Loc::Global(0x40), imm: 5 },
+            Inst::LeaPicBase { dst: Reg(5) },
+            Inst::Store { base: Reg(5), offset: 0x40, src: Operand::Imm(9) },
+            Inst::Load { dst: Reg(1), base: Reg(5), offset: 0x40 },
+            Inst::Mov { dst: abi_ret(), src: Loc::Reg(Reg(1)) },
+            Inst::Ret,
+        ];
+        let (reference, decoded) = both(&body, &[]);
+        let (reference, decoded) = (reference.unwrap(), decoded.unwrap());
+        assert_eq!(reference, decoded);
+        assert_eq!(decoded.return_value, 9);
+        assert_eq!(decoded.global_writes.get(&0x40), Some(&9));
+    }
+}

@@ -38,9 +38,13 @@ pub enum IsaError {
         limit: u64,
     },
     /// The interpreter jumped to an instruction index outside the function.
+    ///
+    /// `target` is the *original* requested value: an indirect jump through a
+    /// location holding a negative value reports that negative value, not a
+    /// wrapped unsigned index.
     JumpOutOfRange {
-        /// The requested instruction index.
-        target: u32,
+        /// The requested instruction index, as read (possibly negative).
+        target: i64,
         /// Number of instructions in the function.
         len: usize,
     },

@@ -34,6 +34,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod decoded;
 pub mod encode;
 mod error;
 mod inst;
@@ -42,6 +43,7 @@ mod platform;
 mod reg;
 pub mod vm;
 
+pub use decoded::{DecodedBody, ExecutionController, RunForever, StepBudget};
 pub use error::IsaError;
 pub use inst::{BinAluOp, Cond, Inst, Operand};
 pub use loc::Loc;

@@ -184,6 +184,36 @@ impl Vm {
     /// within the step limit, falls off the end of its body, or calls a
     /// symbol the environment cannot resolve.
     pub fn run(&self, body: &[Inst], args: &[i64], env: &mut dyn CallEnv) -> Result<ExecOutcome, IsaError> {
+        self.run_reference(body, args, env)
+    }
+
+    /// Compiles `body` for the fast dispatch loop under this interpreter's
+    /// platform ABI.  See [`crate::DecodedBody`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::JumpOutOfRange`] for a static jump target outside
+    /// the body.
+    pub fn compile(&self, body: &[Inst]) -> Result<crate::DecodedBody, IsaError> {
+        crate::DecodedBody::compile(self.platform, body)
+    }
+
+    /// Runs a pre-compiled body under this interpreter's step limit —
+    /// outcome-identical to [`Vm::run`] on the source instructions.
+    ///
+    /// # Errors
+    ///
+    /// Same dynamic errors as [`Vm::run`].
+    pub fn run_decoded(
+        &self,
+        body: &crate::DecodedBody,
+        args: &[i64],
+        env: &mut dyn CallEnv,
+    ) -> Result<ExecOutcome, IsaError> {
+        body.run(args, env, &mut crate::StepBudget::new(self.options.step_limit))
+    }
+
+    fn run_reference(&self, body: &[Inst], args: &[i64], env: &mut dyn CallEnv) -> Result<ExecOutcome, IsaError> {
         let abi = self.platform.abi();
         let mut regs = [0i64; Reg::COUNT as usize];
         let mut stack: HashMap<i32, i64> = HashMap::new();
@@ -264,7 +294,7 @@ impl Vm {
                 }
                 Inst::JmpIndirect { loc } => {
                     let target = read(loc, &regs, &stack, &tls, &globals);
-                    next_pc = check_target(target as u32, body.len())?;
+                    next_pc = check_indirect_target(target, body.len())?;
                 }
                 Inst::Call { sym } => {
                     let v = env.call(sym)?;
@@ -319,7 +349,17 @@ fn check_target(target: u32, len: usize) -> Result<usize, IsaError> {
     if (target as usize) < len {
         Ok(target as usize)
     } else {
-        Err(IsaError::JumpOutOfRange { target, len })
+        Err(IsaError::JumpOutOfRange { target: i64::from(target), len })
+    }
+}
+
+/// Validates an indirect jump target read from a location at run time.
+/// Negative values are rejected explicitly — the error carries the original
+/// (possibly negative) value instead of a wrapped unsigned index.
+fn check_indirect_target(target: i64, len: usize) -> Result<usize, IsaError> {
+    match usize::try_from(target) {
+        Ok(t) if t < len => Ok(t),
+        _ => Err(IsaError::JumpOutOfRange { target, len }),
     }
 }
 
@@ -444,6 +484,30 @@ mod tests {
         let body = vec![Inst::Jmp { target: 17 }];
         let err = Vm::new(Platform::LinuxX86).run(&body, &[], &mut ConstEnv::default()).unwrap_err();
         assert_eq!(err, IsaError::JumpOutOfRange { target: 17, len: 1 });
+    }
+
+    #[test]
+    fn negative_indirect_jump_reports_the_original_value() {
+        // Regression: a negative indirect target used to be cast `as u32`,
+        // so the error reported the wrapped index (4294967293 for -3)
+        // instead of the value actually read.
+        let body = vec![
+            Inst::MovImm { dst: Loc::Reg(Reg(1)), imm: -3 },
+            Inst::JmpIndirect { loc: Loc::Reg(Reg(1)) },
+            Inst::Ret,
+        ];
+        let err = Vm::new(Platform::LinuxX86).run(&body, &[], &mut ConstEnv::default()).unwrap_err();
+        assert_eq!(err, IsaError::JumpOutOfRange { target: -3, len: 3 });
+
+        // In-range indirect targets still dispatch.
+        let body = vec![
+            Inst::MovImm { dst: Loc::Reg(Reg(1)), imm: 3 },
+            Inst::JmpIndirect { loc: Loc::Reg(Reg(1)) },
+            Inst::MovImm { dst: abi_ret(), imm: 9 },
+            Inst::Ret,
+        ];
+        let out = Vm::new(Platform::LinuxX86).run(&body, &[], &mut ConstEnv::default()).unwrap();
+        assert_eq!(out.return_value, 0, "instruction 2 is skipped by the jump");
     }
 
     #[test]

@@ -22,15 +22,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arena;
 mod error;
 mod library;
 mod process;
 mod status;
 
+pub use arena::{ArenaStats, PooledProcess, PreparedProcess, ProcessArena};
 pub use error::RuntimeError;
 pub use lfi_intern::{Symbol, SymbolTable};
 pub use library::{NativeFn, NativeLibrary, NativeLibraryBuilder};
-pub use process::{CallContext, FnPtr, Process, ProcessState, DEFAULT_CALL_LOG_CAPACITY};
+pub use process::{CallContext, FnPtr, Process, ProcessSnapshot, ProcessState, DEFAULT_CALL_LOG_CAPACITY};
 pub use status::{ExitStatus, Signal};
 
 #[cfg(test)]

@@ -218,7 +218,7 @@ const FNPTR_BASE: u64 = 0x7f00_0000_0000;
 /// execution (`lfi-controller`'s `Campaign::parallelism`) builds on.
 #[derive(Clone, Default)]
 pub struct Process {
-    libraries: Vec<NativeLibrary>,
+    libraries: Vec<Arc<NativeLibrary>>,
     state: ProcessState,
     max_call_depth: usize,
     fnptrs: Vec<Symbol>,
@@ -260,20 +260,20 @@ impl Process {
     /// Loads a library at the *end* of the resolution order (a normal
     /// `DT_NEEDED` dependency).
     pub fn load(&mut self, library: NativeLibrary) {
-        self.libraries.push(library);
+        self.libraries.push(Arc::new(library));
         self.chain_cache.clear();
     }
 
     /// Loads a library at the *front* of the resolution order
     /// (the `LD_PRELOAD` slot used by interceptor libraries).
     pub fn preload(&mut self, library: NativeLibrary) {
-        self.libraries.insert(0, library);
+        self.libraries.insert(0, Arc::new(library));
         self.chain_cache.clear();
     }
 
     /// The libraries currently loaded, in resolution order.
     pub fn loaded_libraries(&self) -> impl Iterator<Item = &str> {
-        self.libraries.iter().map(NativeLibrary::name)
+        self.libraries.iter().map(|library| library.name())
     }
 
     /// Shared process state.
@@ -418,6 +418,55 @@ impl Process {
         self.call_at_depth(symbol, args, depth)
     }
 
+    /// Records the process's complete observable state — loaded libraries
+    /// (by identity), `errno`/TLS/global data, the call stack, the call log
+    /// and its configuration, and the function-pointer table — as a baseline
+    /// for [`Process::restore`].
+    ///
+    /// Libraries are captured by reference (they are immutable once built),
+    /// so a snapshot is cheap to take and to hold.
+    pub fn snapshot(&self) -> ProcessSnapshot {
+        ProcessSnapshot {
+            libraries: self.libraries.clone(),
+            state: self.state.clone(),
+            max_call_depth: self.max_call_depth,
+            fnptrs: self.fnptrs.clone(),
+        }
+    }
+
+    /// Restores the process to a previously recorded [`ProcessSnapshot`].
+    ///
+    /// # Determinism contract
+    ///
+    /// After `restore`, the process is *observably identical* to what it was
+    /// when the snapshot was taken: the same libraries resolve in the same
+    /// order, every TLS/global slot, `errno`, the call stack, the call log
+    /// (contents, capacity, enablement, dropped-call counter) and the
+    /// function-pointer table hold the values they held then.  Internal
+    /// memo caches are performance-only and never observable: the resolution
+    /// chain cache is invalidated if the library list changed (and kept warm
+    /// otherwise, which is what makes an arena checkout cheap), and the
+    /// name→symbol cache survives because interning is append-only, so a hit
+    /// can never go stale.  A campaign may therefore interleave restored and
+    /// freshly built processes in any order without affecting a fixed-seed
+    /// run's outcome — the contract `ProcessArena` and parallel campaign
+    /// execution build on.
+    ///
+    /// State held *outside* the process — e.g. a simulated world captured by
+    /// library closures — is not covered; pair `restore` with a workload
+    /// reset hook (see `ProcessArena`) for that.
+    pub fn restore(&mut self, snapshot: &ProcessSnapshot) {
+        let libraries_unchanged = self.libraries.len() == snapshot.libraries.len()
+            && self.libraries.iter().zip(&snapshot.libraries).all(|(a, b)| Arc::ptr_eq(a, b));
+        if !libraries_unchanged {
+            self.libraries = snapshot.libraries.clone();
+            self.chain_cache.clear();
+        }
+        self.state = snapshot.state.clone();
+        self.max_call_depth = snapshot.max_call_depth;
+        self.fnptrs.clone_from(&snapshot.fnptrs);
+    }
+
     fn call_at_depth(&mut self, symbol: Symbol, args: &[i64], depth: usize) -> Result<i64, RuntimeError> {
         if depth > self.max_call_depth {
             return Err(RuntimeError::CallDepthExceeded { limit: self.max_call_depth });
@@ -435,6 +484,17 @@ impl Process {
         self.state.stack.pop();
         result
     }
+}
+
+/// A recorded baseline of a [`Process`], produced by [`Process::snapshot`]
+/// and consumed by [`Process::restore`].  See the restore documentation for
+/// the determinism contract.
+#[derive(Debug, Clone)]
+pub struct ProcessSnapshot {
+    libraries: Vec<Arc<NativeLibrary>>,
+    state: ProcessState,
+    max_call_depth: usize,
+    fnptrs: Vec<Symbol>,
 }
 
 impl fmt::Debug for Process {

@@ -260,9 +260,9 @@ impl Workload for HookRecorder {
         "hook-recorder"
     }
 
-    fn setup(&self, _case: &TestCase) -> Process {
+    fn setup(&self, _case: &TestCase) -> lfi::runtime::PooledProcess {
         self.counters.setups.fetch_add(1, Ordering::SeqCst);
-        setup()
+        setup().into()
     }
 
     fn run(&self, process: &mut Process) -> ExitStatus {
