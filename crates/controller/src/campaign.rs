@@ -23,7 +23,7 @@ use lfi_scenario::generator::ScenarioGenerator;
 use lfi_scenario::Plan;
 
 use crate::session::RunConfig;
-use crate::{CampaignRun, FnWorkload, InjectionRecord, TestLog, Workload};
+use crate::{CampaignRun, FnWorkload, InjectionRecord, ProgressSnapshot, TestLog, Workload};
 
 /// One fault-injection test case: a name and the scenario to apply.
 #[derive(Debug, Clone, PartialEq)]
@@ -83,6 +83,14 @@ pub struct CampaignReport {
     /// `ExecutionPolicy::max_cases` are *not* counted — they were never
     /// scheduled.
     pub cases_skipped: usize,
+    /// The run's final execution counters.  On a cleanly drained run these
+    /// agree with the outcome list; on a run that ended via cancellation
+    /// (or a dropped consumer) they also count the work of cases whose
+    /// events were never delivered — in particular
+    /// [`ProgressSnapshot::injections`] is the authoritative injection
+    /// total for partial runs, which is what [`CampaignReport::to_text`]
+    /// reports.
+    pub progress: ProgressSnapshot,
 }
 
 impl CampaignReport {
@@ -97,9 +105,13 @@ impl CampaignReport {
         self.outcomes.iter().filter(|o| !o.status.is_crash() && !o.status.is_success())
     }
 
-    /// Total number of injections across the campaign.
+    /// Total number of injections across the campaign: the sum over the
+    /// delivered outcomes, or the run's progress counter when that is
+    /// larger (a cancelled/abandoned run performs injections whose outcome
+    /// events are never delivered).
     pub fn total_injections(&self) -> usize {
-        self.outcomes.iter().map(TestOutcome::injection_count).sum()
+        let delivered: usize = self.outcomes.iter().map(TestOutcome::injection_count).sum();
+        delivered.max(self.progress.injections)
     }
 
     /// Renders the campaign report as text (the "test log" of Figure 1).
@@ -156,6 +168,22 @@ pub trait CampaignObserver: Send + Sync {
 
     /// A test case finished.
     fn on_outcome(&self, _outcome: &TestOutcome) {}
+
+    /// Asked once per executed case, on the worker thread, right after the
+    /// case's [`CampaignObserver::on_outcome`] hooks and *before* its
+    /// events ship to the stream consumer.  Returning `true` halts the run
+    /// exactly like a [`CancelHandle`](crate::CancelHandle) cancellation —
+    /// no further case is claimed; in-flight cases (under `parallelism(n)`)
+    /// still finish and are reported.
+    ///
+    /// Because the decision lands before the events ship, a halt at
+    /// `parallelism(1)` is deterministic: the same case always is the last
+    /// one executed, exactly like `stop_on_first_crash`.  This is the hook
+    /// closed-loop rule engines use to stop a campaign mid-flight without
+    /// racing the consumer.
+    fn should_halt(&self, _outcome: &TestOutcome) -> bool {
+        false
+    }
 }
 
 /// When a campaign stops before exhausting its test-case list.

@@ -265,6 +265,40 @@ pub(crate) struct RunConfig {
 /// accounts for every scheduled case: `outcomes.len() + cases_skipped ==
 /// scheduled cases`.  The event channel is bounded, so a slow consumer
 /// paces the workers instead of buffering unboundedly.
+///
+/// # Control-plane contract
+///
+/// Closed-loop controllers (the `lfi-rules` engine) feed decisions back
+/// into a running campaign.  Two attachment points exist, with different
+/// guarantees:
+///
+/// * **Observer side (worker thread, deterministic).**  A
+///   [`CampaignObserver`] sees each executed case's hooks *synchronously on
+///   the worker thread* and can stop the run via
+///   [`CampaignObserver::should_halt`], which is honoured before the case's
+///   events ship.  Because workers run ahead of the stream consumer (up to
+///   the channel bound), this is the only attachment point where a halt
+///   decision is deterministic at `parallelism(1)`: the halt lands before
+///   the next case is claimed, so fixed-seed serial reruns halt after the
+///   identical case and a rule engine evaluated in these hooks produces a
+///   byte-identical decision log.
+/// * **Consumer side (event stream, racy by design).**  A consumer
+///   iterating the run may call [`CancelHandle::cancel`] in response to an
+///   event, but the workers have typically run ahead by then: which cases
+///   were already claimed — and therefore still finish — depends on
+///   scheduling, even at `parallelism(1)`.  Consumer-side control is
+///   appropriate for coarse interventions (budget overruns, operator
+///   stops), not for decision streams that must replay.
+///
+/// Action delivery is **at most once per event**: an observer hook fires
+/// exactly once per executed case event, a skipped case fires no hooks, and
+/// a halted run delivers no further `Started` events — so a controller
+/// keyed on the event sequence can never double-apply a decision.
+/// Cancellation (either side) composes with the ordering contract above:
+/// the final report still accounts for every scheduled case, and
+/// [`CampaignReport::progress`] carries the authoritative execution
+/// counters even when the consumer stopped reading before the stream
+/// drained.
 pub struct CampaignRun {
     shared: Arc<RunShared>,
     receiver: Option<Receiver<Vec<CaseEvent>>>,
@@ -374,9 +408,11 @@ impl CampaignRun {
                 self.absorb_owned(event);
             }
         }
+        let progress = self.progress().snapshot();
         CampaignReport {
             outcomes: std::mem::take(&mut self.slots).into_iter().flatten().collect(),
             cases_skipped: self.skipped,
+            progress,
         }
     }
 
@@ -553,6 +589,7 @@ fn execute_case(
         observer.on_outcome(&outcome);
     }
     let crashed = outcome.status.is_crash();
+    let observer_halt = shared.observers.iter().any(|observer| observer.should_halt(&outcome));
     shared.injections.fetch_add(injections, Ordering::AcqRel);
     if crashed {
         shared.crashes.fetch_add(1, Ordering::AcqRel);
@@ -563,6 +600,9 @@ fn execute_case(
     // further case can slip in ahead of the halt (deterministic streams).
     if shared.stop_on_first_crash && crashed {
         shared.halt(REASON_CRASH);
+    }
+    if observer_halt {
+        shared.halt(REASON_CANCELLED);
     }
     if shared.budget.as_ref().is_some_and(|pool| pool.load(Ordering::Acquire) == 0) {
         shared.halt(REASON_BUDGET);

@@ -6,6 +6,7 @@ use lfi_explore::{ExplorationStore, Explorer};
 use lfi_objfile::SharedObject;
 use lfi_profile::{FaultProfile, ProfileKey, ProfileStore};
 use lfi_profiler::{LibraryProfileReport, Profiler, ProfilerError, ProfilerOptions, ProfilingStats};
+use lfi_rules::{ClosedLoop, RuleSet};
 use lfi_scenario::generator::{Exhaustive, Random, ScenarioGenerator};
 use lfi_scenario::{Plan, ScenarioError};
 
@@ -307,6 +308,29 @@ impl Lfi {
         let profiles = self.profiles_of(libraries)?;
         let plan = generator.generate(&profiles);
         Ok(Explorer::new(&plan, profiles))
+    }
+
+    /// Profiles the named libraries, runs the generator, and returns a
+    /// [`ClosedLoop`]: an [`Explorer`] whose refinement policy is the given
+    /// [`RuleSet`] instead of the built-in crash-adjacent heuristic.  Rules
+    /// evaluate live on the campaign's event stream (the control-plane
+    /// contract pinned in [`lfi_rules`]); frontier-shaping decisions —
+    /// escalate, mute, re-weight — apply between batches, and `Mute` also
+    /// vetoes in-flight cases through the gated workload.  Drive it with
+    /// [`ClosedLoop::run_workload`] or batch by batch with
+    /// [`ClosedLoop::step_workload`], then read
+    /// [`ClosedLoop::decision_log`] for the byte-stable audit trail.
+    ///
+    /// # Errors
+    ///
+    /// Fails when any named library is unknown or cannot be disassembled.
+    pub fn rules<G>(&self, generator: &G, libraries: &[&str], set: RuleSet) -> Result<ClosedLoop, LfiError>
+    where
+        G: ScenarioGenerator + ?Sized,
+    {
+        let profiles = self.profiles_of(libraries)?;
+        let plan = generator.generate(&profiles);
+        Ok(ClosedLoop::new(Explorer::new(&plan, profiles), set))
     }
 
     /// Rebuilds an [`Explorer`] from a persisted [`ExplorationStore`]

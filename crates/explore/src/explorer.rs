@@ -9,7 +9,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use lfi_controller::{
-    Campaign, CampaignReport, CaseEvent, ExecutionPolicy, FnWorkload, TestCase, TestOutcome, Workload,
+    Campaign, CampaignObserver, CampaignReport, CaseEvent, ExecutionPolicy, FnWorkload, TestCase, TestOutcome, Workload,
 };
 use lfi_intern::Symbol;
 use lfi_profile::FaultProfile;
@@ -25,7 +25,7 @@ pub const PROBE_CASE_NAME: &str = "probe-baseline";
 pub const DEFAULT_BATCH_SIZE: usize = 16;
 
 /// Priority of a frontier cell that sits next to an observed crash.
-const ESCALATED: i32 = 100;
+pub const ESCALATED: i32 = 100;
 
 /// Priority of a frontier cell whose ordinal lies beyond the call depth the
 /// probe run observed for its function (kept, but visited last: an injection
@@ -247,6 +247,19 @@ pub struct Explorer {
     cases_executed: u64,
     injections_performed: u64,
     elapsed: Duration,
+    /// Whether [`Explorer::consume`] runs the built-in crash-adjacent
+    /// escalation heuristic (default).  A closed-loop driver disables it and
+    /// re-expresses escalation as rules over [`Explorer::escalate_cell`].
+    escalation_enabled: bool,
+    /// Muted functions: their frontier cells are parked and no new cells of
+    /// theirs are scheduled until [`Explorer::unmute`].
+    muted: HashSet<Symbol>,
+    /// Frontier cells parked by [`Explorer::mute`], restored verbatim (with
+    /// their priorities) by [`Explorer::unmute`].
+    parked: Vec<FrontierCell>,
+    /// Observers attached to every batch campaign (probe included).  Not
+    /// persisted in the [`ExplorationStore`] — re-attach after a resume.
+    observers: Vec<Arc<dyn CampaignObserver>>,
 }
 
 impl Explorer {
@@ -280,6 +293,10 @@ impl Explorer {
             cases_executed: 0,
             injections_performed: 0,
             elapsed: Duration::ZERO,
+            escalation_enabled: true,
+            muted: HashSet::new(),
+            parked: Vec::new(),
+            observers: Vec::new(),
         }
     }
 
@@ -319,6 +336,10 @@ impl Explorer {
             cases_executed: store.cases_executed,
             injections_performed: store.injections_performed,
             elapsed: Duration::from_millis(store.elapsed_ms),
+            escalation_enabled: true,
+            muted: HashSet::new(),
+            parked: Vec::new(),
+            observers: Vec::new(),
         }
     }
 
@@ -353,7 +374,10 @@ impl Explorer {
             cases_executed: self.cases_executed,
             injections_performed: self.injections_performed,
             elapsed_ms: self.elapsed.as_millis() as u64,
-            frontier: self.frontier.clone(),
+            // Parked (muted) cells rejoin the frontier in the snapshot:
+            // mute state is runtime-only and a resumed explorer starts with
+            // nothing muted, so nothing is silently lost across a restore.
+            frontier: self.frontier.iter().chain(self.parked.iter()).cloned().collect(),
             executed,
             unreached,
             pruned_functions,
@@ -414,6 +438,26 @@ impl Explorer {
     /// cutoff lands depends on the machine.
     pub fn time_budget(mut self, budget: Duration) -> Self {
         self.config.time_budget = Some(budget);
+        self
+    }
+
+    /// Enables or disables the built-in crash-adjacent escalation heuristic
+    /// (default: enabled).  Disable it when an external policy — e.g. an
+    /// `lfi-rules` engine issuing [`Explorer::escalate_cell`] — owns
+    /// refinement, so crash neighborhoods are expanded exactly once.
+    pub fn escalation(mut self, enabled: bool) -> Self {
+        self.escalation_enabled = enabled;
+        self
+    }
+
+    /// Attaches a [`CampaignObserver`] to every batch campaign this explorer
+    /// runs (the probe included).  Hooks fire on the campaign worker
+    /// threads, per the observer contract; at `parallelism(1)` they fire in
+    /// deterministic case order.  Observers are runtime-only state: they are
+    /// not captured by [`Explorer::store`], so re-attach after
+    /// [`Explorer::resume`].
+    pub fn attach_observer(mut self, observer: Arc<dyn CampaignObserver>) -> Self {
+        self.observers.push(observer);
         self
     }
 
@@ -483,6 +527,108 @@ impl Explorer {
             return true;
         }
         self.probe_done && self.frontier.is_empty()
+    }
+
+    // -- external control (closed loop) -------------------------------------
+
+    /// The crash-adjacent neighborhood of a cell: the neighbouring call
+    /// ordinals with the same fault, plus every sibling (retval, errno) pair
+    /// the profiles list for the function at the same ordinal.  This is the
+    /// candidate set the built-in escalation heuristic raises; exposed so
+    /// external policies can reuse (or filter) it.
+    pub fn adjacent_cells(&self, cell: FaultCell) -> Vec<FaultCell> {
+        let mut candidates: Vec<FaultCell> = Vec::new();
+        if cell.call_ordinal > 1 {
+            candidates.push(FaultCell { call_ordinal: cell.call_ordinal - 1, ..cell });
+        }
+        candidates.push(FaultCell { call_ordinal: cell.call_ordinal + 1, ..cell });
+        let name = cell.function.as_str();
+        for profile in &self.profiles {
+            let Some(function) = profile.function(name) else {
+                continue;
+            };
+            for error in &function.error_returns {
+                let errnos = error.errno_values();
+                if errnos.is_empty() {
+                    candidates.push(FaultCell { retval: error.retval, errno: None, ..cell });
+                } else {
+                    for errno in errnos {
+                        candidates.push(FaultCell { retval: error.retval, errno: Some(errno), ..cell });
+                    }
+                }
+            }
+        }
+        candidates
+    }
+
+    /// Raises every [`Explorer::adjacent_cells`] neighbour of `cell` onto
+    /// the frontier at the escalated priority — the built-in crash heuristic
+    /// as an externally drivable action (rule engines call this for
+    /// `EscalateSiblings` decisions).
+    pub fn escalate_cell(&mut self, cell: FaultCell) {
+        self.escalate(cell);
+    }
+
+    /// Puts a single cell on the frontier at (at least) `priority`, unless
+    /// it already ran or was proven unreachable.  Cells of muted functions
+    /// are parked instead of scheduled.
+    pub fn raise_cell(&mut self, cell: FaultCell, priority: i32) {
+        self.raise(cell, priority);
+    }
+
+    /// Mutes a function: parks all of its pending frontier cells (keeping
+    /// their priorities) and diverts any later
+    /// [`Explorer::raise_cell`]/escalation of its cells to the parking lot,
+    /// so no further case injecting into the function is scheduled until
+    /// [`Explorer::unmute`].
+    pub fn mute(&mut self, function: Symbol) {
+        self.muted.insert(function);
+        let parked = &mut self.parked;
+        self.frontier.retain(|f| {
+            let hit = f.cell.function == function;
+            if hit {
+                parked.push(*f);
+            }
+            !hit
+        });
+    }
+
+    /// Lifts a [`Explorer::mute`], restoring the function's parked cells to
+    /// the frontier with the priorities they were parked with.
+    pub fn unmute(&mut self, function: Symbol) {
+        self.muted.remove(&function);
+        let mut restored = Vec::new();
+        self.parked.retain(|f| {
+            let hit = f.cell.function == function;
+            if hit {
+                restored.push(*f);
+            }
+            !hit
+        });
+        for cell in restored {
+            self.restore(cell);
+        }
+    }
+
+    /// True while `function` is muted.
+    pub fn is_muted(&self, function: Symbol) -> bool {
+        self.muted.contains(&function)
+    }
+
+    /// Cells currently parked by mutes.
+    pub fn parked_len(&self) -> usize {
+        self.parked.len()
+    }
+
+    /// Shifts the priority of every pending frontier cell of `function` by
+    /// `delta` (parked cells included, so a muted generator keeps its
+    /// weighting when unmuted).
+    pub fn reweight(&mut self, function: Symbol, delta: i32) {
+        for f in self.frontier.iter_mut().chain(self.parked.iter_mut()) {
+            if f.cell.function == function {
+                f.priority = f.priority.saturating_add(delta);
+            }
+        }
     }
 
     // -- the loop -----------------------------------------------------------
@@ -571,11 +717,11 @@ impl Explorer {
     /// depth are deprioritized (not pruned — injections can lengthen retry
     /// loops).
     fn run_probe(&mut self, workload: &Arc<dyn Workload>) -> CampaignReport {
-        let report = Campaign::new()
-            .case(TestCase::new(PROBE_CASE_NAME, Plan::new()))
-            .capture_call_log(true)
-            .start_arc(Arc::clone(workload))
-            .into_report();
+        let mut campaign = Campaign::new().case(TestCase::new(PROBE_CASE_NAME, Plan::new())).capture_call_log(true);
+        for observer in &self.observers {
+            campaign = campaign.observer_arc(Arc::clone(observer));
+        }
+        let report = campaign.start_arc(Arc::clone(workload)).into_report();
         if let Some(outcome) = report.outcomes.first() {
             self.cases_executed += 1;
             let mut counts: HashMap<Symbol, u64> = HashMap::new();
@@ -674,11 +820,11 @@ impl Explorer {
         if self.config.halt_on_crash {
             policy = policy.stop_on_first_crash();
         }
-        let mut run = Campaign::new()
-            .cases(cases)
-            .policy(policy)
-            .parallelism(self.config.parallelism)
-            .start_arc(Arc::clone(workload));
+        let mut campaign = Campaign::new().cases(cases).policy(policy).parallelism(self.config.parallelism);
+        for observer in &self.observers {
+            campaign = campaign.observer_arc(Arc::clone(observer));
+        }
+        let mut run = campaign.start_arc(Arc::clone(workload));
         let cancel = run.cancel_handle();
         let mut outcomes: Vec<(usize, TestOutcome)> = Vec::new();
         let mut skipped: Vec<usize> = Vec::new();
@@ -713,11 +859,16 @@ impl Explorer {
         if self.executed.contains(&cell.cell) || self.unreached.contains(&cell.cell) {
             return;
         }
-        if let Some(existing) = self.frontier.iter_mut().find(|f| f.cell == cell.cell) {
+        let lane = if self.muted.contains(&cell.cell.function) {
+            &mut self.parked
+        } else {
+            &mut self.frontier
+        };
+        if let Some(existing) = lane.iter_mut().find(|f| f.cell == cell.cell) {
             existing.priority = existing.priority.max(cell.priority);
             return;
         }
-        self.frontier.push(cell);
+        lane.push(cell);
     }
 
     /// The stable, human-greppable name of a cell's test case.
@@ -767,7 +918,9 @@ impl Explorer {
         }
         if class.is_crash() {
             self.crash_found = true;
-            self.escalate(cell);
+            if self.escalation_enabled {
+                self.escalate(cell);
+            }
         }
     }
 
@@ -796,43 +949,23 @@ impl Explorer {
     /// (retval, errno) pairs the profiles list for the function, at the same
     /// ordinal.  Cells not yet on the frontier are added.
     fn escalate(&mut self, cell: FaultCell) {
-        let mut candidates: Vec<FaultCell> = Vec::new();
-        if cell.call_ordinal > 1 {
-            candidates.push(FaultCell { call_ordinal: cell.call_ordinal - 1, ..cell });
-        }
-        candidates.push(FaultCell { call_ordinal: cell.call_ordinal + 1, ..cell });
-        let name = cell.function.as_str();
-        for profile in &self.profiles {
-            let Some(function) = profile.function(name) else {
-                continue;
-            };
-            for error in &function.error_returns {
-                let errnos = error.errno_values();
-                if errnos.is_empty() {
-                    candidates.push(FaultCell { retval: error.retval, errno: None, ..cell });
-                } else {
-                    for errno in errnos {
-                        candidates.push(FaultCell { retval: error.retval, errno: Some(errno), ..cell });
-                    }
-                }
-            }
-        }
-        for candidate in candidates {
+        for candidate in self.adjacent_cells(cell) {
             self.raise(candidate, ESCALATED);
         }
     }
 
     /// Puts a cell on the frontier at (at least) the given priority, unless
-    /// it already ran.
+    /// it already ran.  Cells of muted functions are parked instead.
     fn raise(&mut self, cell: FaultCell, priority: i32) {
         if self.executed.contains(&cell) || self.unreached.contains(&cell) {
             return;
         }
-        if let Some(existing) = self.frontier.iter_mut().find(|f| f.cell == cell) {
+        let lane = if self.muted.contains(&cell.function) { &mut self.parked } else { &mut self.frontier };
+        if let Some(existing) = lane.iter_mut().find(|f| f.cell == cell) {
             existing.priority = existing.priority.max(priority);
             return;
         }
-        self.frontier.push(FrontierCell { cell, priority });
+        lane.push(FrontierCell { cell, priority });
     }
 }
 

@@ -53,6 +53,6 @@ mod store;
 
 pub use explorer::{
     CoverageSummary, CrashCluster, ExplorationReport, Explorer, FrontierCell, FunctionCoverage, OutcomeClass,
-    DEFAULT_BATCH_SIZE, PROBE_CASE_NAME,
+    DEFAULT_BATCH_SIZE, ESCALATED, PROBE_CASE_NAME,
 };
 pub use store::ExplorationStore;

@@ -18,6 +18,13 @@ use crate::wire::{Request, Response, WireError};
 
 impl FabricHandle {
     /// Dispatches one parsed request against this fabric.
+    ///
+    /// ```
+    /// use lfi_fabric::{Fabric, Request, Response};
+    ///
+    /// let fabric = Fabric::builder().workers(0).build();
+    /// assert_eq!(fabric.handle().handle_request(Request::Ping), Response::Pong);
+    /// ```
     pub fn handle_request(&self, request: Request) -> Response {
         match request {
             Request::Ping => Response::Pong,
@@ -62,6 +69,14 @@ impl FabricHandle {
     /// Parses one request line and renders the response line — the whole
     /// server side of the protocol in one call.  A malformed line becomes
     /// an `error` response, never a dropped connection.
+    ///
+    /// ```
+    /// use lfi_fabric::Fabric;
+    ///
+    /// let fabric = Fabric::builder().workers(0).build();
+    /// assert_eq!(fabric.handle().handle_line("ping\n"), "pong");
+    /// assert!(fabric.handle().handle_line("warp").starts_with("error message="));
+    /// ```
     pub fn handle_line(&self, line: &str) -> String {
         match Request::parse(line.trim_end()) {
             Ok(request) => self.handle_request(request),
@@ -72,6 +87,14 @@ impl FabricHandle {
 
     /// Connects an in-process duplex client: a service thread owns the
     /// other end of a channel pair and answers until the client drops.
+    ///
+    /// ```
+    /// use lfi_fabric::Fabric;
+    ///
+    /// let fabric = Fabric::builder().workers(0).build();
+    /// let mut client = fabric.handle().connect();
+    /// client.ping().unwrap();
+    /// ```
     pub fn connect(&self) -> FabricClient {
         let (request_tx, request_rx) = std::sync::mpsc::channel::<String>();
         let (response_tx, response_rx) = std::sync::mpsc::channel::<String>();
@@ -92,6 +115,17 @@ impl FabricHandle {
     /// Serves the protocol over TCP: one accept loop thread, one thread
     /// per connection, newline-delimited requests until the peer closes.
     /// Returns a guard that stops the accept loop when dropped.
+    ///
+    /// ```no_run
+    /// use lfi_fabric::{Fabric, FabricClient};
+    ///
+    /// let fabric = Fabric::builder().build();
+    /// let listener = std::net::TcpListener::bind("127.0.0.1:0")?;
+    /// let guard = fabric.handle().serve_tcp(listener)?;
+    /// let mut client = FabricClient::tcp(guard.addr()).expect("connects");
+    /// client.ping().expect("server answers");
+    /// # Ok::<(), std::io::Error>(())
+    /// ```
     ///
     /// # Errors
     ///
@@ -152,6 +186,16 @@ fn serve_connection(handle: &FabricHandle, stream: TcpStream) {
 /// Keeps a [`FabricHandle::serve_tcp`] accept loop alive; dropping it
 /// stops accepting and joins the server threads (connections must be
 /// closed by their peers first).
+///
+/// ```no_run
+/// use lfi_fabric::Fabric;
+///
+/// let fabric = Fabric::builder().build();
+/// let guard = fabric.handle().serve_tcp(std::net::TcpListener::bind("127.0.0.1:0")?)?;
+/// println!("serving on {}", guard.addr());
+/// drop(guard); // stops accepting, joins the server threads
+/// # Ok::<(), std::io::Error>(())
+/// ```
 pub struct ServerGuard {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
@@ -160,12 +204,27 @@ pub struct ServerGuard {
 }
 
 impl ServerGuard {
-    /// The address the server is listening on (useful with port 0).
+    /// The address the server is listening on (useful with port 0, where
+    /// the OS picks the port and this is the only way to learn it).
+    ///
+    /// ```no_run
+    /// # let fabric = lfi_fabric::Fabric::builder().build();
+    /// # let guard = fabric.handle().serve_tcp(std::net::TcpListener::bind("127.0.0.1:0")?)?;
+    /// let mut client = lfi_fabric::FabricClient::tcp(guard.addr()).expect("connects");
+    /// # Ok::<(), std::io::Error>(())
+    /// ```
     pub fn addr(&self) -> SocketAddr {
         self.addr
     }
 
     /// Stops the accept loop (idempotent; also done on drop).
+    ///
+    /// ```no_run
+    /// # let fabric = lfi_fabric::Fabric::builder().build();
+    /// # let guard = fabric.handle().serve_tcp(std::net::TcpListener::bind("127.0.0.1:0")?)?;
+    /// guard.stop(); // new connections now refused; drop() joins the threads
+    /// # Ok::<(), std::io::Error>(())
+    /// ```
     pub fn stop(&self) {
         self.stop.store(true, Ordering::Release);
     }
@@ -203,12 +262,45 @@ enum Transport {
 }
 
 /// A typed client for the wire protocol, over either transport.
+///
+/// An in-process duplex client exercises the full protocol without a
+/// socket (an inert `workers(0)` fabric keeps the job deterministically
+/// queued):
+///
+/// ```
+/// use lfi_controller::FnWorkload;
+/// use lfi_fabric::{Fabric, JobSpec, JobState};
+/// use lfi_runtime::{ExitStatus, Process};
+/// use lfi_scenario::{FaultAction, Plan, PlanEntry, Trigger};
+///
+/// let fabric = Fabric::builder()
+///     .workers(0)
+///     .register(FnWorkload::new("noop", Process::new, |_: &mut Process| ExitStatus::Exited(0)))
+///     .build();
+/// let plan = Plan::new().entry(PlanEntry {
+///     function: "read".into(),
+///     trigger: Trigger::on_call(1),
+///     action: FaultAction::return_value(-1).with_errno(5),
+/// });
+///
+/// let mut client = fabric.handle().connect();
+/// let job = client.submit(JobSpec::new("smoke", "noop", plan)).unwrap();
+/// assert_eq!(client.status(job).unwrap().state, JobState::Queued);
+/// ```
 pub struct FabricClient {
     transport: Transport,
 }
 
 impl FabricClient {
     /// Connects over TCP.
+    ///
+    /// ```no_run
+    /// # let fabric = lfi_fabric::Fabric::builder().build();
+    /// # let guard = fabric.handle().serve_tcp(std::net::TcpListener::bind("127.0.0.1:0")?)?;
+    /// let mut client = lfi_fabric::FabricClient::tcp(guard.addr())?;
+    /// client.ping().expect("server answers");
+    /// # Ok::<(), std::io::Error>(())
+    /// ```
     ///
     /// # Errors
     ///
@@ -219,7 +311,17 @@ impl FabricClient {
         Ok(FabricClient { transport: Transport::Tcp { reader, writer: stream } })
     }
 
-    /// Sends one request and parses the response.
+    /// Sends one request and parses the response.  The typed wrappers
+    /// below cover every verb; reach for this when driving the protocol
+    /// generically.
+    ///
+    /// ```
+    /// use lfi_fabric::{Fabric, Request, Response};
+    ///
+    /// let fabric = Fabric::builder().workers(0).build();
+    /// let mut client = fabric.handle().connect();
+    /// assert_eq!(client.request(&Request::Ping).unwrap(), Response::Pong);
+    /// ```
     ///
     /// # Errors
     ///
@@ -259,6 +361,11 @@ impl FabricClient {
 
     /// `ping` → `pong`.
     ///
+    /// ```
+    /// let fabric = lfi_fabric::Fabric::builder().workers(0).build();
+    /// fabric.handle().connect().ping().unwrap();
+    /// ```
+    ///
     /// # Errors
     ///
     /// [`WireError`] on transport failure or an unexpected response.
@@ -270,6 +377,25 @@ impl FabricClient {
     }
 
     /// Submits a job and returns its id.
+    ///
+    /// ```
+    /// # use lfi_controller::FnWorkload;
+    /// # use lfi_fabric::{Fabric, JobSpec};
+    /// # use lfi_runtime::{ExitStatus, Process};
+    /// # use lfi_scenario::{FaultAction, Plan, PlanEntry, Trigger};
+    /// # let fabric = Fabric::builder()
+    /// #     .workers(0) // inert fleet: the job stays queued, deterministically
+    /// #     .register(FnWorkload::new("noop", Process::new, |_: &mut Process| ExitStatus::Exited(0)))
+    /// #     .build();
+    /// # let plan = Plan::new().entry(PlanEntry {
+    /// #     function: "read".into(),
+    /// #     trigger: Trigger::on_call(1),
+    /// #     action: FaultAction::return_value(-1).with_errno(5),
+    /// # });
+    /// # let mut client = fabric.handle().connect();
+    /// let job = client.submit(JobSpec::new("smoke", "noop", plan)).unwrap();
+    /// assert!(client.submit(JobSpec::new("typo", "nope", Plan::new())).is_err());
+    /// ```
     ///
     /// # Errors
     ///
@@ -284,6 +410,27 @@ impl FabricClient {
 
     /// Lists every job as `(id, name, state)`.
     ///
+    /// ```
+    /// # use lfi_controller::FnWorkload;
+    /// # use lfi_fabric::{Fabric, JobSpec};
+    /// # use lfi_runtime::{ExitStatus, Process};
+    /// # use lfi_scenario::{FaultAction, Plan, PlanEntry, Trigger};
+    /// # let fabric = Fabric::builder()
+    /// #     .workers(0) // inert fleet: the job stays queued, deterministically
+    /// #     .register(FnWorkload::new("noop", Process::new, |_: &mut Process| ExitStatus::Exited(0)))
+    /// #     .build();
+    /// # let plan = Plan::new().entry(PlanEntry {
+    /// #     function: "read".into(),
+    /// #     trigger: Trigger::on_call(1),
+    /// #     action: FaultAction::return_value(-1).with_errno(5),
+    /// # });
+    /// # let mut client = fabric.handle().connect();
+    /// # let job = client.submit(JobSpec::new("smoke", "noop", plan)).unwrap();
+    /// let jobs = client.jobs().unwrap();
+    /// assert_eq!(jobs.len(), 1);
+    /// assert_eq!(jobs[0].1, "smoke");
+    /// ```
+    ///
     /// # Errors
     ///
     /// [`WireError`] on transport failure or an unexpected response.
@@ -295,6 +442,27 @@ impl FabricClient {
     }
 
     /// Snapshots one job.
+    ///
+    /// ```
+    /// # use lfi_controller::FnWorkload;
+    /// # use lfi_fabric::{Fabric, JobSpec};
+    /// # use lfi_runtime::{ExitStatus, Process};
+    /// # use lfi_scenario::{FaultAction, Plan, PlanEntry, Trigger};
+    /// # let fabric = Fabric::builder()
+    /// #     .workers(0) // inert fleet: the job stays queued, deterministically
+    /// #     .register(FnWorkload::new("noop", Process::new, |_: &mut Process| ExitStatus::Exited(0)))
+    /// #     .build();
+    /// # let plan = Plan::new().entry(PlanEntry {
+    /// #     function: "read".into(),
+    /// #     trigger: Trigger::on_call(1),
+    /// #     action: FaultAction::return_value(-1).with_errno(5),
+    /// # });
+    /// # let mut client = fabric.handle().connect();
+    /// # let job = client.submit(JobSpec::new("smoke", "noop", plan)).unwrap();
+    /// let snapshot = client.status(job).unwrap();
+    /// assert_eq!(snapshot.cases, 1);
+    /// assert_eq!(snapshot.progress.finished, 0);
+    /// ```
     ///
     /// # Errors
     ///
@@ -309,6 +477,26 @@ impl FabricClient {
     /// Polls a job's event stream from the `after` cursor; returns the
     /// next cursor and the events.
     ///
+    /// ```
+    /// # use lfi_controller::FnWorkload;
+    /// # use lfi_fabric::{Fabric, JobSpec};
+    /// # use lfi_runtime::{ExitStatus, Process};
+    /// # use lfi_scenario::{FaultAction, Plan, PlanEntry, Trigger};
+    /// # let fabric = Fabric::builder()
+    /// #     .workers(0) // inert fleet: the job stays queued, deterministically
+    /// #     .register(FnWorkload::new("noop", Process::new, |_: &mut Process| ExitStatus::Exited(0)))
+    /// #     .build();
+    /// # let plan = Plan::new().entry(PlanEntry {
+    /// #     function: "read".into(),
+    /// #     trigger: Trigger::on_call(1),
+    /// #     action: FaultAction::return_value(-1).with_errno(5),
+    /// # });
+    /// # let mut client = fabric.handle().connect();
+    /// # let job = client.submit(JobSpec::new("smoke", "noop", plan)).unwrap();
+    /// let (next, events) = client.events(job, 0, 64).unwrap();
+    /// assert_eq!(next, events.len() as u64); // resume the poll from here
+    /// ```
+    ///
     /// # Errors
     ///
     /// [`WireError`] on transport failure or an unknown job.
@@ -320,6 +508,27 @@ impl FabricClient {
     }
 
     /// Cancels a job; returns its state after the request.
+    ///
+    /// ```
+    /// # use lfi_controller::FnWorkload;
+    /// # use lfi_fabric::{Fabric, JobSpec};
+    /// # use lfi_runtime::{ExitStatus, Process};
+    /// # use lfi_scenario::{FaultAction, Plan, PlanEntry, Trigger};
+    /// # let fabric = Fabric::builder()
+    /// #     .workers(0) // inert fleet: the job stays queued, deterministically
+    /// #     .register(FnWorkload::new("noop", Process::new, |_: &mut Process| ExitStatus::Exited(0)))
+    /// #     .build();
+    /// # let plan = Plan::new().entry(PlanEntry {
+    /// #     function: "read".into(),
+    /// #     trigger: Trigger::on_call(1),
+    /// #     action: FaultAction::return_value(-1).with_errno(5),
+    /// # });
+    /// # let mut client = fabric.handle().connect();
+    /// # use lfi_fabric::JobState;
+    /// # let job = client.submit(JobSpec::new("smoke", "noop", plan)).unwrap();
+    /// assert_eq!(client.cancel(job).unwrap(), JobState::Cancelled);
+    /// assert_eq!(client.cancel(job).unwrap(), JobState::Cancelled); // idempotent
+    /// ```
     ///
     /// # Errors
     ///
@@ -333,6 +542,26 @@ impl FabricClient {
 
     /// Pauses a job; returns its state after the request.
     ///
+    /// ```
+    /// # use lfi_controller::FnWorkload;
+    /// # use lfi_fabric::{Fabric, JobSpec};
+    /// # use lfi_runtime::{ExitStatus, Process};
+    /// # use lfi_scenario::{FaultAction, Plan, PlanEntry, Trigger};
+    /// # let fabric = Fabric::builder()
+    /// #     .workers(0) // inert fleet: the job stays queued, deterministically
+    /// #     .register(FnWorkload::new("noop", Process::new, |_: &mut Process| ExitStatus::Exited(0)))
+    /// #     .build();
+    /// # let plan = Plan::new().entry(PlanEntry {
+    /// #     function: "read".into(),
+    /// #     trigger: Trigger::on_call(1),
+    /// #     action: FaultAction::return_value(-1).with_errno(5),
+    /// # });
+    /// # let mut client = fabric.handle().connect();
+    /// # use lfi_fabric::JobState;
+    /// # let job = client.submit(JobSpec::new("smoke", "noop", plan)).unwrap();
+    /// assert_eq!(client.pause(job).unwrap(), JobState::Paused);
+    /// ```
+    ///
     /// # Errors
     ///
     /// [`WireError`] on transport failure or an unknown job.
@@ -345,6 +574,27 @@ impl FabricClient {
 
     /// Resumes a job; returns its state after the request.
     ///
+    /// ```
+    /// # use lfi_controller::FnWorkload;
+    /// # use lfi_fabric::{Fabric, JobSpec};
+    /// # use lfi_runtime::{ExitStatus, Process};
+    /// # use lfi_scenario::{FaultAction, Plan, PlanEntry, Trigger};
+    /// # let fabric = Fabric::builder()
+    /// #     .workers(0) // inert fleet: the job stays queued, deterministically
+    /// #     .register(FnWorkload::new("noop", Process::new, |_: &mut Process| ExitStatus::Exited(0)))
+    /// #     .build();
+    /// # let plan = Plan::new().entry(PlanEntry {
+    /// #     function: "read".into(),
+    /// #     trigger: Trigger::on_call(1),
+    /// #     action: FaultAction::return_value(-1).with_errno(5),
+    /// # });
+    /// # let mut client = fabric.handle().connect();
+    /// # use lfi_fabric::JobState;
+    /// # let job = client.submit(JobSpec::new("smoke", "noop", plan)).unwrap();
+    /// client.pause(job).unwrap();
+    /// assert_eq!(client.resume(job).unwrap(), JobState::Running);
+    /// ```
+    ///
     /// # Errors
     ///
     /// [`WireError`] on transport failure or an unknown job.
@@ -356,6 +606,26 @@ impl FabricClient {
     }
 
     /// Fetches a job's crash-safe checkpoint.
+    ///
+    /// ```
+    /// # use lfi_controller::FnWorkload;
+    /// # use lfi_fabric::{Fabric, JobSpec};
+    /// # use lfi_runtime::{ExitStatus, Process};
+    /// # use lfi_scenario::{FaultAction, Plan, PlanEntry, Trigger};
+    /// # let fabric = Fabric::builder()
+    /// #     .workers(0) // inert fleet: the job stays queued, deterministically
+    /// #     .register(FnWorkload::new("noop", Process::new, |_: &mut Process| ExitStatus::Exited(0)))
+    /// #     .build();
+    /// # let plan = Plan::new().entry(PlanEntry {
+    /// #     function: "read".into(),
+    /// #     trigger: Trigger::on_call(1),
+    /// #     action: FaultAction::return_value(-1).with_errno(5),
+    /// # });
+    /// # let mut client = fabric.handle().connect();
+    /// # let job = client.submit(JobSpec::new("smoke", "noop", plan)).unwrap();
+    /// let store = client.checkpoint(job).unwrap();
+    /// assert_eq!(store.frontier.len(), 1); // the untouched cell survives the trip
+    /// ```
     ///
     /// # Errors
     ///
@@ -370,6 +640,12 @@ impl FabricClient {
     }
 
     /// Asks the fabric to drain.
+    ///
+    /// ```
+    /// let fabric = lfi_fabric::Fabric::builder().workers(0).build();
+    /// fabric.handle().connect().drain().unwrap();
+    /// assert!(fabric.handle().is_draining());
+    /// ```
     ///
     /// # Errors
     ///

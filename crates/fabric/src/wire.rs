@@ -23,6 +23,14 @@ use crate::job::{JobEvent, JobEventKind, JobId, JobSnapshot, JobSpec, JobState};
 use lfi_scenario::Plan;
 
 /// A malformed request or response line.
+///
+/// ```
+/// use lfi_fabric::{Request, WireError};
+///
+/// let error = Request::parse("warp job=1").unwrap_err();
+/// assert!(matches!(error, WireError::Malformed { .. }));
+/// assert!(error.to_string().contains("unknown request verb"));
+/// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum WireError {
@@ -58,6 +66,12 @@ impl std::error::Error for WireError {}
 /// Percent-escapes a value: only ASCII alphanumerics, `-`, `_` and `.`
 /// pass through, so the escaped form is free of every structural
 /// character.
+///
+/// ```
+/// assert_eq!(lfi_fabric::escape("login sweep"), "login%20sweep");
+/// assert_eq!(lfi_fabric::escape("a=b;c"), "a%3Db%3Bc");
+/// assert_eq!(lfi_fabric::escape("plain-1.2_ok"), "plain-1.2_ok");
+/// ```
 pub fn escape(value: &str) -> String {
     let mut out = String::with_capacity(value.len());
     for byte in value.bytes() {
@@ -71,6 +85,11 @@ pub fn escape(value: &str) -> String {
 }
 
 /// Reverses [`escape`].
+///
+/// ```
+/// assert_eq!(lfi_fabric::unescape("login%20sweep").unwrap(), "login sweep");
+/// assert!(lfi_fabric::unescape("%4").is_err()); // truncated escape
+/// ```
 ///
 /// # Errors
 ///
@@ -98,6 +117,17 @@ pub fn unescape(value: &str) -> Result<String, WireError> {
 }
 
 /// A request line, parsed.
+///
+/// Every request round-trips through its wire line:
+///
+/// ```
+/// use lfi_fabric::{JobId, Request};
+///
+/// let request = Request::Events { job: JobId(4), after: 17, max: 100 };
+/// let line = request.encode();
+/// assert_eq!(line, "events job=4 after=17 max=100");
+/// assert_eq!(Request::parse(&line).unwrap(), request);
+/// ```
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     /// Liveness probe.
@@ -149,6 +179,17 @@ pub enum Request {
 }
 
 /// A response line, parsed.
+///
+/// Every response round-trips through its wire line:
+///
+/// ```
+/// use lfi_fabric::{JobId, JobState, Response};
+///
+/// let response = Response::StateChanged { job: JobId(2), state: JobState::Cancelled };
+/// let line = response.encode();
+/// assert_eq!(line, "state job=2 state=cancelled");
+/// assert_eq!(Response::parse(&line).unwrap(), response);
+/// ```
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
     /// Reply to [`Request::Ping`].
@@ -245,6 +286,13 @@ fn state_field(key: &str, value: &str) -> Result<JobState, WireError> {
 
 impl Request {
     /// Renders the request as one protocol line (no trailing newline).
+    ///
+    /// ```
+    /// use lfi_fabric::{JobId, Request};
+    ///
+    /// assert_eq!(Request::Ping.encode(), "ping");
+    /// assert_eq!(Request::Status { job: JobId(4) }.encode(), "status job=4");
+    /// ```
     pub fn encode(&self) -> String {
         match self {
             Request::Ping => "ping".into(),
@@ -281,6 +329,13 @@ impl Request {
     }
 
     /// Parses one request line.
+    ///
+    /// ```
+    /// use lfi_fabric::{JobId, Request};
+    ///
+    /// assert_eq!(Request::parse("cancel job=7").unwrap(), Request::Cancel { job: JobId(7) });
+    /// assert!(Request::parse("status").is_err()); // missing job= field
+    /// ```
     ///
     /// # Errors
     ///
@@ -396,6 +451,13 @@ fn decode_event(text: &str) -> Result<JobEvent, WireError> {
 
 impl Response {
     /// Renders the response as one protocol line (no trailing newline).
+    ///
+    /// ```
+    /// use lfi_fabric::{JobId, Response};
+    ///
+    /// assert_eq!(Response::Pong.encode(), "pong");
+    /// assert_eq!(Response::Submitted { job: JobId(9) }.encode(), "submitted job=9");
+    /// ```
     pub fn encode(&self) -> String {
         match self {
             Response::Pong => "pong".into(),
@@ -435,6 +497,13 @@ impl Response {
     }
 
     /// Parses one response line.
+    ///
+    /// ```
+    /// use lfi_fabric::{JobId, Response};
+    ///
+    /// assert_eq!(Response::parse("submitted job=9").unwrap(), Response::Submitted { job: JobId(9) });
+    /// assert!(Response::parse("state job=1 state=melted").is_err());
+    /// ```
     ///
     /// # Errors
     ///

@@ -1,0 +1,313 @@
+//! The structured [`MetricsSink`]: counter / gauge / histogram points with
+//! labels, rendered as NDJSON for the same `jq`-based tooling that consumes
+//! the bench harness's `LFI_BENCH_JSON` lines.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// The three point kinds a [`MetricsSink`] stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum MetricKind {
+    /// A monotonically accumulated sum ([`MetricsSink::incr`]).
+    Counter,
+    /// A last-write-wins level ([`MetricsSink::gauge`]).
+    Gauge,
+    /// A sample distribution, folded to count/sum/min/max
+    /// ([`MetricsSink::observe`]).
+    Histogram,
+}
+
+impl MetricKind {
+    /// The NDJSON `kind` field value for this point kind.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// Folded histogram state (bucketless: count, sum and the extrema — enough
+/// for rate and overhead dashboards without committing to a bucket layout).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct HistogramPoint {
+    /// Samples observed.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+/// One exported point: name, sorted labels, kind and value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricPoint {
+    /// Metric name (slash-namespaced by convention, e.g. `rules/fired`).
+    pub name: String,
+    /// Label pairs, sorted by key.
+    pub labels: Vec<(String, String)>,
+    /// Point kind.
+    pub kind: MetricKind,
+    /// Counter sum or gauge level; for histograms the sample sum (see
+    /// [`MetricPoint::histogram`]).
+    pub value: f64,
+    /// The folded distribution, for histogram points.
+    pub histogram: Option<HistogramPoint>,
+}
+
+/// Point identity inside the sink: (name, rendered label set).
+type Key = (String, String);
+
+/// A deterministic in-memory metrics store.
+///
+/// Points are keyed by `(name, sorted labels)`; every accessor and the
+/// [`MetricsSink::to_ndjson`] export iterate keys in lexicographic order, so
+/// two sinks fed the same updates render byte-identical output — the same
+/// determinism contract the rule engine's decision log pins.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSink {
+    counters: BTreeMap<Key, f64>,
+    gauges: BTreeMap<Key, f64>,
+    histograms: BTreeMap<Key, HistogramPoint>,
+}
+
+/// Renders a label set canonically: sorted by key, `k=v` joined with `,`.
+fn render_labels(labels: &[(&str, &str)]) -> String {
+    let mut sorted: Vec<(&str, &str)> = labels.to_vec();
+    sorted.sort_unstable();
+    let mut out = String::new();
+    for (i, (k, v)) in sorted.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{k}={v}");
+    }
+    out
+}
+
+/// Minimal JSON string escaping (backslash, quote, control characters).
+fn json_escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn labels_json(rendered: &str) -> String {
+    if rendered.is_empty() {
+        return "{}".to_owned();
+    }
+    let mut out = String::from("{");
+    for (i, pair) in rendered.split(',').enumerate() {
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":\"{}\"", json_escape(k), json_escape(v));
+    }
+    out.push('}');
+    out
+}
+
+impl MetricsSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `by` to the counter `name` with `labels`.
+    pub fn incr(&mut self, name: &str, labels: &[(&str, &str)], by: f64) {
+        *self.counters.entry((name.to_owned(), render_labels(labels))).or_insert(0.0) += by;
+    }
+
+    /// Sets the gauge `name` with `labels` to `value` (last write wins).
+    pub fn gauge(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.gauges.insert((name.to_owned(), render_labels(labels)), value);
+    }
+
+    /// Folds one sample into the histogram `name` with `labels`.
+    pub fn observe(&mut self, name: &str, labels: &[(&str, &str)], sample: f64) {
+        let point = self.histograms.entry((name.to_owned(), render_labels(labels))).or_insert(HistogramPoint {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        });
+        point.count += 1;
+        point.sum += sample;
+        point.min = point.min.min(sample);
+        point.max = point.max.max(sample);
+    }
+
+    /// The counter value, if the point exists.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        self.counters.get(&(name.to_owned(), render_labels(labels))).copied()
+    }
+
+    /// The gauge value, if the point exists.
+    pub fn gauge_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        self.gauges.get(&(name.to_owned(), render_labels(labels))).copied()
+    }
+
+    /// The folded histogram, if the point exists.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<HistogramPoint> {
+        self.histograms.get(&(name.to_owned(), render_labels(labels))).copied()
+    }
+
+    /// Number of stored points across all kinds.
+    pub fn len(&self) -> usize {
+        self.counters.len() + self.gauges.len() + self.histograms.len()
+    }
+
+    /// True when no point was ever recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Every point, counters then gauges then histograms, each sorted by
+    /// (name, labels).
+    pub fn points(&self) -> Vec<MetricPoint> {
+        let mut out = Vec::with_capacity(self.len());
+        let unpack = |rendered: &str| -> Vec<(String, String)> {
+            if rendered.is_empty() {
+                return Vec::new();
+            }
+            rendered
+                .split(',')
+                .map(|pair| {
+                    let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+                    (k.to_owned(), v.to_owned())
+                })
+                .collect()
+        };
+        for ((name, labels), &value) in &self.counters {
+            out.push(MetricPoint {
+                name: name.clone(),
+                labels: unpack(labels),
+                kind: MetricKind::Counter,
+                value,
+                histogram: None,
+            });
+        }
+        for ((name, labels), &value) in &self.gauges {
+            out.push(MetricPoint {
+                name: name.clone(),
+                labels: unpack(labels),
+                kind: MetricKind::Gauge,
+                value,
+                histogram: None,
+            });
+        }
+        for ((name, labels), &point) in &self.histograms {
+            out.push(MetricPoint {
+                name: name.clone(),
+                labels: unpack(labels),
+                kind: MetricKind::Histogram,
+                value: point.sum,
+                histogram: Some(point),
+            });
+        }
+        out
+    }
+
+    /// Renders every point as NDJSON — one JSON object per line, in the
+    /// deterministic point order, ready for `jq -s '.'` (the same shape the
+    /// CI bench tooling assembles `BENCH_*.json` files from).
+    ///
+    /// Counter/gauge lines carry `value`; histogram lines carry
+    /// `count`/`sum`/`min`/`max`.
+    pub fn to_ndjson(&self) -> String {
+        let mut out = String::new();
+        for ((name, labels), value) in &self.counters {
+            let _ = writeln!(
+                out,
+                "{{\"metric\":\"{}\",\"kind\":\"counter\",\"labels\":{},\"value\":{value}}}",
+                json_escape(name),
+                labels_json(labels),
+            );
+        }
+        for ((name, labels), value) in &self.gauges {
+            let _ = writeln!(
+                out,
+                "{{\"metric\":\"{}\",\"kind\":\"gauge\",\"labels\":{},\"value\":{value}}}",
+                json_escape(name),
+                labels_json(labels),
+            );
+        }
+        for ((name, labels), point) in &self.histograms {
+            let _ = writeln!(
+                out,
+                "{{\"metric\":\"{}\",\"kind\":\"histogram\",\"labels\":{},\"count\":{},\"sum\":{},\"min\":{},\"max\":{}}}",
+                json_escape(name),
+                labels_json(labels),
+                point.count,
+                point.sum,
+                point.min,
+                point.max,
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn points_accumulate_and_render_deterministically() {
+        let mut sink = MetricsSink::new();
+        assert!(sink.is_empty());
+        sink.incr("rules/fired", &[("rule", "breaker")], 1.0);
+        sink.incr("rules/fired", &[("rule", "breaker")], 2.0);
+        sink.gauge("campaign/crashes", &[], 3.0);
+        sink.observe("case/injections", &[], 2.0);
+        sink.observe("case/injections", &[], 4.0);
+        assert_eq!(sink.counter("rules/fired", &[("rule", "breaker")]), Some(3.0));
+        assert_eq!(sink.gauge_value("campaign/crashes", &[]), Some(3.0));
+        let h = sink.histogram("case/injections", &[]).unwrap();
+        assert_eq!((h.count, h.sum, h.min, h.max), (2, 6.0, 2.0, 4.0));
+        assert_eq!(sink.len(), 3);
+
+        // Label order never matters: keys are canonicalized.
+        let mut a = MetricsSink::new();
+        a.incr("m", &[("a", "1"), ("b", "2")], 1.0);
+        let mut b = MetricsSink::new();
+        b.incr("m", &[("b", "2"), ("a", "1")], 1.0);
+        assert_eq!(a.to_ndjson(), b.to_ndjson());
+
+        let ndjson = sink.to_ndjson();
+        assert_eq!(ndjson.lines().count(), 3);
+        assert!(ndjson.contains("\"kind\":\"counter\""));
+        assert!(ndjson.contains("\"labels\":{\"rule\":\"breaker\"}"));
+        assert!(ndjson.contains("\"count\":2"));
+        // Every line parses as a flat JSON object (quotes balanced, one
+        // object per line).
+        for line in ndjson.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
+        assert_eq!(sink.points().len(), 3);
+        assert_eq!(sink.points()[0].kind, MetricKind::Counter);
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        let mut sink = MetricsSink::new();
+        sink.incr("odd\"name", &[("k\\ey", "va\"lue")], 1.0);
+        let ndjson = sink.to_ndjson();
+        assert!(ndjson.contains("odd\\\"name"));
+        assert!(ndjson.contains("k\\\\ey"));
+        assert!(ndjson.contains("va\\\"lue"));
+    }
+}

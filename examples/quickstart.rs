@@ -117,4 +117,44 @@ fn main() {
     if let Some(outcome) = first_failure {
         println!("== replay script for {} ==\n{}", outcome.name, outcome.replay.to_xml());
     }
+
+    // --- Step 6: cancellation keeps the counters honest ---------------------
+    // A run cancelled mid-flight may have delivered few (or no) outcome
+    // events, but the report's progress snapshot still carries the
+    // authoritative injection count — `to_text` and `total_injections`
+    // surface it even when the outcome list is short.
+    let runtime = NativeLibrary::builder("libdemo.so")
+        .function("demo_read", |ctx| ctx.arg(2))
+        .constant("demo_alloc", 0x4000)
+        .build();
+    let mut run =
+        lfi.campaign(&Exhaustive, &["libdemo.so"])
+            .expect("campaign construction succeeds")
+            .start(FnWorkload::new(
+                "cancelled-midway",
+                move || {
+                    let mut process = Process::new();
+                    process.load(runtime.clone());
+                    process
+                },
+                |process| match process.call("demo_read", &[3, 0, 64]) {
+                    Ok(n) if n >= 0 => ExitStatus::Exited(0),
+                    _ => ExitStatus::Exited(1),
+                },
+            ));
+    let cancel = run.cancel_handle();
+    for event in run.by_ref() {
+        if matches!(event, CaseEvent::Injection { .. }) {
+            cancel.cancel();
+            break;
+        }
+    }
+    let cancelled = run.into_report();
+    println!(
+        "== cancelled run ==\n{} outcome(s) delivered, yet the report counts {} injection(s):",
+        cancelled.outcomes.len(),
+        cancelled.total_injections()
+    );
+    println!("{}", cancelled.to_text());
+    assert!(cancelled.total_injections() >= 1, "the progress snapshot survives cancellation");
 }

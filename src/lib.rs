@@ -61,6 +61,7 @@
 //! | fault scenarios ("faultloads")     | [`scenario`]: the `ScenarioGenerator` trait, generators, combinators |
 //! | LFI controller / interceptors      | [`controller`]: `Injector`, the `Workload` trait + registry, and the `Campaign` builder with streaming `CampaignRun` sessions, over [`runtime`] |
 //! | adaptive fault-space exploration   | [`explore`]: coverage-guided `Explorer` + resumable `ExplorationStore` |
+//! | closed-loop campaign control       | [`rules`]: rule engine + per-symbol state machines + metrics over the `CaseEvent` stream (see [`Lfi::rules`](core::Lfi::rules)) |
 //! | multi-tenant campaign service      | [`fabric`]: `Fabric` work-stealing fleet, crash-safe job handoff, wire protocol (see [`Lfi::fabric`](core::Lfi::fabric)) |
 //! | evaluated libraries & applications | [`corpus`], [`apps`] |
 //! | end-to-end facade & experiments    | [`core`] (re-exported as [`Lfi`]) |
@@ -136,6 +137,14 @@ pub mod controller {
 /// Coverage-guided, resumable fault-space exploration over campaigns.
 pub mod explore {
     pub use lfi_explore::*;
+}
+
+/// Closed-loop campaign control: a rule engine, per-symbol state machines
+/// (circuit breakers) and a structured metrics sink evaluated live over the
+/// `CaseEvent` stream, with decisions fed back into the explorer frontier or
+/// a fabric job's controls.
+pub mod rules {
+    pub use lfi_rules::*;
 }
 
 /// The multi-tenant campaign service: named jobs over one shared

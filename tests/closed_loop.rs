@@ -1,0 +1,212 @@
+//! Closed-loop campaign control end to end: the `lfi-rules` engine drives
+//! an `Explorer` through `Lfi::rules()` with the built-in crash-adjacent
+//! heuristic switched off, and the pinned control-plane contract holds —
+//! fixed-seed serial runs produce byte-identical decision logs, a tripped
+//! circuit breaker provably suppresses further injections for its symbol,
+//! and rule-driven escalation finds the seeded libc crash within the
+//! built-in heuristic's case budget.
+
+use lfi::asm::{FaultSpec, FunctionSpec, LibraryCompiler, LibrarySpec};
+use lfi::controller::FnWorkload;
+use lfi::corpus::{build_kernel, build_libc_scaled};
+use lfi::isa::Platform;
+use lfi::profiler::ProfilerOptions;
+use lfi::rules::{Action, CircuitBreaker, ClosedLoop, Condition, Metric, Rule, RuleSet};
+use lfi::runtime::{ExitStatus, NativeLibrary, Process, Signal};
+use lfi::scenario::generator::Exhaustive;
+use lfi::Lfi;
+
+const LIBC_EXPORTS: usize = 120;
+
+fn lfi_over_libc() -> Lfi {
+    let mut lfi = Lfi::with_options(ProfilerOptions::with_heuristics());
+    lfi.add_library(build_libc_scaled(Platform::LinuxX86, LIBC_EXPORTS).compiled.object);
+    lfi.set_kernel(build_kernel(Platform::LinuxX86));
+    lfi
+}
+
+fn setup() -> Process {
+    let mut process = Process::new();
+    process.load(
+        NativeLibrary::builder("libc.so.6")
+            .function("open", |_| 3)
+            .function("write", |ctx| ctx.arg(2))
+            .function("fsync", |_| 0)
+            .function("close", |_| 0)
+            .build(),
+    );
+    process
+}
+
+/// The log-structured writer of `tests/exploration.rs`: survives every
+/// documented failure, dies on the §3.3 undocumented EIO from `close`.
+fn workload(process: &mut Process) -> ExitStatus {
+    if process.call("open", &[0, 0, 0]).unwrap_or(-1) < 0 {
+        return ExitStatus::Exited(2);
+    }
+    for _ in 0..4 {
+        if process.call("write", &[3, 0, 64]).unwrap_or(-1) < 0 {
+            return ExitStatus::Exited(1);
+        }
+    }
+    if process.call("fsync", &[3]).unwrap_or(-1) < 0 {
+        return ExitStatus::Exited(1);
+    }
+    for _ in 0..2 {
+        if process.call("close", &[3]).unwrap_or(-1) < 0 {
+            if process.state().errno() == 5 {
+                return ExitStatus::Crashed(Signal::Segv);
+            }
+            return ExitStatus::Exited(1);
+        }
+    }
+    ExitStatus::Exited(0)
+}
+
+/// The acceptance rule set: escalate sibling errnos after a crash cluster,
+/// then trip the per-symbol circuit breaker on the second distinct one.
+fn policy() -> RuleSet {
+    RuleSet::new()
+        .rule(
+            Rule::per_symbol(
+                "escalate-on-crash",
+                Condition::at_least(Metric::CrashClusters, 1.0),
+                [Action::EscalateSiblings],
+            )
+            .once(),
+        )
+        .machine(CircuitBreaker::tripping_after(2).cooldown(1000))
+}
+
+/// One fixed-seed rule-driven exploration over libc-120.
+fn drive(lfi: &Lfi) -> (ClosedLoop, lfi::explore::ExplorationReport) {
+    let mut closed = lfi
+        .rules(&Exhaustive, &["libc.so.6"], policy())
+        .unwrap()
+        .configure(|e| e.seed(2009).batch_size(12).halt_on_crash(true));
+    let writer = FnWorkload::shared("log-writer", setup, workload);
+    let report = closed.run_workload(&writer);
+    (closed, report)
+}
+
+#[test]
+fn decision_log_is_byte_identical_across_fixed_seed_reruns() {
+    let lfi = lfi_over_libc();
+    let (first_loop, _) = drive(&lfi);
+    let (second_loop, _) = drive(&lfi);
+    let first = first_loop.decision_log();
+    assert!(!first.is_empty(), "the seeded crash fires the escalation rule");
+    assert_eq!(first, second_loop.decision_log(), "pinned contract: byte-identical logs");
+    // The metrics sink is as reproducible as the log.
+    assert_eq!(first_loop.harness().metrics().to_ndjson(), second_loop.harness().metrics().to_ndjson());
+}
+
+#[test]
+fn rule_driven_escalation_stays_within_the_builtin_heuristic_budget() {
+    let lfi = lfi_over_libc();
+
+    // The built-in crash-adjacent heuristic as the budget yardstick.
+    let mut builtin = lfi
+        .explore(&Exhaustive, &["libc.so.6"])
+        .unwrap()
+        .seed(2009)
+        .batch_size(12)
+        .halt_on_crash(true);
+    let yardstick = builtin.run(setup, workload);
+    assert!(builtin.crash_found());
+
+    // The same exploration, heuristic off, refinement supplied by rules.
+    let (closed, report) = drive(&lfi);
+    assert!(closed.explorer().crash_found(), "rules find the seeded crash too");
+    let crash = report.crash_clusters().next().expect("one crash cluster");
+    assert_eq!(crash.function.as_str(), "close");
+    assert_eq!(crash.example.errno, Some(5), "the undocumented EIO");
+    assert!(
+        report.cases_executed <= yardstick.cases_executed && report.cases_executed <= 13,
+        "{} rule-driven cases vs {} builtin",
+        report.cases_executed,
+        yardstick.cases_executed
+    );
+    // The escalation decision is on the log, cell attribution included.
+    let log = closed.decision_log();
+    assert!(log.contains("rule/escalate-on-crash"), "log:\n{log}");
+    assert!(log.contains("action=escalate-siblings"), "log:\n{log}");
+    assert!(log.contains("sym=close"), "log:\n{log}");
+}
+
+#[test]
+fn tripped_breaker_suppresses_further_injections_for_the_symbol() {
+    // `flaky` crashes under every injected fault — two distinct crash
+    // clusters (SIGSEGV and SIGABRT) — while `steady` fails cleanly.
+    let mut lfi = Lfi::with_options(ProfilerOptions::with_heuristics());
+    lfi.add_library(
+        LibraryCompiler::new()
+            .compile(
+                &LibrarySpec::new("libcrashy.so", Platform::LinuxX86)
+                    .function(FunctionSpec::scalar("steady", 1).success(0).fault(FaultSpec::returning(-1)))
+                    .function(
+                        FunctionSpec::scalar("flaky", 1)
+                            .success(0)
+                            .fault(FaultSpec::returning(-2))
+                            .fault(FaultSpec::returning(-3))
+                            .fault(FaultSpec::returning(-4))
+                            .fault(FaultSpec::returning(-5)),
+                    ),
+            )
+            .object,
+    );
+    let runtime = NativeLibrary::builder("libcrashy.so")
+        .function("steady", |_| 0)
+        .function("flaky", |_| 0)
+        .build();
+    let app = FnWorkload::shared(
+        "crashy-app",
+        move || {
+            let mut process = Process::new();
+            process.load(runtime.clone());
+            process
+        },
+        |process: &mut Process| {
+            let _ = process.call("steady", &[1]);
+            // Four calls so every fault ordinal the generator planned fires.
+            for _ in 0..4 {
+                match process.call("flaky", &[1]) {
+                    Ok(-2) | Ok(-4) => return ExitStatus::Crashed(Signal::Segv),
+                    Ok(-3) | Ok(-5) => return ExitStatus::Crashed(Signal::Abort),
+                    Ok(n) if n < 0 => return ExitStatus::Exited(1),
+                    _ => {}
+                }
+            }
+            ExitStatus::Exited(0)
+        },
+    );
+
+    let set = RuleSet::new().machine(CircuitBreaker::tripping_after(2).cooldown(1000));
+    let mut closed = lfi
+        .rules(&Exhaustive, &["libcrashy.so"], set)
+        .unwrap()
+        .configure(|e| e.seed(7).batch_size(8));
+    let report = closed.run_workload(&app);
+
+    // The breaker tripped on the second distinct cluster and muted `flaky`.
+    let log = closed.decision_log();
+    assert!(log.contains("machine/circuit-breaker:Closed->Open"), "log:\n{log}");
+    assert!(log.contains("sym=flaky") && log.contains("action=mute"), "log:\n{log}");
+    let harness = closed.harness();
+    assert!(harness.is_muted("flaky"));
+    assert!(!harness.is_muted("steady"));
+
+    // Suppression is provable: of `flaky`'s four fault cells, at most three
+    // ran before the trip (both clusters appear within any three of them),
+    // and the rest were parked, not executed.  `steady` was untouched.
+    let (flaky_injections, steady_injections) = harness.with_engine(|engine| {
+        let flaky = engine.state().symbol_named("flaky").map(|s| s.injections).unwrap_or(0);
+        let steady = engine.state().symbol_named("steady").map(|s| s.injections).unwrap_or(0);
+        (flaky, steady)
+    });
+    assert!((2..=3).contains(&flaky_injections), "{flaky_injections} flaky injections");
+    assert_eq!(steady_injections, 1, "the healthy symbol keeps running");
+    assert!(closed.explorer().parked_len() >= 1, "unexecuted flaky cells are parked");
+    assert!(report.cases_executed >= 4, "probe + steady + the pre-trip flaky cases");
+    assert!(closed.explorer().is_muted(lfi::intern::Symbol::intern("flaky")));
+}
