@@ -169,6 +169,62 @@ impl Lfi {
         self.store = store;
     }
 
+    /// Saves the profile store to `path` in the `lfi-store` binary snapshot
+    /// format (magic + version + CRC-checked record).  XML via
+    /// [`ProfileStore::to_xml`] remains the human-readable interchange
+    /// format; the binary file is the fast path for large stores.
+    ///
+    /// # Errors
+    ///
+    /// [`lfi_store::StoreError`] naming the path on IO failure.
+    pub fn save_profile_store(&self, path: impl AsRef<std::path::Path>) -> Result<(), lfi_store::StoreError> {
+        lfi_store::save_profile_store(path, &self.store)
+    }
+
+    /// Loads and installs a profile store from `path`, sniffing the on-disk
+    /// format by magic — binary snapshots decode through the checked codec,
+    /// anything else parses as the XML interchange format.  The same
+    /// staleness contract as [`Lfi::load_profile_store`] applies.
+    ///
+    /// # Errors
+    ///
+    /// [`lfi_store::StoreError`] naming the path, byte offset and detected
+    /// format; truncated or hostile input never panics.
+    pub fn load_profile_store_file(&mut self, path: impl AsRef<std::path::Path>) -> Result<(), lfi_store::StoreError> {
+        self.store = lfi_store::load_profile_store(path)?;
+        Ok(())
+    }
+
+    /// Loads an [`ExplorationStore`] checkpoint from `path`, sniffing the
+    /// format by magic: a binary snapshot, a recovered exploration journal
+    /// (snapshot plus durable deltas), or the XML interchange format.
+    /// Pair with [`Lfi::resume_exploration`] to continue the run.
+    ///
+    /// # Errors
+    ///
+    /// [`lfi_store::StoreError`] naming the path, byte offset and detected
+    /// format; truncated or hostile input never panics.
+    pub fn load_exploration(
+        &self,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<ExplorationStore, lfi_store::StoreError> {
+        lfi_store::load_exploration(path)
+    }
+
+    /// Saves an [`ExplorationStore`] checkpoint to `path` as a binary
+    /// snapshot — the counterpart of [`Lfi::load_exploration`].
+    ///
+    /// # Errors
+    ///
+    /// [`lfi_store::StoreError`] naming the path on IO failure.
+    pub fn save_exploration(
+        &self,
+        path: impl AsRef<std::path::Path>,
+        store: &ExplorationStore,
+    ) -> Result<(), lfi_store::StoreError> {
+        lfi_store::save_exploration(path, store)
+    }
+
     /// The store key under which `library`'s profile is (or would be)
     /// cached, when the library is registered.
     ///
@@ -488,6 +544,54 @@ mod tests {
         // profiles).
         lfi.set_kernel(lfi_corpus::build_kernel(Platform::LinuxX86));
         assert!(lfi.profile_store().is_empty());
+    }
+
+    #[test]
+    fn profile_store_files_round_trip_in_both_formats() {
+        let dir = std::env::temp_dir().join(format!("lfi-facade-store-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let mut lfi = Lfi::new();
+        lfi.add_library(demo());
+        let cold = lfi.profile("libdemo.so").unwrap();
+
+        // Binary save → sniffing load replays warm, byte for byte.
+        let binary = dir.join("profiles.lfis");
+        lfi.save_profile_store(&binary).unwrap();
+        let mut restored = Lfi::new();
+        restored.add_library(demo());
+        restored.load_profile_store_file(&binary).unwrap();
+        let replayed = restored.profile("libdemo.so").unwrap();
+        assert!(replayed.stats.served_from_store);
+        assert_eq!(replayed.profile, cold.profile);
+
+        // The same sniffing loader takes the XML interchange form.
+        let xml = dir.join("profiles.xml");
+        std::fs::write(&xml, lfi.profile_store().to_xml()).unwrap();
+        let mut from_xml = Lfi::new();
+        from_xml.add_library(demo());
+        from_xml.load_profile_store_file(&xml).unwrap();
+        assert!(from_xml.profile("libdemo.so").unwrap().stats.served_from_store);
+
+        // Hostile input is a typed error naming the path, never a panic.
+        let truncated = dir.join("truncated.lfis");
+        let bytes = std::fs::read(&binary).unwrap();
+        std::fs::write(&truncated, &bytes[..bytes.len() / 2]).unwrap();
+        let error = restored.load_profile_store_file(&truncated).unwrap_err();
+        assert!(error.to_string().contains("truncated.lfis"), "error names the path: {error}");
+
+        // Exploration checkpoints share the facade's save/load pair.
+        let checkpoint = dir.join("exploration.lfis");
+        let store = lfi_explore::ExplorationStore::from_xml(
+            "<exploration-store seed=\"7\" batch-size=\"4\" parallelism=\"1\" halt-on-crash=\"false\" \
+             universe=\"0\" batch-index=\"0\" rng-draws=\"0\" probe-done=\"false\" crash-found=\"false\" \
+             cases-executed=\"0\" injections-performed=\"0\" elapsed-ms=\"0\"><budget /><frontier />\
+             <executed /><unreached /><pruned /><coverage /><clusters /></exploration-store>",
+        )
+        .unwrap();
+        lfi.save_exploration(&checkpoint, &store).unwrap();
+        assert_eq!(lfi.load_exploration(&checkpoint).unwrap(), store);
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -6,6 +6,7 @@
 use lfi_asm::{CompiledLibrary, FaultSpec, FunctionSpec, LibraryCompiler, LibrarySpec};
 use lfi_isa::Platform;
 use lfi_objfile::ReturnType;
+use lfi_profile::{ErrorReturn, FaultProfile, FunctionProfile, SideEffect};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -65,6 +66,15 @@ impl SurveyConfig {
     /// A reduced survey for unit tests and quick runs.
     pub fn small() -> Self {
         Self { libraries: 4, functions_per_library: 120, seed: 2009 }
+    }
+
+    /// A survey scaled to approximately `total` functions (never fewer),
+    /// split into [`SurveyConfig::full`]-sized libraries.  The knob for
+    /// benches and tests that need a 10k-function corpus without paying for
+    /// the full >20k survey.
+    pub fn scaled(total: usize) -> Self {
+        let per_library = 500;
+        Self { libraries: total.div_ceil(per_library).max(1), functions_per_library: per_library, seed: 2009 }
     }
 
     /// Total number of functions the configuration will generate.
@@ -144,6 +154,43 @@ pub fn survey_corpus(config: SurveyConfig) -> Vec<CompiledLibrary> {
     libraries
 }
 
+/// Generates the survey's fault profiles *directly* — same Table 1
+/// distribution and naming as [`survey_corpus`], but skipping binary
+/// compilation and static analysis entirely.  This is the fast path for
+/// persistence benches and tests that need a 10k-function
+/// [`FaultProfile`] corpus in milliseconds; use [`survey_corpus`] when the
+/// binaries themselves matter.  Deterministic for a given config.
+pub fn survey_profiles(config: SurveyConfig) -> Vec<FaultProfile> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut profiles = Vec::with_capacity(config.libraries);
+    for lib_index in 0..config.libraries {
+        let library = format!("libsurvey{lib_index:02}.so");
+        let mut profile = FaultProfile::new(&library).with_platform(Platform::LinuxX86.to_string());
+        for fn_index in 0..config.functions_per_library {
+            let cell = draw_cell(&mut rng);
+            if cell.return_type == ReturnType::Void {
+                continue; // void functions expose no injectable error return
+            }
+            let name = format!("svy{lib_index:02}_fn_{fn_index:04}");
+            let retval = if cell.return_type == ReturnType::Pointer { 0 } else { -1 };
+            let side_effects = match cell.channel {
+                DetailChannel::None => Vec::new(),
+                DetailChannel::GlobalLocation => {
+                    if rng.gen_bool(0.5) {
+                        vec![SideEffect::tls(&library, 0x100, 5)]
+                    } else {
+                        vec![SideEffect::global(&library, 0x200, 5)]
+                    }
+                }
+                DetailChannel::Arguments => vec![SideEffect::output_arg(&library, 1, 22)],
+            };
+            profile.push_function(FunctionProfile { name, error_returns: vec![ErrorReturn { retval, side_effects }] });
+        }
+        profiles.push(profile);
+    }
+    profiles
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -169,6 +216,30 @@ mod tests {
         for library in &corpus {
             assert!(library.object.validate().is_ok());
         }
+    }
+
+    #[test]
+    fn scaled_config_reaches_the_requested_size() {
+        assert!(SurveyConfig::scaled(10_000).total_functions() >= 10_000);
+        assert!(SurveyConfig::scaled(10_000).total_functions() < 11_000, "scaled, not full");
+        assert_eq!(SurveyConfig::scaled(0).libraries, 1);
+    }
+
+    #[test]
+    fn survey_profiles_match_the_distribution_without_compiling() {
+        let config = SurveyConfig { libraries: 2, functions_per_library: 400, seed: 11 };
+        let profiles = survey_profiles(config);
+        assert_eq!(profiles.len(), 2);
+        let functions: usize = profiles.iter().map(FaultProfile::function_count).sum();
+        // Void functions (≈23%) carry no error return and are skipped.
+        assert!(functions > 500 && functions < 700, "non-void survivors: {functions}");
+        let with_side_effects = profiles
+            .iter()
+            .flat_map(|p| p.functions.iter())
+            .filter(|f| f.error_returns.iter().any(|e| !e.side_effects.is_empty()))
+            .count();
+        assert!(with_side_effects > 20, "global/argument channels present: {with_side_effects}");
+        assert_eq!(profiles, survey_profiles(config), "deterministic for a seed");
     }
 
     #[test]

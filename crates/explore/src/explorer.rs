@@ -16,7 +16,7 @@ use lfi_profile::FaultProfile;
 use lfi_runtime::{ExitStatus, Process, Signal};
 use lfi_scenario::{FaultCell, Plan};
 
-use crate::ExplorationStore;
+use crate::{ExplorationDelta, ExplorationStore};
 
 /// Name of the injection-free probe case every exploration starts with.
 pub const PROBE_CASE_NAME: &str = "probe-baseline";
@@ -200,6 +200,27 @@ impl Default for ExplorerConfig {
     }
 }
 
+/// Accumulates *which* parts of the exploration state mutated since the
+/// last [`Explorer::take_delta`] call.  Tracking is always on — every mark
+/// is an O(1) set insert bounded by what the span touched, and the tracked
+/// keys are resolved to absolute values only when the delta is taken.
+#[derive(Debug, Default)]
+struct DeltaTracker {
+    /// Cells whose frontier presence or priority may have changed.
+    frontier: HashSet<FaultCell>,
+    /// Cells executed in the span (each cell is consumed at most once).
+    executed: Vec<FaultCell>,
+    /// Cells proven unreachable in the span.
+    unreached: HashSet<FaultCell>,
+    /// Functions pruned wholesale in the span.
+    pruned_functions: HashSet<Symbol>,
+    /// Functions whose coverage entry mutated in the span.
+    coverage: HashSet<Symbol>,
+    /// Indices of clusters created or bumped in the span (cluster indices
+    /// are stable: the table only appends).
+    clusters: BTreeSet<usize>,
+}
+
 /// The coverage-guided exploration engine — see the [crate docs](crate) for
 /// the loop it closes.
 ///
@@ -260,6 +281,8 @@ pub struct Explorer {
     /// Observers attached to every batch campaign (probe included).  Not
     /// persisted in the [`ExplorationStore`] — re-attach after a resume.
     observers: Vec<Arc<dyn CampaignObserver>>,
+    /// What mutated since the last [`Explorer::take_delta`].
+    tracker: DeltaTracker,
 }
 
 impl Explorer {
@@ -297,6 +320,7 @@ impl Explorer {
             muted: HashSet::new(),
             parked: Vec::new(),
             observers: Vec::new(),
+            tracker: DeltaTracker::default(),
         }
     }
 
@@ -340,6 +364,7 @@ impl Explorer {
             muted: HashSet::new(),
             parked: Vec::new(),
             observers: Vec::new(),
+            tracker: DeltaTracker::default(),
         }
     }
 
@@ -358,6 +383,15 @@ impl Explorer {
         let mut coverage: Vec<(Symbol, FunctionCoverage)> =
             self.coverage.iter().map(|(s, c)| (*s, c.clone())).collect();
         coverage.sort_by_key(|(s, _)| s.as_str());
+        // Parked (muted) cells rejoin the frontier in the snapshot: mute
+        // state is runtime-only and a resumed explorer starts with nothing
+        // muted, so nothing is silently lost across a restore.  The snapshot
+        // is canonicalized to scheduling order (priority descending, then
+        // the total cell key): `select_batch` re-derives exactly this order
+        // anyway, and a canonical order is what lets a delta-rebuilt
+        // frontier match the snapshot byte for byte.
+        let mut frontier: Vec<FrontierCell> = self.frontier.iter().chain(self.parked.iter()).cloned().collect();
+        frontier.sort_by(|a, b| b.priority.cmp(&a.priority).then_with(|| a.cell.sort_key().cmp(&b.cell.sort_key())));
         ExplorationStore {
             seed: self.config.seed,
             batch_size: self.config.batch_size,
@@ -374,15 +408,72 @@ impl Explorer {
             cases_executed: self.cases_executed,
             injections_performed: self.injections_performed,
             elapsed_ms: self.elapsed.as_millis() as u64,
-            // Parked (muted) cells rejoin the frontier in the snapshot:
-            // mute state is runtime-only and a resumed explorer starts with
-            // nothing muted, so nothing is silently lost across a restore.
-            frontier: self.frontier.iter().chain(self.parked.iter()).cloned().collect(),
+            frontier,
             executed,
             unreached,
             pruned_functions,
             coverage,
             clusters: self.clusters.clone(),
+        }
+    }
+
+    /// Drains everything that mutated since the last `take_delta` call (or
+    /// since construction/resume) into one [`ExplorationDelta`] — the
+    /// incremental-checkpoint primitive behind the `lfi-store` journal.
+    ///
+    /// Contract: applying the returned delta to the [`Explorer::store`]
+    /// snapshot taken at the previous `take_delta` point reproduces the
+    /// current [`Explorer::store`] exactly (byte-identical through either
+    /// serialization), and the cost of the delta is proportional to what
+    /// the span touched, not to the total state.
+    pub fn take_delta(&mut self) -> ExplorationDelta {
+        let tracker = std::mem::take(&mut self.tracker);
+        let by_key = |a: &FaultCell, b: &FaultCell| a.sort_key().cmp(&b.sort_key());
+        let pending: HashMap<FaultCell, i32> =
+            self.frontier.iter().chain(self.parked.iter()).map(|f| (f.cell, f.priority)).collect();
+        let mut frontier_remove = Vec::new();
+        let mut frontier_upsert = Vec::new();
+        for cell in tracker.frontier {
+            match pending.get(&cell) {
+                Some(&priority) => frontier_upsert.push(FrontierCell { cell, priority }),
+                None => frontier_remove.push(cell),
+            }
+        }
+        frontier_remove.sort_by(by_key);
+        frontier_upsert.sort_by(|a, b| a.cell.sort_key().cmp(&b.cell.sort_key()));
+        let mut executed = tracker.executed;
+        executed.sort_by(by_key);
+        executed.dedup();
+        let mut unreached: Vec<FaultCell> = tracker.unreached.into_iter().collect();
+        unreached.sort_by(by_key);
+        let mut pruned_functions: Vec<Symbol> = tracker.pruned_functions.into_iter().collect();
+        pruned_functions.sort_by_key(|s| s.as_str());
+        let mut coverage: Vec<(Symbol, FunctionCoverage)> = tracker
+            .coverage
+            .into_iter()
+            .filter_map(|symbol| self.coverage.get(&symbol).map(|c| (symbol, c.clone())))
+            .collect();
+        coverage.sort_by_key(|(s, _)| s.as_str());
+        let clusters: Vec<CrashCluster> = tracker
+            .clusters
+            .into_iter()
+            .filter_map(|index| self.clusters.get(index).cloned())
+            .collect();
+        ExplorationDelta {
+            batch_index: self.batch_index,
+            rng_draws: self.rng_draws,
+            probe_done: self.probe_done,
+            crash_found: self.crash_found,
+            cases_executed: self.cases_executed,
+            injections_performed: self.injections_performed,
+            elapsed_ms: self.elapsed.as_millis() as u64,
+            frontier_remove,
+            frontier_upsert,
+            executed,
+            unreached,
+            pruned_functions,
+            coverage,
+            clusters,
         }
     }
 
@@ -624,9 +715,11 @@ impl Explorer {
     /// `delta` (parked cells included, so a muted generator keeps its
     /// weighting when unmuted).
     pub fn reweight(&mut self, function: Symbol, delta: i32) {
+        let tracker = &mut self.tracker;
         for f in self.frontier.iter_mut().chain(self.parked.iter_mut()) {
             if f.cell.function == function {
                 f.priority = f.priority.saturating_add(delta);
+                tracker.frontier.insert(f.cell);
             }
         }
     }
@@ -731,6 +824,7 @@ impl Explorer {
             for (&symbol, &count) in &counts {
                 let coverage = self.coverage.entry(symbol).or_default();
                 coverage.observed_calls = coverage.observed_calls.max(count);
+                self.tracker.coverage.insert(symbol);
             }
             if outcome.calls_dropped == 0 {
                 // A complete call log proves absence: prune every cell of a
@@ -739,16 +833,20 @@ impl Explorer {
                 // functions, so wholesale pruning is skipped and those cells
                 // are left for their own cases to rule out.
                 let pruned = &mut self.pruned_functions;
+                let tracker = &mut self.tracker;
                 self.frontier.retain(|f| {
                     let reached = counts.contains_key(&f.cell.function);
                     if !reached {
                         pruned.insert(f.cell.function);
+                        tracker.pruned_functions.insert(f.cell.function);
+                        tracker.frontier.insert(f.cell);
                     }
                     reached
                 });
                 for f in &mut self.frontier {
                     if f.cell.call_ordinal > counts.get(&f.cell.function).copied().unwrap_or(0) {
                         f.priority = f.priority.min(DEPRIORITIZED);
+                        self.tracker.frontier.insert(f.cell);
                     }
                 }
             }
@@ -792,7 +890,11 @@ impl Explorer {
             }
             start = end;
         }
-        self.frontier.drain(..take).collect()
+        let selected: Vec<FrontierCell> = self.frontier.drain(..take).collect();
+        for f in &selected {
+            self.tracker.frontier.insert(f.cell);
+        }
+        selected
     }
 
     /// Runs one batch of cells as a streaming campaign session and folds
@@ -859,6 +961,7 @@ impl Explorer {
         if self.executed.contains(&cell.cell) || self.unreached.contains(&cell.cell) {
             return;
         }
+        self.tracker.frontier.insert(cell.cell);
         let lane = if self.muted.contains(&cell.cell.function) {
             &mut self.parked
         } else {
@@ -887,6 +990,8 @@ impl Explorer {
     /// Folds one case outcome into the exploration state.
     fn consume(&mut self, cell: FaultCell, outcome: &TestOutcome) {
         self.executed.insert(cell);
+        self.tracker.executed.push(cell);
+        self.tracker.coverage.insert(cell.function);
         self.cases_executed += 1;
         let calls = outcome.log.calls_to_sym(cell.function);
         let coverage = self.coverage.entry(cell.function).or_default();
@@ -902,11 +1007,15 @@ impl Explorer {
             // them, and *record* them as unreached so a later crash
             // escalation cannot resurrect a cell already proven dead.
             self.unreached.insert(cell);
+            self.tracker.unreached.insert(cell);
             let unreached = &mut self.unreached;
+            let tracker = &mut self.tracker;
             self.frontier.retain(|f| {
                 let dead = f.cell.function == cell.function && f.cell.call_ordinal > calls;
                 if dead {
                     unreached.insert(f.cell);
+                    tracker.unreached.insert(f.cell);
+                    tracker.frontier.insert(f.cell);
                 }
                 !dead
             });
@@ -926,14 +1035,16 @@ impl Explorer {
 
     /// Deduplicates a non-success outcome into the cluster table.
     fn cluster(&mut self, cell: FaultCell, case: &str, stack: Vec<Symbol>, outcome: OutcomeClass) {
-        if let Some(existing) = self
+        if let Some(index) = self
             .clusters
-            .iter_mut()
-            .find(|c| c.function == cell.function && c.stack == stack && c.outcome == outcome)
+            .iter()
+            .position(|c| c.function == cell.function && c.stack == stack && c.outcome == outcome)
         {
-            existing.count += 1;
+            self.clusters[index].count += 1;
+            self.tracker.clusters.insert(index);
             return;
         }
+        self.tracker.clusters.insert(self.clusters.len());
         self.clusters.push(CrashCluster {
             function: cell.function,
             stack,
@@ -960,6 +1071,7 @@ impl Explorer {
         if self.executed.contains(&cell) || self.unreached.contains(&cell) {
             return;
         }
+        self.tracker.frontier.insert(cell);
         let lane = if self.muted.contains(&cell.function) { &mut self.parked } else { &mut self.frontier };
         if let Some(existing) = lane.iter_mut().find(|f| f.cell == cell) {
             existing.priority = existing.priority.max(priority);
@@ -1158,6 +1270,35 @@ mod tests {
         final_a.elapsed_ms = 0;
         final_b.elapsed_ms = 0;
         assert_eq!(final_a, final_b);
+    }
+
+    #[test]
+    fn deltas_reconstruct_the_snapshot_exactly() {
+        let mut live = explorer();
+        let mut shadow = live.store();
+        assert!(live.take_delta().is_empty(), "nothing has mutated yet");
+        while live.step(setup, workload).is_some() {
+            let delta = live.take_delta();
+            delta.apply(&mut shadow);
+            assert_eq!(shadow, live.store(), "snapshot + deltas == live store after every step");
+            // Deltas carry absolute values, so re-applying one is a no-op.
+            let mut again = shadow.clone();
+            delta.apply(&mut again);
+            assert_eq!(again, shadow);
+        }
+        assert_eq!(shadow.to_xml(), live.store().to_xml(), "byte-identical through serialization");
+        assert!(live.take_delta().is_empty(), "taking a delta drains the tracker");
+
+        // External control mutations are tracked too.
+        let mut controlled = explorer();
+        let mut shadow = controlled.store();
+        controlled.step(setup, workload).unwrap();
+        let read = controlled.store().frontier[0].cell.function;
+        controlled.reweight(read, 7);
+        controlled.mute(read);
+        controlled.unmute(read);
+        controlled.take_delta().apply(&mut shadow);
+        assert_eq!(shadow, controlled.store());
     }
 
     #[test]

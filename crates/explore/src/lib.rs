@@ -48,9 +48,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod delta;
 mod explorer;
 mod store;
 
+pub use delta::ExplorationDelta;
 pub use explorer::{
     CoverageSummary, CrashCluster, ExplorationReport, Explorer, FrontierCell, FunctionCoverage, OutcomeClass,
     DEFAULT_BATCH_SIZE, ESCALATED, PROBE_CASE_NAME,

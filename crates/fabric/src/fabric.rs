@@ -2,8 +2,10 @@
 //! [`Scheduler`], the public [`Fabric`]/[`FabricHandle`] surface, and the
 //! per-lease bridge onto the existing [`Campaign`] machinery.
 
+use std::collections::HashMap;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
@@ -12,6 +14,7 @@ use std::time::{Duration, Instant};
 use lfi_controller::{Campaign, CaseEvent, ExecutionPolicy, TestCase, Workload, WorkloadRegistry};
 use lfi_explore::{ExplorationStore, OutcomeClass};
 use lfi_scenario::Plan;
+use lfi_store::{AckOutcome, AckRecord, Journal, Record, StoreError};
 
 use crate::job::{JobEvent, JobEventKind, JobId, JobReport, JobSnapshot, JobSpec, JobState};
 use crate::scheduler::{case_name, CellOutcome, LeaseAssignment, LeaseResult, Scheduler};
@@ -24,6 +27,10 @@ pub const DEFAULT_LEASE_DEADLINE: Duration = Duration::from_secs(60);
 
 /// How long an idle worker parks before re-checking deadlines and flags.
 const WORKER_PARK: Duration = Duration::from_millis(25);
+
+/// Ack records a job's journal accumulates before an append compacts it
+/// back into a single fresh checkpoint snapshot.
+const JOURNAL_COMPACT_EVERY: u64 = 32;
 
 /// Errors surfaced by fabric requests.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -39,6 +46,13 @@ pub enum FabricError {
         /// The unresolved id.
         job: JobId,
     },
+    /// A journal file could not be created, recovered or replayed.
+    Journal {
+        /// The journal path involved.
+        path: PathBuf,
+        /// The underlying store error, rendered.
+        message: String,
+    },
 }
 
 impl fmt::Display for FabricError {
@@ -46,6 +60,7 @@ impl fmt::Display for FabricError {
         match self {
             FabricError::UnknownWorkload { name } => write!(f, "no workload registered under {name:?}"),
             FabricError::UnknownJob { job } => write!(f, "no job with id {job}"),
+            FabricError::Journal { path, message } => write!(f, "journal {}: {message}", path.display()),
         }
     }
 }
@@ -57,6 +72,11 @@ impl std::error::Error for FabricError {}
 struct FabricInner {
     sched: Mutex<Scheduler>,
     registry: Mutex<WorkloadRegistry>,
+    /// Per-job write-ahead ack journals (`lfi-store` files).  Lock order:
+    /// `sched` strictly before `journals` — every acquisition of this mutex
+    /// happens while `sched` is held, so append/compact can never interleave
+    /// with a checkpoint of a half-acked state.
+    journals: Mutex<HashMap<u64, JobJournal>>,
     /// Signalled when new work may be available (submit, ack, resume).
     work: Condvar,
     /// Signalled after every ack, for `wait_idle`/`wait_job` pollers.
@@ -76,6 +96,88 @@ impl FabricInner {
     fn notify(&self) {
         self.work.notify_all();
         self.idle.notify_all();
+    }
+}
+
+/// One job's open ack journal plus its health.  A persistence failure
+/// mid-run is recorded here — workers never panic over journal IO — and
+/// surfaced through [`FabricHandle::journal_error`].
+struct JobJournal {
+    journal: Journal,
+    error: Option<StoreError>,
+}
+
+/// The journaled twin of a worker's [`LeaseResult`]: the per-cell outcomes
+/// and the skipped cells, without the transient event stream (the event
+/// ring is runtime observability, not durable state).
+fn result_to_ack(result: &LeaseResult) -> AckRecord {
+    AckRecord {
+        outcomes: result
+            .outcomes
+            .iter()
+            .map(|(cell, outcome)| AckOutcome {
+                cell: *cell,
+                outcome: outcome.outcome,
+                injections: outcome.injections as u64,
+                triggered: outcome.triggered,
+                stack: outcome.stack.clone(),
+                case: outcome.case.clone(),
+            })
+            .collect(),
+        skipped: result.skipped.clone(),
+    }
+}
+
+/// The inverse of [`result_to_ack`], for recovery replay.  Events are
+/// empty by design: replay reconstructs durable state, not the ring.
+fn ack_to_result(ack: AckRecord) -> LeaseResult {
+    LeaseResult {
+        events: Vec::new(),
+        outcomes: ack
+            .outcomes
+            .into_iter()
+            .map(|outcome| {
+                (
+                    outcome.cell,
+                    CellOutcome {
+                        outcome: outcome.outcome,
+                        injections: outcome.injections as usize,
+                        triggered: outcome.triggered,
+                        stack: outcome.stack,
+                        case: outcome.case,
+                    },
+                )
+            })
+            .collect(),
+        skipped: ack.skipped,
+    }
+}
+
+/// Appends one ack to `job`'s journal, if it has one, compacting back to a
+/// fresh checkpoint snapshot every [`JOURNAL_COMPACT_EVERY`] acks.  Called
+/// with the scheduler lock held (see the lock-order note on
+/// [`FabricInner::journals`]) so the ack landing in the scheduler and the
+/// ack landing in the journal are one atomic step.  IO failures park the
+/// journal in an error state instead of panicking the worker.
+fn journal_append(inner: &FabricInner, sched: &Scheduler, job: JobId, ack: AckRecord) {
+    let mut journals = lock(&inner.journals);
+    let Some(entry) = journals.get_mut(&job.0) else {
+        return;
+    };
+    if entry.error.is_some() {
+        return;
+    }
+    let appended = entry.journal.append(&Record::Ack(ack)).and_then(|()| {
+        if entry.journal.appended() < JOURNAL_COMPACT_EVERY {
+            return Ok(());
+        }
+        match sched.checkpoint(job) {
+            Some(store) => entry.journal.compact(&Record::ExplorationSnapshot(store)),
+            None => Ok(()),
+        }
+    });
+    if let Err(error) = appended {
+        entry.error = Some(error);
     }
 }
 
@@ -151,6 +253,7 @@ impl FabricBuilder {
         let inner = Arc::new(FabricInner {
             sched: Mutex::new(Scheduler::new(self.lease_batch, self.lease_deadline)),
             registry: Mutex::new(self.registry),
+            journals: Mutex::new(HashMap::new()),
             work: Condvar::new(),
             idle: Condvar::new(),
             draining: AtomicBool::new(false),
@@ -332,6 +435,91 @@ impl FabricHandle {
         lock(&self.inner.sched).checkpoint(job)
     }
 
+    /// Attaches a write-ahead journal to `job` at `path`: the file opens
+    /// with the job's full checkpoint snapshot, and from then on every
+    /// acked lease appends one O(lease) ack record — so keeping the job
+    /// recoverable costs the delta, not a full re-checkpoint.  The journal
+    /// compacts itself back to a single fresh snapshot periodically.
+    ///
+    /// [`FabricHandle::recover_job`] in a later process replays the file
+    /// back into an equivalent job.  Journaling from submission (before the
+    /// first lease) makes recovery byte-identical to a live checkpoint;
+    /// attaching mid-run inherits the same contract as
+    /// [`checkpoint`](FabricHandle::checkpoint) +
+    /// [`submit_restored`](FabricHandle::submit_restored).
+    ///
+    /// # Errors
+    ///
+    /// [`FabricError::UnknownJob`] for an unknown id;
+    /// [`FabricError::Journal`] when the file cannot be created.
+    pub fn journal_job(&self, job: JobId, path: impl AsRef<Path>) -> Result<(), FabricError> {
+        let path = path.as_ref();
+        // Hold the scheduler lock across snapshot + registration so no ack
+        // can land between the checkpoint and the journal starting.
+        let sched = lock(&self.inner.sched);
+        let store = sched.checkpoint(job).ok_or(FabricError::UnknownJob { job })?;
+        let journal = Journal::create(path, &Record::ExplorationSnapshot(store))
+            .map_err(|error| FabricError::Journal { path: path.to_path_buf(), message: error.to_string() })?;
+        lock(&self.inner.journals).insert(job.0, JobJournal { journal, error: None });
+        drop(sched);
+        Ok(())
+    }
+
+    /// Recovers a job from a journal written by
+    /// [`FabricHandle::journal_job`] — typically in a previous process that
+    /// was killed mid-run.  The journal's durable tail (a torn final append
+    /// is truncated) is replayed: the leading snapshot seeds the job via
+    /// the restore path, then every ack record folds through the same
+    /// scheduler transition the live ack took.  The recovered job continues
+    /// journaling to the same file.
+    ///
+    /// Cells that were leased but never acked at kill time are still in
+    /// the frontier — they were never durably executed, so they run again.
+    ///
+    /// # Errors
+    ///
+    /// [`FabricError::UnknownWorkload`] when the spec's workload name is
+    /// not registered; [`FabricError::Journal`] when the file cannot be
+    /// read or is not a fabric job journal.
+    pub fn recover_job(&self, spec: JobSpec, path: impl AsRef<Path>) -> Result<JobId, FabricError> {
+        let path = path.as_ref();
+        let journal_error = |message: String| FabricError::Journal { path: path.to_path_buf(), message };
+        let workload = self.resolve(&spec)?;
+        let (journal, records) = Journal::open(path).map_err(|error| journal_error(error.to_string()))?;
+        let mut records = records.into_iter();
+        let snapshot = match records.next() {
+            Some(Record::ExplorationSnapshot(store)) => store,
+            _ => return Err(journal_error("journal does not start with an exploration snapshot".into())),
+        };
+        let mut acks = Vec::new();
+        for record in records {
+            match record {
+                Record::Ack(ack) => acks.push(ack),
+                _ => return Err(journal_error("foreign record kind in job journal".into())),
+            }
+        }
+        let mut sched = lock(&self.inner.sched);
+        let job = sched.submit_restored(spec, workload, &snapshot);
+        for ack in acks {
+            sched.replay_ack(job, ack_to_result(ack));
+        }
+        lock(&self.inner.journals).insert(job.0, JobJournal { journal, error: None });
+        drop(sched);
+        self.inner.notify();
+        Ok(job)
+    }
+
+    /// The error that stopped `job`'s journal, if journaling broke mid-run
+    /// (rendered; the journal stops appending after its first failure).
+    /// `None` for jobs without a journal or with a healthy one.
+    pub fn journal_error(&self, job: JobId) -> Option<String> {
+        let sched = lock(&self.inner.sched);
+        let journals = lock(&self.inner.journals);
+        let error = journals.get(&job.0).and_then(|entry| entry.error.as_ref().map(ToString::to_string));
+        drop(sched);
+        error
+    }
+
     /// The job's coverage/cluster report (valid mid-run; final once the
     /// job is terminal).
     pub fn report(&self, job: JobId) -> Option<JobReport> {
@@ -448,8 +636,20 @@ fn worker_loop(inner: &FabricInner) {
         {
             let mut sched = lock(&inner.sched);
             match result {
-                Ok(result) => sched.ack(job, lease, result),
-                Err(_) => sched.requeue_panic(job, lease),
+                Ok(result) => {
+                    // Convert before acking (the ack consumes the result),
+                    // but only journal what the scheduler actually counted:
+                    // a stale ack must not reach the journal either.
+                    let ack = lock(&inner.journals).contains_key(&job.0).then(|| result_to_ack(&result));
+                    if sched.ack(job, lease, result) {
+                        if let Some(ack) = ack {
+                            journal_append(inner, &sched, job, ack);
+                        }
+                    }
+                }
+                Err(_) => {
+                    sched.requeue_panic(job, lease);
+                }
             };
         }
         inner.notify();

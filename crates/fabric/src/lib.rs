@@ -22,7 +22,12 @@
 //!   standard [`ExplorationStore`](lfi_explore::ExplorationStore)
 //!   checkpoint ([`FabricHandle::checkpoint`] /
 //!   [`FabricHandle::submit_restored`]), folded in process-independent
-//!   cell order so interrupted and clean runs are byte-identical.
+//!   cell order so interrupted and clean runs are byte-identical; and a
+//!   job can attach an `lfi-store` write-ahead journal
+//!   ([`FabricHandle::journal_job`] / [`FabricHandle::recover_job`]) that
+//!   appends one CRC-framed ack record per lease, so recovering a killed
+//!   process replays O(acks) deltas instead of rewriting a full
+//!   checkpoint per batch.
 //! * **A wire protocol** — a line-delimited request/response surface
 //!   ([`Request`]/[`Response`]) served over an in-process duplex transport
 //!   ([`FabricHandle::connect`]) and plain TCP

@@ -457,6 +457,39 @@ impl Scheduler {
         true
     }
 
+    /// Replays a journaled lease acknowledgement during recovery:
+    /// synthesizes the outstanding lease the journal entry implies (its
+    /// cells leave the frontier exactly as the live issue removed them) and
+    /// folds the result through [`Scheduler::ack`] — the same body, so a
+    /// recovered job steps through the very states the live job did.
+    /// Replaying acks in journal order reproduces the live frontier even
+    /// when concurrent workers acked out of issue order, because requeues
+    /// always go to the *front* in ack order.
+    pub fn replay_ack(&mut self, job: JobId, result: LeaseResult) -> bool {
+        let lease = self.next_lease;
+        self.next_lease += 1;
+        let Some(record) = self.jobs.get_mut(&job.0) else {
+            return false;
+        };
+        let mut leased: Vec<FaultCell> = Vec::with_capacity(result.outcomes.len() + result.skipped.len());
+        leased.extend(result.outcomes.iter().map(|(cell, _)| *cell));
+        leased.extend(result.skipped.iter().copied());
+        for cell in &leased {
+            if let Some(position) = record.frontier.iter().position(|c| c == cell) {
+                record.frontier.remove(position);
+            }
+        }
+        record.started += leased.len() as u64;
+        record.issued += leased.len() as u64;
+        if record.state == JobState::Queued {
+            record.set_state(JobState::Running);
+        }
+        record
+            .outstanding
+            .insert(lease, OutstandingLease { cells: leased, deadline: Instant::now(), cancel: None });
+        self.ack(job, lease, result)
+    }
+
     /// A worker died (panicked) holding a lease: every cell of the lease
     /// goes back to the front of the job's frontier — nothing the dead
     /// worker half-did was acked, so nothing can be double-counted.  A job
@@ -899,6 +932,34 @@ mod tests {
         let final_store = resumed.checkpoint(job2).unwrap();
         assert_eq!(final_store.executed.len(), 12);
         assert!(final_store.frontier.is_empty());
+    }
+
+    #[test]
+    fn replayed_acks_in_journal_order_reconstruct_the_live_fold() {
+        // Live run: two concurrent leases acked out of issue order — the
+        // second lease comes back fully skipped (its cells requeue to the
+        // front), then the first lands successfully.
+        let mut sched = Scheduler::new(4, Duration::from_secs(60));
+        let now = Instant::now();
+        let spec = JobSpec::new("job", "noop", plan_with_cells("read", 1..=12));
+        let job = sched.submit(spec.clone(), noop_workload());
+        let initial = sched.checkpoint(job).unwrap();
+        let first = sched.next_lease(now).unwrap();
+        let second = sched.next_lease(now).unwrap();
+        let skip_second = LeaseResult { skipped: second.cells.clone(), ..LeaseResult::default() };
+        assert!(sched.ack(job, second.lease, skip_second.clone()));
+        assert!(sched.ack(job, first.lease, success_result(&first.cells)));
+        let live = sched.checkpoint(job).unwrap();
+
+        // Recovery: restore from the submit-time snapshot, then replay the
+        // two acks in the order they were journaled.
+        let mut replayed = Scheduler::new(4, Duration::from_secs(60));
+        let job2 = replayed.submit_restored(spec, noop_workload(), &initial);
+        assert!(replayed.replay_ack(job2, skip_second));
+        assert!(replayed.replay_ack(job2, success_result(&first.cells)));
+        assert_eq!(replayed.checkpoint(job2).unwrap(), live, "replay reproduces frontier order and done set");
+        assert_eq!(replayed.snapshot(job2).unwrap().progress.finished, 4);
+        assert!(!replayed.replay_ack(JobId(99), LeaseResult::default()), "unknown job replays nothing");
     }
 
     #[test]

@@ -132,6 +132,18 @@ impl ProfileStore {
         self.misses.load(Ordering::Relaxed)
     }
 
+    /// The stored entries, sorted by key — the deterministic iteration
+    /// every serializer builds on ([`ProfileStore::to_xml`] here,
+    /// `lfi-store`'s binary codec externally).  Profiles are `Arc`s, so
+    /// the snapshot copies handles, not profile bodies.
+    pub fn snapshot(&self) -> Vec<(ProfileKey, Arc<FaultProfile>)> {
+        let entries = self.entries.read().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut sorted: Vec<(ProfileKey, Arc<FaultProfile>)> =
+            entries.iter().map(|(key, profile)| (key.clone(), Arc::clone(profile))).collect();
+        sorted.sort_by(|a, b| a.0.cmp(&b.0));
+        sorted
+    }
+
     /// Drops every entry and resets the counters.
     pub fn clear(&self) {
         self.entries.write().unwrap_or_else(std::sync::PoisonError::into_inner).clear();

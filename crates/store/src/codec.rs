@@ -1,0 +1,595 @@
+//! Binary encode/decode of the persisted domain types.
+//!
+//! Writes go through the `bytes` shim's `BufMut`; reads go through a
+//! checked [`Reader`] over `Buf` that verifies `remaining()` before every
+//! access, so hostile or truncated payloads surface as
+//! [`StoreError::corrupt`] with a byte offset — never a panic.
+//!
+//! Everything is little-endian.  Strings are `u32` length + UTF-8 bytes;
+//! options are a presence byte; collections are a `u32` count followed by
+//! the elements.  [`Symbol`]s are persisted by *name* (and re-interned on
+//! load), so files are portable across processes and interning orders.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use lfi_explore::{CrashCluster, ExplorationDelta, ExplorationStore, FrontierCell, FunctionCoverage, OutcomeClass};
+use lfi_intern::Symbol;
+use lfi_profile::{ErrorReturn, FaultProfile, FunctionProfile, ProfileKey, ProfileStore, SideEffect, SideEffectKind};
+use lfi_scenario::FaultCell;
+
+use crate::{AckOutcome, AckRecord, ProfileEntry, StoreError};
+
+/// A bounds-checked read cursor: every accessor validates `remaining()`
+/// first and reports the byte offset (within the payload) on failure.
+pub(crate) struct Reader {
+    buf: Bytes,
+    len: usize,
+}
+
+impl Reader {
+    pub fn new(payload: &[u8]) -> Self {
+        Self { buf: Bytes::copy_from_slice(payload), len: payload.len() }
+    }
+
+    /// Offset of the next unread byte.
+    pub fn offset(&self) -> u64 {
+        (self.len - self.buf.remaining()) as u64
+    }
+
+    fn need(&self, bytes: usize, what: &str) -> Result<(), StoreError> {
+        if self.buf.remaining() < bytes {
+            return Err(StoreError::corrupt(self.offset(), format!("truncated while reading {what}")));
+        }
+        Ok(())
+    }
+
+    pub fn u8(&mut self, what: &str) -> Result<u8, StoreError> {
+        self.need(1, what)?;
+        Ok(self.buf.get_u8())
+    }
+
+    pub fn u32(&mut self, what: &str) -> Result<u32, StoreError> {
+        self.need(4, what)?;
+        Ok(self.buf.get_u32_le())
+    }
+
+    pub fn u64(&mut self, what: &str) -> Result<u64, StoreError> {
+        self.need(8, what)?;
+        Ok(self.buf.get_u64_le())
+    }
+
+    pub fn i64(&mut self, what: &str) -> Result<i64, StoreError> {
+        self.need(8, what)?;
+        Ok(self.buf.get_i64_le())
+    }
+
+    pub fn flag(&mut self, what: &str) -> Result<bool, StoreError> {
+        match self.u8(what)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(StoreError::corrupt(self.offset() - 1, format!("bad flag byte {other} for {what}"))),
+        }
+    }
+
+    pub fn opt_u64(&mut self, what: &str) -> Result<Option<u64>, StoreError> {
+        Ok(if self.flag(what)? { Some(self.u64(what)?) } else { None })
+    }
+
+    pub fn opt_i64(&mut self, what: &str) -> Result<Option<i64>, StoreError> {
+        Ok(if self.flag(what)? { Some(self.i64(what)?) } else { None })
+    }
+
+    /// A collection count, sanity-bounded by the bytes actually remaining
+    /// (each element needs at least `min_element` bytes), so a hostile
+    /// length can never trigger a huge allocation.
+    pub fn count(&mut self, min_element: usize, what: &str) -> Result<usize, StoreError> {
+        let count = self.u32(what)? as usize;
+        if count.saturating_mul(min_element.max(1)) > self.buf.remaining() {
+            return Err(StoreError::corrupt(self.offset() - 4, format!("impossible {what} count {count}")));
+        }
+        Ok(count)
+    }
+
+    /// Reads a length-prefixed string as a borrowed `&str` (zero-copy) and
+    /// hands it to `with` before advancing past it.
+    fn str_with<T>(&mut self, what: &str, with: impl FnOnce(&str) -> T) -> Result<T, StoreError> {
+        let len = self.u32(what)? as usize;
+        self.need(len, what)?;
+        let text = std::str::from_utf8(&self.buf.chunk()[..len])
+            .map_err(|_| StoreError::corrupt(self.offset(), format!("non-UTF-8 {what}")))?;
+        let value = with(text);
+        self.buf.advance(len);
+        Ok(value)
+    }
+
+    pub fn string(&mut self, what: &str) -> Result<String, StoreError> {
+        self.str_with(what, str::to_owned)
+    }
+
+    pub fn opt_string(&mut self, what: &str) -> Result<Option<String>, StoreError> {
+        Ok(if self.flag(what)? { Some(self.string(what)?) } else { None })
+    }
+
+    pub fn symbol(&mut self, what: &str) -> Result<Symbol, StoreError> {
+        self.str_with(what, Symbol::intern)
+    }
+
+    /// The payload must be fully consumed — trailing garbage is corruption.
+    pub fn finish(self) -> Result<(), StoreError> {
+        if self.buf.remaining() != 0 {
+            return Err(StoreError::corrupt(self.offset(), "trailing bytes after record payload"));
+        }
+        Ok(())
+    }
+}
+
+fn put_string(out: &mut BytesMut, text: &str) {
+    out.put_u32_le(text.len() as u32);
+    out.put_slice(text.as_bytes());
+}
+
+fn put_opt_string(out: &mut BytesMut, text: Option<&str>) {
+    match text {
+        Some(text) => {
+            out.put_u8(1);
+            put_string(out, text);
+        }
+        None => out.put_u8(0),
+    }
+}
+
+fn put_opt_u64(out: &mut BytesMut, value: Option<u64>) {
+    match value {
+        Some(value) => {
+            out.put_u8(1);
+            out.put_u64_le(value);
+        }
+        None => out.put_u8(0),
+    }
+}
+
+fn put_opt_i64(out: &mut BytesMut, value: Option<i64>) {
+    match value {
+        Some(value) => {
+            out.put_u8(1);
+            out.put_i64_le(value);
+        }
+        None => out.put_u8(0),
+    }
+}
+
+fn put_flag(out: &mut BytesMut, value: bool) {
+    out.put_u8(u8::from(value));
+}
+
+// -- fault cells ------------------------------------------------------------
+
+fn put_cell(out: &mut BytesMut, cell: &FaultCell) {
+    put_string(out, cell.function.as_str());
+    out.put_u64_le(cell.call_ordinal);
+    out.put_i64_le(cell.retval);
+    put_opt_i64(out, cell.errno);
+}
+
+fn get_cell(r: &mut Reader) -> Result<FaultCell, StoreError> {
+    Ok(FaultCell {
+        function: r.symbol("cell function")?,
+        call_ordinal: r.u64("cell ordinal")?,
+        retval: r.i64("cell retval")?,
+        errno: r.opt_i64("cell errno")?,
+    })
+}
+
+fn put_cells(out: &mut BytesMut, cells: &[FaultCell]) {
+    out.put_u32_le(cells.len() as u32);
+    for cell in cells {
+        put_cell(out, cell);
+    }
+}
+
+fn get_cells(r: &mut Reader, what: &str) -> Result<Vec<FaultCell>, StoreError> {
+    let count = r.count(21, what)?;
+    let mut cells = Vec::with_capacity(count);
+    for _ in 0..count {
+        cells.push(get_cell(r)?);
+    }
+    Ok(cells)
+}
+
+fn put_outcome(out: &mut BytesMut, outcome: OutcomeClass) {
+    // The Display/parse pair is the stable outcome encoding — shared with
+    // the XML store, so the two formats can never drift apart.
+    put_string(out, &outcome.to_string());
+}
+
+fn get_outcome(r: &mut Reader) -> Result<OutcomeClass, StoreError> {
+    let text = r.string("outcome class")?;
+    OutcomeClass::parse(&text).ok_or_else(|| StoreError::corrupt(r.offset(), format!("unknown outcome class {text:?}")))
+}
+
+fn put_cluster(out: &mut BytesMut, cluster: &CrashCluster) {
+    put_string(out, cluster.function.as_str());
+    out.put_u32_le(cluster.stack.len() as u32);
+    for frame in &cluster.stack {
+        put_string(out, frame.as_str());
+    }
+    put_outcome(out, cluster.outcome);
+    out.put_u64_le(cluster.count);
+    put_cell(out, &cluster.example);
+    put_string(out, &cluster.example_case);
+}
+
+fn get_cluster(r: &mut Reader) -> Result<CrashCluster, StoreError> {
+    let function = r.symbol("cluster function")?;
+    let frames = r.count(4, "cluster stack")?;
+    let mut stack = Vec::with_capacity(frames);
+    for _ in 0..frames {
+        stack.push(r.symbol("stack frame")?);
+    }
+    Ok(CrashCluster {
+        function,
+        stack,
+        outcome: get_outcome(r)?,
+        count: r.u64("cluster count")?,
+        example: get_cell(r)?,
+        example_case: r.string("cluster example case")?,
+    })
+}
+
+fn put_clusters(out: &mut BytesMut, clusters: &[CrashCluster]) {
+    out.put_u32_le(clusters.len() as u32);
+    for cluster in clusters {
+        put_cluster(out, cluster);
+    }
+}
+
+fn get_clusters(r: &mut Reader) -> Result<Vec<CrashCluster>, StoreError> {
+    let count = r.count(8, "cluster table")?;
+    let mut clusters = Vec::with_capacity(count);
+    for _ in 0..count {
+        clusters.push(get_cluster(r)?);
+    }
+    Ok(clusters)
+}
+
+fn put_coverage(out: &mut BytesMut, coverage: &[(Symbol, FunctionCoverage)]) {
+    out.put_u32_le(coverage.len() as u32);
+    for (symbol, function) in coverage {
+        put_string(out, symbol.as_str());
+        out.put_u64_le(function.observed_calls);
+        out.put_u32_le(function.triggered.len() as u32);
+        for &(ordinal, retval, errno) in &function.triggered {
+            out.put_u64_le(ordinal);
+            out.put_i64_le(retval);
+            put_opt_i64(out, errno);
+        }
+    }
+}
+
+fn get_coverage(r: &mut Reader) -> Result<Vec<(Symbol, FunctionCoverage)>, StoreError> {
+    let count = r.count(16, "coverage table")?;
+    let mut coverage = Vec::with_capacity(count);
+    for _ in 0..count {
+        let symbol = r.symbol("coverage function")?;
+        let observed_calls = r.u64("observed calls")?;
+        let triggered_count = r.count(17, "triggered cells")?;
+        let mut function = FunctionCoverage { observed_calls, triggered: Default::default() };
+        for _ in 0..triggered_count {
+            let ordinal = r.u64("triggered ordinal")?;
+            let retval = r.i64("triggered retval")?;
+            let errno = r.opt_i64("triggered errno")?;
+            function.triggered.insert((ordinal, retval, errno));
+        }
+        coverage.push((symbol, function));
+    }
+    Ok(coverage)
+}
+
+fn put_frontier(out: &mut BytesMut, frontier: &[FrontierCell]) {
+    out.put_u32_le(frontier.len() as u32);
+    for entry in frontier {
+        put_cell(out, &entry.cell);
+        out.put_i64_le(i64::from(entry.priority));
+    }
+}
+
+fn get_frontier(r: &mut Reader, what: &str) -> Result<Vec<FrontierCell>, StoreError> {
+    let count = r.count(29, what)?;
+    let mut frontier = Vec::with_capacity(count);
+    for _ in 0..count {
+        let cell = get_cell(r)?;
+        let priority = r.i64("frontier priority")?;
+        let priority = i32::try_from(priority)
+            .map_err(|_| StoreError::corrupt(r.offset(), format!("priority {priority} out of range")))?;
+        frontier.push(FrontierCell { cell, priority });
+    }
+    Ok(frontier)
+}
+
+// -- exploration store ------------------------------------------------------
+
+/// Encodes an [`ExplorationStore`] snapshot payload.
+pub fn encode_exploration_store(store: &ExplorationStore) -> Vec<u8> {
+    let mut out = BytesMut::with_capacity(256 + store.frontier.len() * 32);
+    out.put_u64_le(store.seed);
+    out.put_u64_le(store.batch_size as u64);
+    out.put_u64_le(store.parallelism as u64);
+    put_flag(&mut out, store.halt_on_crash);
+    put_opt_u64(&mut out, store.case_budget);
+    put_opt_u64(&mut out, store.injection_budget);
+    put_opt_u64(&mut out, store.time_budget_ms);
+    out.put_u64_le(store.universe as u64);
+    out.put_u64_le(store.batch_index);
+    out.put_u64_le(store.rng_draws);
+    put_flag(&mut out, store.probe_done);
+    put_flag(&mut out, store.crash_found);
+    out.put_u64_le(store.cases_executed);
+    out.put_u64_le(store.injections_performed);
+    out.put_u64_le(store.elapsed_ms);
+    put_frontier(&mut out, &store.frontier);
+    put_cells(&mut out, &store.executed);
+    put_cells(&mut out, &store.unreached);
+    out.put_u32_le(store.pruned_functions.len() as u32);
+    for symbol in &store.pruned_functions {
+        put_string(&mut out, symbol.as_str());
+    }
+    put_coverage(&mut out, &store.coverage);
+    put_clusters(&mut out, &store.clusters);
+    out.to_vec()
+}
+
+/// Decodes an [`ExplorationStore`] snapshot payload.
+pub fn decode_exploration_store(payload: &[u8]) -> Result<ExplorationStore, StoreError> {
+    let mut r = Reader::new(payload);
+    let store = ExplorationStore {
+        seed: r.u64("seed")?,
+        batch_size: r.u64("batch size")? as usize,
+        parallelism: r.u64("parallelism")? as usize,
+        halt_on_crash: r.flag("halt_on_crash")?,
+        case_budget: r.opt_u64("case budget")?,
+        injection_budget: r.opt_u64("injection budget")?,
+        time_budget_ms: r.opt_u64("time budget")?,
+        universe: r.u64("universe")? as usize,
+        batch_index: r.u64("batch index")?,
+        rng_draws: r.u64("rng draws")?,
+        probe_done: r.flag("probe_done")?,
+        crash_found: r.flag("crash_found")?,
+        cases_executed: r.u64("cases executed")?,
+        injections_performed: r.u64("injections performed")?,
+        elapsed_ms: r.u64("elapsed ms")?,
+        frontier: get_frontier(&mut r, "frontier")?,
+        executed: get_cells(&mut r, "executed cells")?,
+        unreached: get_cells(&mut r, "unreached cells")?,
+        pruned_functions: {
+            let count = r.count(4, "pruned functions")?;
+            let mut pruned = Vec::with_capacity(count);
+            for _ in 0..count {
+                pruned.push(r.symbol("pruned function")?);
+            }
+            pruned
+        },
+        coverage: get_coverage(&mut r)?,
+        clusters: get_clusters(&mut r)?,
+    };
+    r.finish()?;
+    Ok(store)
+}
+
+// -- exploration delta ------------------------------------------------------
+
+/// Encodes an [`ExplorationDelta`] payload.
+pub fn encode_exploration_delta(delta: &ExplorationDelta) -> Vec<u8> {
+    let mut out = BytesMut::with_capacity(128);
+    out.put_u64_le(delta.batch_index);
+    out.put_u64_le(delta.rng_draws);
+    put_flag(&mut out, delta.probe_done);
+    put_flag(&mut out, delta.crash_found);
+    out.put_u64_le(delta.cases_executed);
+    out.put_u64_le(delta.injections_performed);
+    out.put_u64_le(delta.elapsed_ms);
+    put_cells(&mut out, &delta.frontier_remove);
+    put_frontier(&mut out, &delta.frontier_upsert);
+    put_cells(&mut out, &delta.executed);
+    put_cells(&mut out, &delta.unreached);
+    out.put_u32_le(delta.pruned_functions.len() as u32);
+    for symbol in &delta.pruned_functions {
+        put_string(&mut out, symbol.as_str());
+    }
+    put_coverage(&mut out, &delta.coverage);
+    put_clusters(&mut out, &delta.clusters);
+    out.to_vec()
+}
+
+/// Decodes an [`ExplorationDelta`] payload.
+pub fn decode_exploration_delta(payload: &[u8]) -> Result<ExplorationDelta, StoreError> {
+    let mut r = Reader::new(payload);
+    let delta = ExplorationDelta {
+        batch_index: r.u64("batch index")?,
+        rng_draws: r.u64("rng draws")?,
+        probe_done: r.flag("probe_done")?,
+        crash_found: r.flag("crash_found")?,
+        cases_executed: r.u64("cases executed")?,
+        injections_performed: r.u64("injections performed")?,
+        elapsed_ms: r.u64("elapsed ms")?,
+        frontier_remove: get_cells(&mut r, "frontier removals")?,
+        frontier_upsert: get_frontier(&mut r, "frontier upserts")?,
+        executed: get_cells(&mut r, "executed cells")?,
+        unreached: get_cells(&mut r, "unreached cells")?,
+        pruned_functions: {
+            let count = r.count(4, "pruned functions")?;
+            let mut pruned = Vec::with_capacity(count);
+            for _ in 0..count {
+                pruned.push(r.symbol("pruned function")?);
+            }
+            pruned
+        },
+        coverage: get_coverage(&mut r)?,
+        clusters: get_clusters(&mut r)?,
+    };
+    r.finish()?;
+    Ok(delta)
+}
+
+// -- fabric acks ------------------------------------------------------------
+
+/// Encodes an [`AckRecord`] payload.
+pub fn encode_ack(ack: &AckRecord) -> Vec<u8> {
+    let mut out = BytesMut::with_capacity(64);
+    out.put_u32_le(ack.outcomes.len() as u32);
+    for outcome in &ack.outcomes {
+        put_cell(&mut out, &outcome.cell);
+        put_outcome(&mut out, outcome.outcome);
+        out.put_u64_le(outcome.injections);
+        put_flag(&mut out, outcome.triggered);
+        out.put_u32_le(outcome.stack.len() as u32);
+        for frame in &outcome.stack {
+            put_string(&mut out, frame.as_str());
+        }
+        put_string(&mut out, &outcome.case);
+    }
+    put_cells(&mut out, &ack.skipped);
+    out.to_vec()
+}
+
+/// Decodes an [`AckRecord`] payload.
+pub fn decode_ack(payload: &[u8]) -> Result<AckRecord, StoreError> {
+    let mut r = Reader::new(payload);
+    let count = r.count(38, "ack outcomes")?;
+    let mut outcomes = Vec::with_capacity(count);
+    for _ in 0..count {
+        let cell = get_cell(&mut r)?;
+        let outcome = get_outcome(&mut r)?;
+        let injections = r.u64("ack injections")?;
+        let triggered = r.flag("ack triggered")?;
+        let frames = r.count(4, "ack stack")?;
+        let mut stack = Vec::with_capacity(frames);
+        for _ in 0..frames {
+            stack.push(r.symbol("ack stack frame")?);
+        }
+        let case = r.string("ack case name")?;
+        outcomes.push(AckOutcome { cell, outcome, injections, triggered, stack, case });
+    }
+    let skipped = get_cells(&mut r, "ack skipped cells")?;
+    r.finish()?;
+    Ok(AckRecord { outcomes, skipped })
+}
+
+// -- profiles ---------------------------------------------------------------
+
+fn put_profile(out: &mut BytesMut, profile: &FaultProfile) {
+    put_string(out, &profile.library);
+    put_opt_string(out, profile.platform.as_deref());
+    out.put_u32_le(profile.functions.len() as u32);
+    for function in &profile.functions {
+        put_string(out, &function.name);
+        out.put_u32_le(function.error_returns.len() as u32);
+        for error in &function.error_returns {
+            out.put_i64_le(error.retval);
+            out.put_u32_le(error.side_effects.len() as u32);
+            for effect in &error.side_effects {
+                let kind: u8 = match effect.kind {
+                    SideEffectKind::Tls => 0,
+                    SideEffectKind::Global => 1,
+                    SideEffectKind::OutputArg => 2,
+                };
+                out.put_u8(kind);
+                put_string(out, &effect.module);
+                out.put_u32_le(effect.offset);
+                out.put_i64_le(effect.value);
+            }
+        }
+    }
+}
+
+fn get_profile(r: &mut Reader) -> Result<FaultProfile, StoreError> {
+    let library = r.string("profile library")?;
+    let platform = r.opt_string("profile platform")?;
+    let mut profile = FaultProfile::new(library);
+    profile.platform = platform;
+    let functions = r.count(8, "profile functions")?;
+    for _ in 0..functions {
+        let name = r.string("function name")?;
+        let mut function = FunctionProfile::new(name);
+        let errors = r.count(12, "error returns")?;
+        for _ in 0..errors {
+            let retval = r.i64("error retval")?;
+            let mut error = ErrorReturn::bare(retval);
+            let effects = r.count(17, "side effects")?;
+            for _ in 0..effects {
+                let kind = match r.u8("side-effect kind")? {
+                    0 => SideEffectKind::Tls,
+                    1 => SideEffectKind::Global,
+                    2 => SideEffectKind::OutputArg,
+                    other => {
+                        return Err(StoreError::corrupt(r.offset() - 1, format!("unknown side-effect kind {other}")));
+                    }
+                };
+                let module = r.string("side-effect module")?;
+                let offset = r.u32("side-effect offset")?;
+                let value = r.i64("side-effect value")?;
+                error.side_effects.push(SideEffect { kind, module, offset, value });
+            }
+            function.error_returns.push(error);
+        }
+        profile.push_function(function);
+    }
+    Ok(profile)
+}
+
+fn put_profile_entry(out: &mut BytesMut, entry: &ProfileEntry) {
+    put_string(out, &entry.key.library);
+    put_opt_string(out, entry.key.platform.as_deref());
+    out.put_u64_le(entry.key.code_hash);
+    put_profile(out, &entry.profile);
+}
+
+fn get_profile_entry(r: &mut Reader) -> Result<ProfileEntry, StoreError> {
+    let library = r.string("entry library")?;
+    let platform = r.opt_string("entry platform")?;
+    let code_hash = r.u64("entry code hash")?;
+    let profile = get_profile(r)?;
+    Ok(ProfileEntry { key: ProfileKey { library, platform, code_hash }, profile })
+}
+
+/// Encodes a [`ProfileEntry`] payload (one insertion).
+pub fn encode_profile_entry(entry: &ProfileEntry) -> Vec<u8> {
+    let mut out = BytesMut::with_capacity(128);
+    put_profile_entry(&mut out, entry);
+    out.to_vec()
+}
+
+/// Decodes a [`ProfileEntry`] payload.
+pub fn decode_profile_entry(payload: &[u8]) -> Result<ProfileEntry, StoreError> {
+    let mut r = Reader::new(payload);
+    let entry = get_profile_entry(&mut r)?;
+    r.finish()?;
+    Ok(entry)
+}
+
+/// Encodes a full [`ProfileStore`] snapshot payload (entries in key order,
+/// so output is deterministic — the same order `to_xml` uses).
+pub fn encode_profile_store(store: &ProfileStore) -> Vec<u8> {
+    let entries = store.snapshot();
+    let mut out = BytesMut::with_capacity(64 + entries.len() * 128);
+    out.put_u32_le(entries.len() as u32);
+    for (key, profile) in &entries {
+        put_string(&mut out, &key.library);
+        put_opt_string(&mut out, key.platform.as_deref());
+        out.put_u64_le(key.code_hash);
+        put_profile(&mut out, profile);
+    }
+    out.to_vec()
+}
+
+/// Decodes a full [`ProfileStore`] snapshot payload.
+pub fn decode_profile_store(payload: &[u8]) -> Result<ProfileStore, StoreError> {
+    let mut r = Reader::new(payload);
+    let count = r.count(21, "profile entries")?;
+    let store = ProfileStore::new();
+    for _ in 0..count {
+        let entry = get_profile_entry(&mut r)?;
+        store.insert(entry.key, entry.profile);
+    }
+    r.finish()?;
+    Ok(store)
+}

@@ -154,6 +154,13 @@ pub mod fabric {
     pub use lfi_fabric::*;
 }
 
+/// Journaled binary persistence: checksummed record files, write-ahead
+/// delta journals with compaction and torn-tail recovery, and
+/// format-sniffing load/save for the profile and exploration stores.
+pub mod store {
+    pub use lfi_store::*;
+}
+
 /// The synthetic library corpus (libc, kernel image, Table 1/2 libraries).
 pub mod corpus {
     pub use lfi_corpus::*;

@@ -176,6 +176,74 @@ fn wire_protocol_round_trips_over_duplex_and_tcp() {
 }
 
 #[test]
+fn journaled_job_survives_a_kill_and_recovers_byte_identically() {
+    let reader = || FnWorkload::new("reader", reader_process, read_four);
+    let dir = std::env::temp_dir().join(format!("lfi-fabric-journal-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("resumable.journal");
+    // 40 cells in leases of 1, so the journal accumulates enough acks to
+    // cross its compaction threshold while the job completes.
+    let spec = || JobSpec::new("resumable", "reader", read_plan(10, &[5, 9, 11, 22])).lease_batch(1);
+
+    // Live fabric: journal from submission, make partial progress, quiesce,
+    // then "die" without draining or checkpointing by hand.
+    let first = Fabric::builder().workers(1).register(reader()).build();
+    let job = first.submit(spec()).expect("workload registered");
+    first.journal_job(job, &path).expect("journal attaches");
+    while first.status(job).expect("job exists").progress.finished < 6 {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    first.pause(job);
+    assert!(first.wait_idle(Duration::from_secs(60)), "outstanding leases settle after pause");
+    assert_eq!(first.journal_error(job), None);
+    let live = first.checkpoint(job).expect("job exists");
+    let done_before_kill = first.status(job).expect("job exists").progress.finished;
+    assert!(done_before_kill < 40, "the kill lands mid-run");
+    drop(first);
+
+    // An inert fabric (zero workers) recovers the journal without running
+    // anything: the recovered state is byte-identical to the last durable
+    // checkpoint of the dead fabric.
+    let inert = Fabric::builder().workers(0).register(reader()).build();
+    let recovered = inert.recover_job(spec(), &path).expect("journal recovers");
+    let store = inert.checkpoint(recovered).expect("job exists");
+    assert_eq!(store, live);
+    assert_eq!(store.to_xml(), live.to_xml());
+    assert_eq!(
+        inert.status(recovered).expect("job exists").progress.finished,
+        done_before_kill,
+        "every journaled ack replayed, nothing else"
+    );
+    drop(inert);
+
+    // A working fabric recovers the same journal and finishes the job,
+    // journaling (and compacting) as it goes.
+    let second = Fabric::builder().workers(2).register(reader()).build();
+    let resumed = second.recover_job(spec(), &path).expect("journal recovers");
+    assert_eq!(second.wait_job(resumed, Duration::from_secs(60)), Some(JobState::Done));
+    assert_eq!(second.journal_error(resumed), None);
+    let report = second.report(resumed).expect("job exists");
+    assert_eq!(report.coverage.executed, 40, "union of pre-kill and post-recovery work");
+    let final_xml = second.checkpoint(resumed).expect("job exists").to_xml();
+    drop(second);
+
+    // The journal now holds the finished job; a third recovery and a clean
+    // uninterrupted run both reproduce the same final checkpoint bytes.
+    let third = Fabric::builder().workers(0).register(reader()).build();
+    let done = third.recover_job(spec(), &path).expect("finished journal recovers");
+    assert_eq!(third.status(done).expect("job exists").state, JobState::Done);
+    assert_eq!(third.checkpoint(done).expect("job exists").to_xml(), final_xml);
+    drop(third);
+
+    let clean = Fabric::builder().workers(1).register(reader()).build();
+    let clean_job = clean.submit(spec()).expect("workload registered");
+    assert_eq!(clean.wait_job(clean_job, Duration::from_secs(60)), Some(JobState::Done));
+    assert_eq!(clean.checkpoint(clean_job).expect("job exists").to_xml(), final_xml);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn checkpoint_restores_into_a_fresh_fabric() {
     // Run a job partially, pause it, checkpoint it, and hand the XML to a
     // second fabric — the union of both runs covers every cell exactly once.

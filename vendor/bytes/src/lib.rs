@@ -8,6 +8,11 @@
 pub trait Buf {
     /// Bytes remaining to read.
     fn remaining(&self) -> usize;
+    /// The unread bytes, without advancing the cursor (zero-copy reads).
+    fn chunk(&self) -> &[u8];
+    /// Advances the cursor by `cnt` bytes.  Panics when too few bytes
+    /// remain, like the real crate.
+    fn advance(&mut self, cnt: usize);
     /// Copies `dst.len()` bytes out, advancing the cursor.  Panics when too
     /// few bytes remain, like the real crate.
     fn copy_to_slice(&mut self, dst: &mut [u8]);
@@ -32,6 +37,20 @@ pub trait Buf {
         self.copy_to_slice(&mut b);
         u32::from_le_bytes(b)
     }
+
+    /// Reads a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `i64`.
+    fn get_i64_le(&mut self) -> i64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        i64::from_le_bytes(b)
+    }
 }
 
 /// Write-side interface (subset of `bytes::BufMut`).
@@ -53,6 +72,16 @@ pub trait BufMut {
     fn put_u32_le(&mut self, value: u32) {
         self.put_slice(&value.to_le_bytes());
     }
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, value: u64) {
+        self.put_slice(&value.to_le_bytes());
+    }
+
+    /// Appends a little-endian `i64`.
+    fn put_i64_le(&mut self, value: i64) {
+        self.put_slice(&value.to_le_bytes());
+    }
 }
 
 /// An immutable byte buffer with a read cursor.
@@ -72,6 +101,15 @@ impl Bytes {
 impl Buf for Bytes {
     fn remaining(&self) -> usize {
         self.data.len() - self.pos
+    }
+
+    fn chunk(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(self.remaining() >= cnt, "buffer underflow");
+        self.pos += cnt;
     }
 
     fn copy_to_slice(&mut self, dst: &mut [u8]) {
@@ -125,15 +163,19 @@ mod tests {
         w.put_u8(7);
         w.put_u16_le(0x1234);
         w.put_u32_le(0xdead_beef);
+        w.put_u64_le(0x0123_4567_89ab_cdef);
+        w.put_i64_le(-42);
         w.put_slice(b"xyz");
-        assert_eq!(w.len(), 10);
+        assert_eq!(w.len(), 26);
         assert!(!w.is_empty());
 
         let mut r = Bytes::copy_from_slice(&w.to_vec());
-        assert_eq!(r.remaining(), 10);
+        assert_eq!(r.remaining(), 26);
         assert_eq!(r.get_u8(), 7);
         assert_eq!(r.get_u16_le(), 0x1234);
         assert_eq!(r.get_u32_le(), 0xdead_beef);
+        assert_eq!(r.get_u64_le(), 0x0123_4567_89ab_cdef);
+        assert_eq!(r.get_i64_le(), -42);
         let mut tail = [0u8; 3];
         r.copy_to_slice(&mut tail);
         assert_eq!(&tail, b"xyz");
